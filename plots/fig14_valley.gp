@@ -1,0 +1,9 @@
+# Importance-sampling variance valley (paper Fig 14).
+set terminal pngcairo size 800,600
+set output "plots/fig14_valley.png"
+set xlabel "background twisted mean m*"
+set ylabel "normalized variance of the IS estimator"
+set title "IS variance valley (paper: minimum at m* = 3.2)"
+set logscale y
+set grid
+plot "plots/data/fig14.dat" using 1:3 with linespoints pt 7 lw 2 title "normalized variance"

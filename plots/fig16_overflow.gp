@@ -1,0 +1,14 @@
+# Overflow probability vs buffer size for four utilizations
+# (paper Fig 16). The data file has four '## utilization' blocks,
+# which gnuplot indexes 0..3 (blank-line separated).
+set terminal pngcairo size 800,600
+set output "plots/fig16_overflow.png"
+set xlabel "normalized buffer size b"
+set ylabel "log10 Pr(Q_k > b)"
+set title "Overflow probability vs buffer (model = lines, trace = points)"
+set grid
+set key bottom left
+plot for [i=0:3] "plots/data/fig16.dat" index i using 1:2 with linespoints lw 2 \
+       title sprintf("model, uti %.1f", 0.2 + 0.2*i), \
+     for [i=0:3] "plots/data/fig16.dat" index i using 1:3 with points pt 4 \
+       title sprintf("trace, uti %.1f", 0.2 + 0.2*i)

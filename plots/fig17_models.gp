@@ -1,0 +1,13 @@
+# Model comparison: SRD+LRD vs SRD-only vs LRD-only vs the trace
+# (paper Fig 17).
+set terminal pngcairo size 800,600
+set output "plots/fig17_models.png"
+set xlabel "normalized buffer size b"
+set ylabel "log10 Pr(Q_k > b)"
+set title "Dependence structure and overflow (uti 0.6)"
+set grid
+set key bottom left
+plot "plots/data/fig17.dat" using 1:2 with linespoints lw 2 title "SRD+LRD (unified)", \
+     "plots/data/fig17.dat" using 1:3 with linespoints lw 2 title "SRD only", \
+     "plots/data/fig17.dat" using 1:4 with linespoints lw 2 title "LRD only (FGN)", \
+     "plots/data/fig17.dat" using 1:5 with points pt 4 ps 1.5 title "empirical trace"

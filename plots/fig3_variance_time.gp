@@ -1,0 +1,11 @@
+# Variance-time plot (paper Fig 3).
+set terminal pngcairo size 800,600
+set output "plots/fig3_variance_time.png"
+set xlabel "log10(m)"
+set ylabel "log10(var(X^{(m)}))"
+set title "Variance-time plot (paper: slope -0.223, H = 0.89)"
+set grid
+f(x) = a*x + b
+fit f(x) "plots/data/fig3.dat" using 1:2 via a, b
+plot "plots/data/fig3.dat" using 1:2 with points pt 7 title "aggregated variance", \
+     f(x) with lines lw 2 title sprintf("fit: slope %.3f  (H = %.3f)", a, 1.0 + a/2.0)

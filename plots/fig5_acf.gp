@@ -1,0 +1,12 @@
+# Empirical autocorrelation with the composite SRD+LRD fit
+# (paper Figs 5-6).
+set terminal pngcairo size 800,600
+set output "plots/fig5_acf.png"
+set xlabel "lag k"
+set ylabel "autocorrelation"
+set title "Empirical ACF and the composite knee fit"
+set grid
+set yrange [0:1]
+plot "plots/data/fig5.dat" using 1:2 with points pt 6 ps 0.6 title "empirical", \
+     "plots/data/fig6.dat" using 1:3 with lines lw 2 title "exp (SRD piece)", \
+     "plots/data/fig6.dat" using 1:4 with lines lw 2 title "power law (LRD piece)"
