@@ -1,0 +1,369 @@
+(* vbrsim: command-line front end to the self-similar VBR video
+   modeling library.
+
+   Subcommands mirror the paper's workflow: synthesize a reference
+   trace (synth), inspect it (summary, hurst), fit the unified model
+   (fit), generate synthetic traffic from a fitted model (generate,
+   mpeg), and evaluate queueing behaviour (queue, fastsim). *)
+
+module Rng = Ss_stats.Rng
+module D = Ss_stats.Descriptive
+module Hurst = Ss_fractal.Hurst
+module Trace = Ss_video.Trace
+module Gop = Ss_video.Gop
+module Scene = Ss_video.Scene_source
+module Mc = Ss_queueing.Mc
+module Trace_sim = Ss_queueing.Trace_sim
+module Is = Ss_fastsim.Is_estimator
+module Valley = Ss_fastsim.Valley
+module Model = Ss_core.Model
+module Fit = Ss_core.Fit
+module Generate = Ss_core.Generate
+module Mpeg = Ss_core.Mpeg
+module Report = Ss_core.Report
+
+open Cmdliner
+
+(* --- common arguments --- *)
+
+let trace_arg =
+  let doc = "Input trace file (one frame size per line, '#'-metadata header)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let output_arg =
+  let doc = "Output trace file." in
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let frames_arg ~default =
+  let doc = "Number of frames." in
+  Arg.(value & opt int default & info [ "frames" ] ~docv:"INT" ~doc)
+
+let max_lag_arg =
+  let doc = "Largest autocorrelation lag used by the fit." in
+  Arg.(value & opt int 500 & info [ "max-lag" ] ~docv:"INT" ~doc)
+
+let utilization_arg =
+  let doc = "Link utilization in (0,1)." in
+  Arg.(value & opt float 0.6 & info [ "utilization"; "u" ] ~docv:"FLOAT" ~doc)
+
+let replications_arg =
+  let doc = "Independent replications per estimate." in
+  Arg.(value & opt int 300 & info [ "replications"; "n" ] ~docv:"INT" ~doc)
+
+let wrap f =
+  try
+    f ();
+    0
+  with
+  | Invalid_argument msg | Failure msg ->
+    Printf.eprintf "vbrsim: %s\n" msg;
+    1
+  | Sys_error msg ->
+    Printf.eprintf "vbrsim: %s\n" msg;
+    1
+
+(* --- synth --- *)
+
+let synth_cmd =
+  let gop_arg =
+    let doc = "GOP pattern (e.g. IBBPBBPBBPBB, or I for intraframe-only)." in
+    Arg.(value & opt string "IBBPBBPBBPBB" & info [ "gop" ] ~docv:"PATTERN" ~doc)
+  in
+  let hurst_arg =
+    let doc = "Target Hurst parameter in (0.5,1)." in
+    Arg.(value & opt float 0.9 & info [ "hurst" ] ~docv:"FLOAT" ~doc)
+  in
+  let mean_arg =
+    let doc = "Mean I-frame size in bytes." in
+    Arg.(value & opt float 9000.0 & info [ "mean-i-bytes" ] ~docv:"FLOAT" ~doc)
+  in
+  let run output frames seed gop hurst mean_i_bytes =
+    wrap (fun () ->
+        let cfg =
+          { Scene.default with frames; gop = Gop.of_string gop; hurst; mean_i_bytes }
+        in
+        let trace = Scene.generate cfg (Rng.create ~seed) in
+        Trace.save trace output;
+        Format.printf "wrote %d frames to %s@." frames output;
+        Format.printf "%a" Trace.pp_summary (Trace.summarize trace))
+  in
+  let doc = "Synthesize a scene-model VBR video trace." in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(
+      const run $ output_arg $ frames_arg ~default:131_072 $ seed_arg $ gop_arg $ hurst_arg
+      $ mean_arg)
+
+(* --- summary --- *)
+
+let summary_cmd =
+  let run path =
+    wrap (fun () ->
+        let trace = Trace.load path in
+        Format.printf "trace             %s@." trace.Trace.name;
+        Format.printf "gop               %s@." (Gop.to_string trace.Trace.gop);
+        Format.printf "%a" Trace.pp_summary (Trace.summarize trace))
+  in
+  let doc = "Print Table-1 style statistics of a trace." in
+  Cmd.v (Cmd.info "summary" ~doc) Term.(const run $ trace_arg)
+
+(* --- hurst --- *)
+
+let hurst_cmd =
+  let run path =
+    wrap (fun () ->
+        let trace = Trace.load path in
+        let sizes = trace.Trace.sizes in
+        let vt = Hurst.variance_time sizes in
+        let rs = Hurst.rs sizes in
+        let pg = Hurst.periodogram sizes in
+        Format.printf "variance-time  H = %.3f  (fit r2 %.3f)@." vt.Hurst.h
+          vt.Hurst.fit.Ss_stats.Regression.r2;
+        Format.printf "R/S            H = %.3f  (fit r2 %.3f)@." rs.Hurst.h
+          rs.Hurst.fit.Ss_stats.Regression.r2;
+        Format.printf "periodogram    H = %.3f@." pg.Hurst.h;
+        Format.printf "adopted        H = %.2f@."
+          (Fit.hurst_round ((vt.Hurst.h +. rs.Hurst.h) /. 2.0)))
+  in
+  let doc = "Estimate the Hurst parameter (variance-time, R/S, periodogram)." in
+  Cmd.v (Cmd.info "hurst" ~doc) Term.(const run $ trace_arg)
+
+(* --- acf --- *)
+
+let acf_cmd =
+  let lags_arg =
+    let doc = "Largest lag to print." in
+    Arg.(value & opt int 200 & info [ "max-lag" ] ~docv:"INT" ~doc)
+  in
+  let step_arg =
+    let doc = "Print every STEP-th lag." in
+    Arg.(value & opt int 1 & info [ "step" ] ~docv:"INT" ~doc)
+  in
+  let kind_arg =
+    let doc = "Restrict to one frame type (I, P or B)." in
+    Arg.(value & opt (some string) None & info [ "kind" ] ~docv:"I|P|B" ~doc)
+  in
+  let run path max_lag step kind =
+    wrap (fun () ->
+        if step <= 0 then invalid_arg "step must be positive";
+        let trace = Trace.load path in
+        let sizes =
+          match kind with
+          | None -> trace.Trace.sizes
+          | Some s when String.length s = 1 ->
+            Trace.of_kind trace (Ss_video.Frame.of_char s.[0])
+          | Some s -> invalid_arg (Printf.sprintf "bad kind %S" s)
+        in
+        let r = D.acf sizes ~max_lag in
+        Format.printf "# lag  r(lag)@.";
+        let k = ref 1 in
+        while !k <= max_lag do
+          Format.printf "%5d  %.5f@." !k r.(!k);
+          k := !k + step
+        done)
+  in
+  let doc = "Print the sample autocorrelation function of a trace." in
+  Cmd.v (Cmd.info "acf" ~doc) Term.(const run $ trace_arg $ lags_arg $ step_arg $ kind_arg)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let trace2_arg =
+    let doc = "Second trace file." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE2" ~doc)
+  in
+  let run path1 path2 =
+    wrap (fun () ->
+        let a = Trace.load path1 and b = Trace.load path2 in
+        let sa = a.Trace.sizes and sb = b.Trace.sizes in
+        Format.printf "%24s  %12s  %12s@." "" path1 path2;
+        Format.printf "%24s  %12.1f  %12.1f@." "mean bytes/frame" (D.mean sa) (D.mean sb);
+        Format.printf "%24s  %12.1f  %12.1f@." "std bytes/frame" (D.std sa) (D.std sb);
+        Format.printf "%24s  %12.1f  %12.1f@." "peak bytes/frame" (D.max sa) (D.max sb);
+        let ha = (Hurst.variance_time sa).Hurst.h and hb = (Hurst.variance_time sb).Hurst.h in
+        Format.printf "%24s  %12.3f  %12.3f@." "Hurst (variance-time)" ha hb;
+        let max_lag = Stdlib.min 200 (Stdlib.min (Array.length sa) (Array.length sb) / 10) in
+        let ra = D.acf sa ~max_lag and rb = D.acf sb ~max_lag in
+        let acf_rmse =
+          let s = ref 0.0 in
+          for k = 1 to max_lag do
+            let e = ra.(k) -. rb.(k) in
+            s := !s +. (e *. e)
+          done;
+          sqrt (!s /. float_of_int max_lag)
+        in
+        Format.printf "%24s  %12.4f@."
+          (Printf.sprintf "ACF rmse (lags<=%d)" max_lag)
+          acf_rmse;
+        let ks =
+          Ss_stats.Empirical.ks_distance
+            (Ss_stats.Empirical.of_data sa)
+            (Ss_stats.Empirical.of_data sb)
+        in
+        Format.printf "%24s  %12.4f@." "marginal KS distance" ks)
+  in
+  let doc = "Statistical comparison of two traces (moments, Hurst, ACF, KS)." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ trace_arg $ trace2_arg)
+
+(* --- fit --- *)
+
+let fit_cmd =
+  let run path max_lag =
+    wrap (fun () ->
+        let trace = Trace.load path in
+        let model, diag = Fit.fit ~max_lag trace.Trace.sizes in
+        Format.printf "%a@." Report.pp_diagnostics diag;
+        Format.printf "%a@." Report.pp_model model)
+  in
+  let doc = "Fit the unified SRD+LRD model (the paper's four steps)." in
+  Cmd.v (Cmd.info "fit" ~doc) Term.(const run $ trace_arg $ max_lag_arg)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let run path output frames seed max_lag =
+    wrap (fun () ->
+        let trace = Trace.load path in
+        let model, diag = Fit.fit ~max_lag trace.Trace.sizes in
+        Format.printf "%a@." Report.pp_diagnostics diag;
+        let synth =
+          Generate.foreground model ~n:frames Generate.Davies_harte (Rng.create ~seed)
+        in
+        let out =
+          Trace.make ~name:"synthetic" ~fps:trace.Trace.fps ~gop:trace.Trace.gop synth
+        in
+        Trace.save out output;
+        Format.printf "wrote %d synthetic frames to %s@." frames output)
+  in
+  let doc =
+    "Fit a trace and generate a synthetic trace with the same marginal and SRD+LRD dependence."
+  in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(
+      const run $ trace_arg $ output_arg $ frames_arg ~default:131_072 $ seed_arg $ max_lag_arg)
+
+(* --- mpeg --- *)
+
+let mpeg_cmd =
+  let run path output frames seed =
+    wrap (fun () ->
+        let trace = Trace.load path in
+        let m = Mpeg.fit trace in
+        Format.printf "I-frame model:@.%a@." Report.pp_diagnostics m.Mpeg.i_diag;
+        let synth = Mpeg.generate m ~n:frames (Rng.create ~seed) in
+        Trace.save synth output;
+        Format.printf "wrote %d composite I/B/P frames to %s@." frames output)
+  in
+  let doc = "Fit the composite I/B/P model (Section 3.3) and generate a synthetic stream." in
+  Cmd.v (Cmd.info "mpeg" ~doc)
+    Term.(const run $ trace_arg $ output_arg $ frames_arg ~default:131_072 $ seed_arg)
+
+(* --- queue --- *)
+
+let queue_cmd =
+  let buffers_arg =
+    let doc = "Comma-separated normalized buffer sizes (units of mean frame size)." in
+    Arg.(
+      value & opt string "10,25,50,100,150,200,250" & info [ "buffers"; "b" ] ~docv:"LIST" ~doc)
+  in
+  let run path utilization buffers =
+    wrap (fun () ->
+        let trace = Trace.load path in
+        let sizes = trace.Trace.sizes in
+        let bs =
+          String.split_on_char ',' buffers
+          |> List.map (fun s ->
+                 match float_of_string_opt (String.trim s) with
+                 | Some b when b >= 0.0 -> b
+                 | _ -> invalid_arg (Printf.sprintf "bad buffer size %S" s))
+        in
+        let qp = Trace_sim.queue_path ~arrivals:sizes ~utilization in
+        Format.printf "# b(normalized)  Pr(Q > b)  log10@.";
+        List.iter
+          (fun b ->
+            let p = Trace_sim.overflow_fraction ~queue_path:qp ~buffer:(b *. D.mean sizes) in
+            Format.printf "%8.0f  %.5g  %s@." b p
+              (if p > 0.0 then Printf.sprintf "%.3f" (log10 p) else "-inf"))
+          bs)
+  in
+  let doc = "Single-run overflow curve of a trace through a deterministic-service queue." in
+  Cmd.v (Cmd.info "queue" ~doc) Term.(const run $ trace_arg $ utilization_arg $ buffers_arg)
+
+(* --- fastsim --- *)
+
+let fastsim_cmd =
+  let buffer_arg =
+    let doc = "Normalized buffer size (units of mean frame size)." in
+    Arg.(value & opt float 100.0 & info [ "buffer"; "b" ] ~docv:"FLOAT" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Simulation horizon k in slots (default: 10 * buffer)." in
+    Arg.(value & opt (some int) None & info [ "horizon"; "k" ] ~docv:"INT" ~doc)
+  in
+  let twist_arg =
+    let doc = "Background twisted mean m*; 'sweep' prints the Fig-14 valley instead." in
+    Arg.(value & opt (some string) None & info [ "twist"; "m" ] ~docv:"FLOAT|sweep" ~doc)
+  in
+  let run path utilization buffer_norm horizon twist replications seed max_lag =
+    wrap (fun () ->
+        let trace = Trace.load path in
+        let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
+        let mean = model.Model.mean in
+        let horizon =
+          match horizon with
+          | Some k -> k
+          | None -> Stdlib.max 100 (int_of_float (10.0 *. buffer_norm))
+        in
+        let table = Generate.table model ~n:horizon in
+        let arrival = Generate.arrival_fn model in
+        let service = mean /. utilization in
+        let buffer = buffer_norm *. mean in
+        let config ~twist = Is.make_config ~table ~arrival ~service ~buffer ~horizon ~twist () in
+        let rng = Rng.create ~seed in
+        match twist with
+        | Some "sweep" ->
+          let twists = List.init 10 (fun i -> 0.5 *. float_of_int (i + 1)) in
+          let points = Valley.sweep ~config ~twists ~replications rng in
+          Format.printf "# m*  p  normalized-variance  hits@.";
+          List.iter
+            (fun p ->
+              Format.printf "%4.1f  %.4g  %.4g  %d@." p.Valley.twist p.Valley.estimate.Mc.p
+                p.Valley.estimate.Mc.normalized_variance p.Valley.estimate.Mc.hits)
+            points;
+          let best = Valley.best points in
+          Format.printf "# best m* = %.1f@." best.Valley.twist
+        | twist_opt ->
+          let twist =
+            match twist_opt with
+            | None -> 0.0
+            | Some s -> (
+              match float_of_string_opt s with
+              | Some v -> v
+              | None -> invalid_arg (Printf.sprintf "bad twist %S" s))
+          in
+          let e = Is.estimate (config ~twist) ~replications rng in
+          Format.printf "uti=%.2f b=%.0f (normalized) k=%d m*=%.2f@." utilization buffer_norm
+            horizon twist;
+          Format.printf "%a@." Report.pp_estimate e)
+  in
+  let doc = "Importance-sampled (or plain, m*=0) overflow probability under the fitted model." in
+  Cmd.v (Cmd.info "fastsim" ~doc)
+    Term.(
+      const run $ trace_arg $ utilization_arg $ buffer_arg $ horizon_arg $ twist_arg
+      $ replications_arg $ seed_arg $ max_lag_arg)
+
+let () =
+  let doc =
+    "self-similar VBR video traffic modeling and fast simulation (SIGCOMM '95 reproduction)"
+  in
+  let info = Cmd.info "vbrsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            synth_cmd; summary_cmd; hurst_cmd; acf_cmd; compare_cmd; fit_cmd; generate_cmd;
+            mpeg_cmd; queue_cmd; fastsim_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/fast_simulation.ml: Format List Ss_core Ss_fastsim Ss_queueing Ss_stats Ss_video

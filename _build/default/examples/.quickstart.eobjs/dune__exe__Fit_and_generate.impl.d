@@ -1,0 +1,1 @@
+examples/fit_and_generate.ml: Array Format List Ss_core Ss_fractal Ss_stats Ss_video

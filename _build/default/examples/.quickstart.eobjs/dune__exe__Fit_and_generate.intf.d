@@ -1,0 +1,1 @@
+examples/fit_and_generate.mli:

@@ -1,0 +1,1 @@
+examples/model_comparison.ml: Format List Ss_core Ss_fastsim Ss_fractal Ss_queueing Ss_stats Ss_video

@@ -1,0 +1,1 @@
+examples/mpeg_composite.ml: Array Format List Ss_core Ss_stats Ss_video

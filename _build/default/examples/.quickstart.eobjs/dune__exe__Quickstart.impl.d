@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Ss_core Ss_stats Ss_video

@@ -1,0 +1,1 @@
+lib/core/defaults.ml: Option Ss_stats Ss_video Sys

@@ -1,0 +1,1 @@
+lib/core/fit.ml: Array Float List Model Printf Ss_fractal Ss_stats Ss_video Stdlib

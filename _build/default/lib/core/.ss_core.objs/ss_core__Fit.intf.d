@@ -1,0 +1,1 @@
+lib/core/fit.mli: Model Ss_fractal Ss_stats Ss_video

@@ -1,0 +1,1 @@
+lib/core/generate.ml: Array Hashtbl Model Ss_fractal

@@ -1,0 +1,1 @@
+lib/core/generate.mli: Model Ss_fastsim Ss_fractal Ss_stats

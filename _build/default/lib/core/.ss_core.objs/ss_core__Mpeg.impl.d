@@ -1,0 +1,1 @@
+lib/core/mpeg.ml: Fit List Model Printf Ss_fractal Ss_video Stdlib

@@ -1,0 +1,1 @@
+lib/core/mpeg.mli: Fit Model Ss_fastsim Ss_fractal Ss_stats Ss_video

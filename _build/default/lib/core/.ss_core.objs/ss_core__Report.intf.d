@@ -1,0 +1,1 @@
+lib/core/report.mli: Fit Format Model Ss_fractal Ss_queueing

@@ -1,0 +1,68 @@
+(** The paper's four-step unified fitting pipeline (Section 3.2).
+
+    Step 1 estimates the Hurst parameter from variance–time and R/S
+    analysis and adopts their (rounded) combination. Step 2 fits the
+    composite knee autocorrelation with the LRD exponent pinned to
+    [beta = 2 - 2H]. Step 3 obtains the attenuation factor [a] of the
+    histogram-inversion transform — by Gauss–Hermite quadrature
+    (exact, default) or by the paper's simulation measurement.
+    Step 4 compensates the background autocorrelation by [a]
+    (Eq 14). The result is a generative {!Model.t}. *)
+
+type diagnostics = {
+  h_variance_time : Ss_fractal.Hurst.estimate;
+  h_rs : Ss_fractal.Hurst.estimate;
+  h_adopted : float;
+  acf_points : (int * float) list;  (** empirical ACF used for the fit *)
+  raw_fit : Ss_fractal.Acf_fit.params;  (** before compensation *)
+  compensated : Ss_fractal.Acf_fit.params;  (** after Eq 14 *)
+  attenuation : float;
+}
+
+type attenuation_method =
+  | Quadrature  (** Gauss–Hermite on the fitted transform *)
+  | Measured of { n : int; lags : int list; rng : Ss_stats.Rng.t }
+      (** the paper's Step 3: one synthetic run, ratio at large lags *)
+
+val hurst_round : float -> float
+(** Round to the nearest 0.05 as the paper does when adopting
+    H = 0.9 from estimates 0.89 and 0.92. Clamped into
+    [\[0.55, 0.95\]] so downstream [beta = 2 - 2H] stays in (0,1). *)
+
+val fit :
+  ?max_lag:int ->
+  ?knee_candidates:int list ->
+  ?attenuation:attenuation_method ->
+  float array ->
+  Model.t * diagnostics
+(** [fit sizes] runs the full pipeline on a frame-size series
+    (default [max_lag] 500, default attenuation by quadrature).
+    @raise Invalid_argument if the series is too short for the
+    requested lags (needs at least [10 * max_lag] points for sane
+    ACF estimates). *)
+
+val fit_trace : ?max_lag:int -> Ss_video.Trace.t -> Model.t * diagnostics
+(** Convenience wrapper over [fit] on the whole trace. *)
+
+val refine :
+  ?rounds:int ->
+  ?gain:float ->
+  ?paths:int ->
+  ?path_length:int ->
+  Model.t ->
+  target:(int * float) list ->
+  Ss_stats.Rng.t ->
+  Model.t * float list
+(** The paper's "systematically iterate until the SRD part of the
+    foreground process matches that of the empirical stream"
+    (Section 1): fixed-point refinement of the background
+    autocorrelation. Each of the [rounds] (default 4) rounds
+    generates [paths] (default 4) Davies–Harte foreground paths of
+    [path_length] (default 32768) slots, measures their average
+    sample ACF at the [target] lags, and nudges the background by
+    [gain] (default 0.8) times the residual, clamped to valid
+    correlations. Lags beyond the largest target lag are left
+    untouched. Stops early (returning the last generatable model) if
+    an adjustment leaves the positive-definite cone. Returns the
+    refined model and the per-round RMS residuals (first entry =
+    before any adjustment). *)

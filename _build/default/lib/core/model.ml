@@ -1,0 +1,39 @@
+module Acf = Ss_fractal.Acf
+module Acf_fit = Ss_fractal.Acf_fit
+module Transform = Ss_fractal.Transform
+
+type dependence =
+  | Srd_lrd of Acf_fit.params
+  | Srd_only of float
+  | Lrd_only of float
+
+type t = {
+  transform : Transform.t;
+  dependence : dependence;
+  background : Acf.t;
+  hurst : float;
+  attenuation : float;
+  mean : float;
+}
+
+let background_of_dependence ~transform = function
+  | Srd_lrd p -> Transform.background_acf_for transform ~target:(Acf_fit.to_acf p)
+  | Srd_only lambda -> Acf.exponential ~lambda
+  | Lrd_only h -> Acf.fgn ~h
+
+let background_acf t = t.background
+
+let with_background t background = { t with background }
+
+let with_dependence t dependence =
+  {
+    t with
+    dependence;
+    background = background_of_dependence ~transform:t.transform dependence;
+  }
+
+let variant_name t =
+  match t.dependence with
+  | Srd_lrd _ -> "srd+lrd"
+  | Srd_only _ -> "srd-only"
+  | Lrd_only _ -> "lrd-only"

@@ -1,0 +1,49 @@
+(** The unified VBR video traffic model (paper Section 3).
+
+    A fitted model couples a marginal transform (histogram inversion
+    of the empirical distribution, Eq 7) with a background Gaussian
+    autocorrelation chosen so the transformed foreground realizes the
+    empirical dependence. The background is stored explicitly: the
+    default fitting pipeline derives it by exact Hermite inversion of
+    the transform's correlation response (the refinement of the
+    paper's Eq-14 attenuation compensation — see
+    {!Ss_fractal.Transform.background_acf_for}), while the
+    [dependence] summary keeps the fitted parametric form for
+    reporting and for deriving the Fig-17 comparison variants. *)
+
+type dependence =
+  | Srd_lrd of Ss_fractal.Acf_fit.params
+      (** the unified model: composite knee autocorrelation *)
+  | Srd_only of float  (** pure exponential with the given rate *)
+  | Lrd_only of float  (** FGN background with the given Hurst parameter *)
+
+type t = {
+  transform : Ss_fractal.Transform.t;  (** marginal map h = F^-1 . Phi *)
+  dependence : dependence;
+  background : Ss_fractal.Acf.t;
+      (** background autocorrelation the generators realize *)
+  hurst : float;  (** adopted Hurst parameter (paper: 0.9) *)
+  attenuation : float;  (** attenuation factor a of the transform *)
+  mean : float;  (** foreground mean E[Y], for utilization bookkeeping *)
+}
+
+val background_acf : t -> Ss_fractal.Acf.t
+(** The background autocorrelation the generators must realize. *)
+
+val background_of_dependence :
+  transform:Ss_fractal.Transform.t -> dependence -> Ss_fractal.Acf.t
+(** Derive a background for a dependence summary: Hermite inversion
+    of the composite target for [Srd_lrd]; the exponential / FGN
+    model used directly for the [Srd_only] / [Lrd_only] comparison
+    variants (as the paper does in Fig 17). *)
+
+val with_dependence : t -> dependence -> t
+(** Same marginal/bookkeeping, different dependence structure (and a
+    re-derived background) — the Fig-17 model variants. *)
+
+val with_background : t -> Ss_fractal.Acf.t -> t
+(** Replace the background autocorrelation directly (used by the
+    iterative refinement of {!Fit.refine}). *)
+
+val variant_name : t -> string
+(** ["srd+lrd"], ["srd-only"] or ["lrd-only"]. *)

@@ -1,0 +1,30 @@
+module Acf_fit = Ss_fractal.Acf_fit
+module Hurst = Ss_fractal.Hurst
+module Mc = Ss_queueing.Mc
+
+let pp_params fmt (p : Acf_fit.params) =
+  Format.fprintf fmt "exp(-%.5g k), k<%d; %.4g k^-%.3g, k>=%d" p.Acf_fit.lambda
+    p.Acf_fit.knee p.Acf_fit.l p.Acf_fit.beta p.Acf_fit.knee
+
+let pp_diagnostics fmt (d : Fit.diagnostics) =
+  Format.fprintf fmt "step 1: H(variance-time) = %.3f  H(R/S) = %.3f  adopted H = %.2f@."
+    d.Fit.h_variance_time.Hurst.h d.Fit.h_rs.Hurst.h d.Fit.h_adopted;
+  Format.fprintf fmt "step 2: raw fit          %a@." pp_params d.Fit.raw_fit;
+  Format.fprintf fmt "step 3: attenuation a    = %.4f@." d.Fit.attenuation;
+  Format.fprintf fmt "step 4: compensated      %a@." pp_params d.Fit.compensated
+
+let pp_model fmt (m : Model.t) =
+  Format.fprintf fmt "%s model: H=%.2f a=%.4f mean=%.1f bytes/frame"
+    (Model.variant_name m) m.Model.hurst m.Model.attenuation m.Model.mean;
+  match m.Model.dependence with
+  | Model.Srd_lrd p -> Format.fprintf fmt " [%a]" pp_params p
+  | Model.Srd_only lambda -> Format.fprintf fmt " [exp rate %.5g]" lambda
+  | Model.Lrd_only h -> Format.fprintf fmt " [FGN H=%.2f]" h
+
+let pp_estimate fmt (e : Mc.estimate) =
+  let lo, hi = Mc.confidence_interval e ~z:1.96 in
+  if e.Mc.p > 0.0 then
+    Format.fprintf fmt "p=%.4g (log10 %.3f) ci95=[%.3g, %.3g] hits=%d/%d nvar=%.3g"
+      e.Mc.p (log10 e.Mc.p) lo hi e.Mc.hits e.Mc.replications e.Mc.normalized_variance
+  else
+    Format.fprintf fmt "p=0 (no hits in %d replications)" e.Mc.replications

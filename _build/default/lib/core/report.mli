@@ -1,0 +1,12 @@
+(** Pretty-printing of fitted models and diagnostics. *)
+
+val pp_params : Format.formatter -> Ss_fractal.Acf_fit.params -> unit
+(** e.g. [exp(-0.00565 k), k<60; 1.59 k^-0.2, k>=60]. *)
+
+val pp_diagnostics : Format.formatter -> Fit.diagnostics -> unit
+(** Multi-line report of the four fitting steps. *)
+
+val pp_model : Format.formatter -> Model.t -> unit
+
+val pp_estimate : Format.formatter -> Ss_queueing.Mc.estimate -> unit
+(** [p], log10 p, CI, hits, normalized variance. *)

@@ -1,0 +1,1 @@
+lib/fastsim/is_estimator.mli: Likelihood Ss_fractal Ss_queueing Ss_stats Twist

@@ -1,0 +1,1 @@
+lib/fastsim/likelihood.ml: Array Printf Ss_fractal Twist

@@ -1,0 +1,1 @@
+lib/fastsim/likelihood.mli: Ss_fractal Twist

@@ -1,0 +1,1 @@
+lib/fastsim/valley.ml: Is_estimator List Ss_queueing Ss_stats Stdlib

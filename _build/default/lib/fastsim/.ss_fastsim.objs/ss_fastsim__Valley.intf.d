@@ -1,0 +1,1 @@
+lib/fastsim/valley.mli: Is_estimator Ss_queueing Ss_stats

@@ -1,0 +1,96 @@
+module Rng = Ss_stats.Rng
+module Table = Ss_fractal.Hosking.Table
+module Mc = Ss_queueing.Mc
+
+type arrival = int -> float -> float
+
+type config = {
+  table : Table.t;
+  arrival : arrival;
+  service : float;
+  buffer : float;
+  horizon : int;
+  twist : float;
+  profile : Twist.t;
+  lik_plan : Likelihood.plan;
+  initial_workload : float;
+  full_start : bool;
+}
+
+let make_config ~table ~arrival ~service ~buffer ~horizon ~twist ?profile
+    ?(full_start = false) ?(initial_workload = 0.0) () =
+  if service <= 0.0 then invalid_arg "Is_estimator: service <= 0";
+  if buffer < 0.0 then invalid_arg "Is_estimator: buffer < 0";
+  if horizon <= 0 || horizon > Table.length table then
+    invalid_arg "Is_estimator: horizon outside table length";
+  if initial_workload < 0.0 then invalid_arg "Is_estimator: initial_workload < 0";
+  let profile = match profile with Some p -> p | None -> Twist.constant twist in
+  let lik_plan = Likelihood.plan ~table ~profile in
+  {
+    table;
+    arrival;
+    service;
+    buffer;
+    horizon;
+    twist;
+    profile;
+    lik_plan;
+    initial_workload;
+    full_start;
+  }
+
+type replication = {
+  hit : bool;
+  weight : float;
+  stop_step : int;
+}
+
+let replicate cfg rng =
+  let table = cfg.table in
+  let lik = Likelihood.of_plan cfg.lik_plan in
+  (* Background path under the twisted law, built incrementally:
+     x'_k = (cond mean of untwisted past) + innovation + m_k.
+     Storing the *untwisted* values keeps cond_mean applicable. *)
+  let xs = Array.make cfg.horizon 0.0 in
+  let w = ref 0.0 in
+  let result = ref None in
+  let k = ref 0 in
+  while !result = None && !k < cfg.horizon do
+    let m = Table.cond_mean table xs !k in
+    let innovation = Table.innovation_std table !k *. Rng.gaussian rng in
+    xs.(!k) <- m +. innovation;
+    Likelihood.step lik ~k:!k ~innovation;
+    let x_twisted = xs.(!k) +. Twist.shift cfg.profile !k in
+    let y = cfg.arrival !k x_twisted in
+    w := !w +. y -. cfg.service;
+    if cfg.initial_workload +. !w > cfg.buffer then
+      result := Some { hit = true; weight = Likelihood.ratio lik; stop_step = !k + 1 };
+    incr k
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+    (* No first passage within the horizon. With a full initial
+       buffer the queue is still above b at time k when q0 + W_k > b
+       (q0 = b, i.e. W_k > 0). *)
+    if cfg.full_start && !w > 0.0 then
+      { hit = true; weight = Likelihood.ratio lik; stop_step = cfg.horizon }
+    else { hit = false; weight = 0.0; stop_step = cfg.horizon }
+
+let estimate cfg ~replications rng =
+  if replications <= 0 then invalid_arg "Is_estimator.estimate: replications <= 0";
+  let samples =
+    Array.init replications (fun _ ->
+        let sub = Rng.split rng in
+        (replicate cfg sub).weight)
+  in
+  Mc.estimate_of_samples samples
+
+let mean_stop_step cfg ~replications rng =
+  if replications <= 0 then invalid_arg "Is_estimator.mean_stop_step: replications <= 0";
+  let total = ref 0 in
+  for _ = 1 to replications do
+    let sub = Rng.split rng in
+    total := !total + (replicate cfg sub).stop_step
+  done;
+  float_of_int !total /. float_of_int replications

@@ -1,0 +1,84 @@
+(** Importance-sampling estimation of buffer-overflow probabilities
+    under self-similar VBR video traffic (paper Section 4 and
+    Appendix B).
+
+    Each replication generates the background Gaussian path under
+    the twisted (mean-shifted) law step by step, transforms it to the
+    foreground arrival process, accumulates the workload
+    [W_i = sum (Y_j - mu)], and stops at the first passage above the
+    buffer (the event of Eq 17) or at the horizon. Surviving
+    replications contribute the likelihood ratio evaluated at the
+    stopping time; the estimator [1/N sum I_n L_n] is unbiased for
+    [Pr(sup_{i<=k} W_i > b)] — which equals the transient overflow
+    probability [Pr(Q_k > b)] from an empty queue, the quantity the
+    paper plots.
+
+    Setting [twist = 0] recovers plain Monte Carlo exactly (all
+    likelihood ratios are 1). *)
+
+type arrival = int -> float -> float
+(** Foreground map: [arrival i x] is the work arriving in slot [i]
+    when the background value is [x] — typically
+    [Transform.apply1 h] for a single marginal, or a GOP-indexed
+    family of transforms for the composite MPEG model. *)
+
+type config = {
+  table : Ss_fractal.Hosking.Table.t;  (** background model, length >= horizon *)
+  arrival : arrival;
+  service : float;  (** deterministic service per slot, > 0 *)
+  buffer : float;  (** overflow threshold b, >= 0 *)
+  horizon : int;  (** k; must not exceed the table length *)
+  twist : float;  (** background mean shift m* (0 = plain MC) *)
+  profile : Twist.t;
+      (** the actual per-slot shift; [Twist.constant twist] unless a
+          profile was supplied explicitly *)
+  lik_plan : Likelihood.plan;  (** precomputed likelihood deltas *)
+  initial_workload : float;
+      (** starting level of the workload supremum test; 0 for an
+          initially empty buffer. The full-buffer variant of Fig 15
+          additionally triggers on end-of-horizon workload (see
+          [full_start]). *)
+  full_start : bool;
+      (** when true, model an initially full buffer: overflow also
+          occurs if [q0 + W_k > b] at the horizon with [q0 = b]. *)
+}
+
+val make_config :
+  table:Ss_fractal.Hosking.Table.t ->
+  arrival:arrival ->
+  service:float ->
+  buffer:float ->
+  horizon:int ->
+  twist:float ->
+  ?profile:Twist.t ->
+  ?full_start:bool ->
+  ?initial_workload:float ->
+  unit ->
+  config
+(** Validate and build. [full_start] defaults to false,
+    [initial_workload] to 0. When [profile] is given it overrides the
+    constant [twist] (which then only serves as a label); otherwise
+    the shift is [Twist.constant twist], the paper's scheme.
+    @raise Invalid_argument on violated constraints (service <= 0,
+    buffer < 0, horizon outside the table, ...). *)
+
+type replication = {
+  hit : bool;  (** overflow occurred *)
+  weight : float;  (** [I * L]: likelihood ratio if hit, else 0 *)
+  stop_step : int;  (** 1-based step of first passage, or horizon *)
+}
+
+val replicate : config -> Ss_stats.Rng.t -> replication
+(** Run one replication on the given substream. *)
+
+val estimate :
+  config -> replications:int -> Ss_stats.Rng.t -> Ss_queueing.Mc.estimate
+(** Run [replications] independent replications (each on a split
+    substream) and fold into the shared estimate record. [hits]
+    counts overflowing replications; [normalized_variance] is the
+    Fig-14 figure of merit. @raise Invalid_argument if
+    [replications <= 0]. *)
+
+val mean_stop_step : config -> replications:int -> Ss_stats.Rng.t -> float
+(** Average first-passage step — a diagnostic of how aggressively a
+    twist pushes paths across the buffer. *)

@@ -1,0 +1,50 @@
+module Table = Ss_fractal.Hosking.Table
+
+type plan = {
+  table : Table.t;
+  delta : float array;  (* delta_k = m_k - sum_j phi_{k,j} m_{k-j} *)
+}
+
+let plan ~table ~profile =
+  let n = Table.length table in
+  let delta =
+    match Twist.constant_value profile with
+    | Some m0 when m0 = 0.0 -> Array.make n 0.0
+    | Some m0 -> Array.init n (fun k -> m0 *. (1.0 -. Table.row_sum table k))
+    | None ->
+      (* General profile: delta_k = m_k - sum_j phi_{k,j} m_{k-j},
+         one conditional-mean pass over the profile itself. *)
+      let m = Array.init n (Twist.shift profile) in
+      Array.init n (fun k -> m.(k) -. Table.cond_mean table m k)
+  in
+  { table; delta }
+
+let plan_table p = p.table
+
+type t = {
+  p : plan;
+  mutable log_l : float;
+  mutable next_k : int;
+}
+
+let of_plan p = { p; log_l = 0.0; next_k = 0 }
+
+let create ~table ~twist = of_plan (plan ~table ~profile:(Twist.constant twist))
+
+let reset t =
+  t.log_l <- 0.0;
+  t.next_k <- 0
+
+let step t ~k ~innovation =
+  if k <> t.next_k then
+    invalid_arg (Printf.sprintf "Likelihood.step: expected step %d, got %d" t.next_k k);
+  let delta = t.p.delta.(k) in
+  if delta <> 0.0 then begin
+    let v = Table.cond_var t.p.table k in
+    t.log_l <- t.log_l -. (((2.0 *. innovation *. delta) +. (delta *. delta)) /. (2.0 *. v))
+  end;
+  t.next_k <- k + 1
+
+let log_ratio t = t.log_l
+let ratio t = exp t.log_l
+let steps t = t.next_k

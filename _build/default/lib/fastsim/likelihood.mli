@@ -1,0 +1,63 @@
+(** Likelihood ratio of a mean-twisted self-similar Gaussian
+    background process (paper Appendix B, Eqs 35–48), generalized to
+    time-varying twist profiles.
+
+    The twisted process is [X'_k = X_k + m_k] for a deterministic
+    profile [m] ({!Twist.t}; the paper's case is [m_k = m*]).
+    Conditionally on the past, [X] and [X'] are Gaussian with the
+    same Durbin–Levinson variance [v_k]; the conditional means differ
+    by [delta_k = m_k - sum_j phi_{k,j} m_{k-j}]. Writing [eps_k] for
+    the innovation actually drawn when generating the path under the
+    twisted law, the per-step log likelihood ratio [log (f_X/f_X')]
+    at the twisted sample collapses to
+
+    [log L_k = -(2 eps_k delta_k + delta_k^2) / (2 v_k)]
+
+    accumulated in log space (products of thousands of ratios
+    underflow doubles long before they stop carrying information).
+    For [k = 0] with a constant profile this is exactly the paper's
+    Eq (48).
+
+    [delta_k] depends only on the table and the profile, so it is
+    precomputed once into a {!plan} and shared across the thousands
+    of replications of an importance-sampling run (for the constant
+    profile the row sums already cached in the table make this
+    O(n)). *)
+
+type plan
+(** Precomputed per-step [delta_k] (and variances) for one
+    (table, profile) pair. *)
+
+val plan : table:Ss_fractal.Hosking.Table.t -> profile:Twist.t -> plan
+(** O(n) for zero/constant profiles, O(n^2) once for general ones. *)
+
+val plan_table : plan -> Ss_fractal.Hosking.Table.t
+
+type t
+(** Mutable per-replication accumulator. *)
+
+val of_plan : plan -> t
+(** A fresh accumulator (O(1)). *)
+
+val create : table:Ss_fractal.Hosking.Table.t -> twist:float -> t
+(** Convenience for the paper's constant twist:
+    [of_plan (plan ~table ~profile:(Twist.constant twist))]. *)
+
+val reset : t -> unit
+(** Reuse the accumulator for a new replication. *)
+
+val step : t -> k:int -> innovation:float -> unit
+(** Record step [k]'s innovation [eps_k = x_k - E(X_k | past)] (the
+    value actually added to the conditional mean when sampling).
+    Steps must be fed in order 0, 1, 2, ... between resets;
+    @raise Invalid_argument otherwise. *)
+
+val log_ratio : t -> float
+(** Accumulated [log L] up to the last step fed. *)
+
+val ratio : t -> float
+(** [exp (log_ratio t)] — may underflow to 0 for very unlikely
+    paths; prefer {!log_ratio} in arithmetic. *)
+
+val steps : t -> int
+(** Number of steps fed since the last reset. *)

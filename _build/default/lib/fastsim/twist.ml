@@ -1,0 +1,31 @@
+type t =
+  | Zero
+  | Constant of float
+  | Fn of (int -> float)
+
+let constant m = if m = 0.0 then Zero else Constant m
+let zero = Zero
+
+let ramp ~until ~peak =
+  if until <= 0 then invalid_arg "Twist.ramp: until <= 0";
+  Fn
+    (fun k ->
+      if k >= until - 1 then peak
+      else peak *. float_of_int k /. float_of_int (until - 1))
+
+let front ~until ~level =
+  if until <= 0 then invalid_arg "Twist.front: until <= 0";
+  Fn (fun k -> if k < until then level else 0.0)
+
+let of_fun f = Fn f
+
+let shift t k =
+  if k < 0 then invalid_arg "Twist.shift: negative slot";
+  match t with Zero -> 0.0 | Constant m -> m | Fn f -> f k
+
+let is_zero t = match t with Zero -> true | Constant _ | Fn _ -> false
+
+let constant_value = function
+  | Zero -> Some 0.0
+  | Constant m -> Some m
+  | Fn _ -> None

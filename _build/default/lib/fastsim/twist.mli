@@ -1,0 +1,43 @@
+(** Twisting profiles for importance sampling.
+
+    The paper twists the background process by a constant mean shift
+    [m*] (Appendix B). Its companion work on FGN fast simulation
+    (Huang et al., ICC '95 — reference [13]) argues the optimal
+    change of measure for a first-passage event is generally
+    {e time-varying}: paths should drift toward the threshold and
+    arrive near the horizon, which a front-loaded or ramped shift
+    approximates better than a constant. This module represents
+    per-slot shift profiles; {!Likelihood} and {!Is_estimator} accept
+    any of them, with the constant profile reproducing the paper
+    exactly. *)
+
+type t
+(** A deterministic per-slot mean shift [m*_k], k = 0, 1, ... *)
+
+val constant : float -> t
+(** The paper's Appendix-B twist. *)
+
+val zero : t
+(** No twisting: plain Monte Carlo. *)
+
+val ramp : until:int -> peak:float -> t
+(** Linear ramp from 0 at slot 0 to [peak] at slot [until-1], then
+    constant at [peak]. @raise Invalid_argument if [until <= 0]. *)
+
+val front : until:int -> level:float -> t
+(** [level] for the first [until] slots, 0 afterwards — concentrates
+    the drift early. @raise Invalid_argument if [until <= 0]. *)
+
+val of_fun : (int -> float) -> t
+(** Arbitrary profile. The function must be total for k >= 0. *)
+
+val shift : t -> int -> float
+(** [shift t k] is [m*_k]. @raise Invalid_argument on negative k. *)
+
+val is_zero : t -> bool
+(** True only for {!zero} (used to fast-path plain MC). *)
+
+val constant_value : t -> float option
+(** [Some m] for {!zero} / {!constant} profiles, [None] for general
+    ones — lets {!Likelihood.plan} use the cached row sums instead of
+    an O(n^2) pass. *)

@@ -1,0 +1,77 @@
+module Rng = Ss_stats.Rng
+module Mc = Ss_queueing.Mc
+
+type point = {
+  twist : float;
+  estimate : Mc.estimate;
+}
+
+let eval ~config ~replications rng twist =
+  let cfg = config ~twist in
+  { twist; estimate = Is_estimator.estimate cfg ~replications rng }
+
+let sweep ~config ~twists ~replications rng =
+  if twists = [] then invalid_arg "Valley.sweep: no candidate twists";
+  List.map
+    (fun twist ->
+      let sub = Rng.split rng in
+      eval ~config ~replications sub twist)
+    twists
+
+let best points =
+  if points = [] then invalid_arg "Valley.best: empty input";
+  let with_hits = List.filter (fun p -> p.estimate.Mc.hits > 0) points in
+  let candidates = if with_hits = [] then points else with_hits in
+  List.fold_left
+    (fun acc p ->
+      if p.estimate.Mc.normalized_variance < acc.estimate.Mc.normalized_variance then p
+      else acc)
+    (List.hd candidates) (List.tl candidates)
+
+let refine ~config ~lo ~hi ~replications ?(iterations = 12) rng =
+  if hi <= lo then invalid_arg "Valley.refine: hi <= lo";
+  if iterations < 1 then invalid_arg "Valley.refine: iterations < 1";
+  let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let objective twist =
+    let p = eval ~config ~replications (Rng.split rng) twist in
+    (p, p.estimate.Mc.normalized_variance)
+  in
+  let rec go a b (c, pc, fc) (d, pd, fd) n =
+    if n = 0 then if fc < fd then pc else pd
+    else if fc < fd then begin
+      (* Minimum bracketed in [a, d]: d becomes the right edge, the
+         old c becomes the new right interior point. *)
+      let b' = d in
+      let c' = b' -. (phi *. (b' -. a)) in
+      let pc', fc' = objective c' in
+      go a b' (c', pc', fc') (c, pc, fc) (n - 1)
+    end
+    else begin
+      let a' = c in
+      let d' = a' +. (phi *. (b -. a')) in
+      let pd', fd' = objective d' in
+      go a' b (d, pd, fd) (d', pd', fd') (n - 1)
+    end
+  in
+  let c = hi -. (phi *. (hi -. lo)) in
+  let d = lo +. (phi *. (hi -. lo)) in
+  let pc, fc = objective c in
+  let pd, fd = objective d in
+  go lo hi (c, pc, fc) (d, pd, fd) iterations
+
+let auto ~config ?(lo = 0.25) ?(hi = 6.0) ?(coarse = 8) ~replications rng =
+  if coarse < 2 then invalid_arg "Valley.auto: coarse < 2";
+  let step = (hi -. lo) /. float_of_int (coarse - 1) in
+  let twists = List.init coarse (fun i -> lo +. (step *. float_of_int i)) in
+  let points = sweep ~config ~twists ~replications rng in
+  let coarse_best = best points in
+  let bracket_lo = Stdlib.max lo (coarse_best.twist -. step) in
+  let bracket_hi = Stdlib.min hi (coarse_best.twist +. step) in
+  let refined =
+    refine ~config ~lo:bracket_lo ~hi:bracket_hi ~replications ~iterations:8 rng
+  in
+  if
+    refined.estimate.Mc.hits > 0
+    && refined.estimate.Mc.normalized_variance < coarse_best.estimate.Mc.normalized_variance
+  then refined
+  else coarse_best

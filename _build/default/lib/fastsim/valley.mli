@@ -1,0 +1,55 @@
+(** Heuristic search for a favorable twisting parameter (paper
+    Fig 14).
+
+    A closed-form optimal twist is intractable after the marginal
+    transformation (Section 4), so the paper sweeps candidate twisted
+    means and reads the "valley" of the estimator's normalized
+    variance. This module runs that sweep and also offers a
+    golden-section refinement around the sweep minimum. *)
+
+type point = {
+  twist : float;
+  estimate : Ss_queueing.Mc.estimate;
+}
+
+val sweep :
+  config:(twist:float -> Is_estimator.config) ->
+  twists:float list ->
+  replications:int ->
+  Ss_stats.Rng.t ->
+  point list
+(** Evaluate the normalized variance at each candidate twist. Each
+    point uses an independent substream so the valley shape is not
+    distorted by shared noise. @raise Invalid_argument on an empty
+    candidate list. *)
+
+val best : point list -> point
+(** The point with the smallest normalized variance among those with
+    at least one hit; falls back to the overall smallest if no point
+    has hits. @raise Invalid_argument on empty input. *)
+
+val refine :
+  config:(twist:float -> Is_estimator.config) ->
+  lo:float ->
+  hi:float ->
+  replications:int ->
+  ?iterations:int ->
+  Ss_stats.Rng.t ->
+  point
+(** Golden-section minimization of the normalized variance over
+    [\[lo, hi\]] (default 12 iterations). The objective is noisy, so
+    this is a refinement heuristic, not an exact optimizer — the
+    paper itself picks the twist by eye from the sweep. *)
+
+val auto :
+  config:(twist:float -> Is_estimator.config) ->
+  ?lo:float ->
+  ?hi:float ->
+  ?coarse:int ->
+  replications:int ->
+  Ss_stats.Rng.t ->
+  point
+(** The statistical-optimization recipe of Devetsikiotis & Townsend
+    (reference [5]) in one call: a coarse sweep of [coarse] (default
+    8) twists across [\[lo, hi\]] (default [\[0.25, 6\]]), then a
+    golden-section refinement bracketing the sweep minimum. *)

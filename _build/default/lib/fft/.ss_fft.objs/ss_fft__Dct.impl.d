@@ -1,0 +1,1 @@
+lib/fft/dct.ml: Array

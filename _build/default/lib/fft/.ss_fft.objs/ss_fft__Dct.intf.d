@@ -1,0 +1,1 @@
+lib/fft/dct.mli:

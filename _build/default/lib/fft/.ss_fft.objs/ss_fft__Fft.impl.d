@@ -1,0 +1,1 @@
+lib/fft/fft.ml: Array

@@ -1,0 +1,1 @@
+lib/fft/periodogram.ml: Array Fft List Ss_stats Stdlib

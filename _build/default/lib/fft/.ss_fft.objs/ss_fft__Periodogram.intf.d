@@ -1,0 +1,1 @@
+lib/fft/periodogram.mli: Ss_stats

@@ -1,0 +1,44 @@
+(* Orthonormal 8x8 DCT-II/III implemented by separable 1-D passes
+   with a precomputed 8x8 cosine basis. *)
+
+let n = 8
+let pi = 4.0 *. atan 1.0
+
+(* basis.(k).(x) = c_k * cos((2x+1) k pi / 16), orthonormal scaling. *)
+let basis =
+  Array.init n (fun k ->
+      let ck = if k = 0 then sqrt (1.0 /. float_of_int n) else sqrt (2.0 /. float_of_int n) in
+      Array.init n (fun x ->
+          ck *. cos ((2.0 *. float_of_int x +. 1.0) *. float_of_int k *. pi /. (2.0 *. float_of_int n))))
+
+let check block name =
+  if Array.length block <> n * n then invalid_arg ("Dct." ^ name ^ ": need 64 elements")
+
+(* 1-D transforms over rows of a row-major 8x8 array. *)
+let transform_rows ~inverse src =
+  let dst = Array.make (n * n) 0.0 in
+  for r = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let s = ref 0.0 in
+      for x = 0 to n - 1 do
+        let b = if inverse then basis.(x).(k) else basis.(k).(x) in
+        s := !s +. (b *. src.((r * n) + x))
+      done;
+      dst.((r * n) + k) <- !s
+    done
+  done;
+  dst
+
+let transpose src =
+  Array.init (n * n) (fun i ->
+      let r = i / n and c = i mod n in
+      src.((c * n) + r))
+
+let forward_8x8 block =
+  check block "forward_8x8";
+  (* rows, transpose, rows, transpose = separable 2-D transform *)
+  transpose (transform_rows ~inverse:false (transpose (transform_rows ~inverse:false block)))
+
+let inverse_8x8 block =
+  check block "inverse_8x8";
+  transpose (transform_rows ~inverse:true (transpose (transform_rows ~inverse:true block)))

@@ -1,0 +1,14 @@
+(** 8x8 type-II discrete cosine transform, the workhorse of MPEG-1
+    intraframe coding. Used by the toy codec substrate
+    ({!Ss_video.Toy_codec}) to turn synthetic image blocks into
+    coefficient blocks whose entropy determines frame sizes. *)
+
+val forward_8x8 : float array -> float array
+(** [forward_8x8 block] transforms a row-major 64-element block with
+    the orthonormal DCT-II. @raise Invalid_argument if the length is
+    not 64. *)
+
+val inverse_8x8 : float array -> float array
+(** Orthonormal inverse (DCT-III); [inverse_8x8 (forward_8x8 b)]
+    restores [b] up to rounding. @raise Invalid_argument if the
+    length is not 64. *)

@@ -1,0 +1,96 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  if n <= 0 then invalid_arg "Fft.next_pow2: n <= 0";
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let two_pi = 8.0 *. atan 1.0
+
+(* In-place bit-reversal permutation. *)
+let bit_reverse re im =
+  let n = Array.length re in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done
+
+let transform ~sign re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
+  if not (is_pow2 n) then invalid_arg "Fft: length not a power of two";
+  if n > 1 then begin
+    bit_reverse re im;
+    let len = ref 2 in
+    while !len <= n do
+      let ang = sign *. two_pi /. float_of_int !len in
+      let wr = cos ang and wi = sin ang in
+      let i = ref 0 in
+      while !i < n do
+        let cr = ref 1.0 and ci = ref 0.0 in
+        let half = !len / 2 in
+        for j = 0 to half - 1 do
+          let a = !i + j and b = !i + j + half in
+          let ur = Array.unsafe_get re a and ui = Array.unsafe_get im a in
+          let vr0 = Array.unsafe_get re b and vi0 = Array.unsafe_get im b in
+          let vr = (vr0 *. !cr) -. (vi0 *. !ci) in
+          let vi = (vr0 *. !ci) +. (vi0 *. !cr) in
+          Array.unsafe_set re a (ur +. vr);
+          Array.unsafe_set im a (ui +. vi);
+          Array.unsafe_set re b (ur -. vr);
+          Array.unsafe_set im b (ui -. vi);
+          let ncr = (!cr *. wr) -. (!ci *. wi) in
+          ci := (!cr *. wi) +. (!ci *. wr);
+          cr := ncr
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+  end
+
+let forward re im = transform ~sign:(-1.0) re im
+
+let inverse re im =
+  transform ~sign:1.0 re im;
+  let n = float_of_int (Array.length re) in
+  for i = 0 to Array.length re - 1 do
+    re.(i) <- re.(i) /. n;
+    im.(i) <- im.(i) /. n
+  done
+
+let dft_naive re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft.dft_naive: length mismatch";
+  let out_re = Array.make n 0.0 and out_im = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    let sr = ref 0.0 and si = ref 0.0 in
+    for j = 0 to n - 1 do
+      let ang = -.two_pi *. float_of_int (j * k) /. float_of_int n in
+      let c = cos ang and s = sin ang in
+      sr := !sr +. ((re.(j) *. c) -. (im.(j) *. s));
+      si := !si +. ((re.(j) *. s) +. (im.(j) *. c))
+    done;
+    out_re.(k) <- !sr;
+    out_im.(k) <- !si
+  done;
+  (out_re, out_im)
+
+let real_forward_magnitude2 x =
+  let re = Array.copy x in
+  let im = Array.make (Array.length x) 0.0 in
+  forward re im;
+  Array.init (Array.length x) (fun k -> (re.(k) *. re.(k)) +. (im.(k) *. im.(k)))

@@ -1,0 +1,30 @@
+(** Radix-2 fast Fourier transform on split real/imaginary arrays.
+
+    Hand-rolled iterative Cooley–Tukey used by the Davies–Harte
+    sampler (circulant embedding of the target autocovariance) and
+    the periodogram Hurst estimator. Sizes must be powers of two. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is true iff [n] is a positive power of two. *)
+
+val next_pow2 : int -> int
+(** Smallest power of two [>= n]. @raise Invalid_argument if
+    [n <= 0]. *)
+
+val forward : float array -> float array -> unit
+(** [forward re im] replaces [(re, im)] by its in-place DFT
+    [X_k = sum_j x_j exp(-2 pi i j k / n)].
+    @raise Invalid_argument if lengths differ or are not a power of
+    two. *)
+
+val inverse : float array -> float array -> unit
+(** In-place inverse DFT including the [1/n] normalization, so
+    [inverse] after [forward] restores the input. *)
+
+val dft_naive : float array -> float array -> float array * float array
+(** O(n^2) reference DFT (any length), used as the test oracle. *)
+
+val real_forward_magnitude2 : float array -> float array
+(** [real_forward_magnitude2 x] returns [|X_k|^2] for k = 0..n-1 of a
+    real input (zero imaginary part), without mutating [x].
+    @raise Invalid_argument if the length is not a power of two. *)

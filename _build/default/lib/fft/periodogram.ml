@@ -1,0 +1,25 @@
+let two_pi = 8.0 *. atan 1.0
+
+let compute x =
+  let n = Array.length x in
+  if n < 16 then invalid_arg "Periodogram.compute: need >= 16 points";
+  let mean = Ss_stats.Descriptive.mean x in
+  let padded = Fft.next_pow2 n in
+  let re = Array.make padded 0.0 in
+  Array.iteri (fun i v -> re.(i) <- v -. mean) x;
+  let mag2 = Fft.real_forward_magnitude2 re in
+  Array.init (padded / 2) (fun j ->
+      let j = j + 1 in
+      let lambda = two_pi *. float_of_int j /. float_of_int padded in
+      (lambda, mag2.(j) /. (two_pi *. float_of_int n)))
+
+let hurst_fit ?(low_fraction = 0.1) x =
+  let pts = compute x in
+  let keep = Stdlib.max 4 (int_of_float (low_fraction *. float_of_int (Array.length pts))) in
+  let pts =
+    Array.to_list (Array.sub pts 0 (Stdlib.min keep (Array.length pts)))
+    |> List.filter (fun (_, p) -> p > 0.0)
+    |> List.map (fun (l, p) -> (log10 l, log10 p))
+  in
+  let fit = Ss_stats.Regression.ols pts in
+  ((1.0 -. fit.Ss_stats.Regression.slope) /. 2.0, fit)

@@ -1,0 +1,20 @@
+(** Periodogram spectral estimation.
+
+    For a long-range dependent process the spectral density behaves
+    like [f(lambda) ~ c |lambda|^{1-2H}] near the origin, so the
+    log-log slope of the periodogram at low frequencies estimates
+    [1-2H]. Complements the variance–time and R/S estimators used in
+    the paper. *)
+
+val compute : float array -> (float * float) array
+(** [compute x] returns [(lambda_j, I(lambda_j))] for the Fourier
+    frequencies [lambda_j = 2 pi j / n], [j = 1 .. n/2], where
+    [I(lambda) = |sum (x_t - mean) e^{-i t lambda}|^2 / (2 pi n)].
+    The series is zero-padded to a power of two; frequencies reported
+    are those of the padded length. @raise Invalid_argument if input
+    has fewer than 16 points. *)
+
+val hurst_fit : ?low_fraction:float -> float array -> float * Ss_stats.Regression.fit
+(** [hurst_fit x] regresses [log10 I(lambda)] on [log10 lambda] over
+    the lowest [low_fraction] (default 0.1) of frequencies and
+    returns [(H_estimate, fit)] with [H = (1 - slope)/2]. *)

@@ -1,0 +1,1 @@
+lib/fractal/acf.ml: Array Float Printf Stdlib

@@ -1,0 +1,1 @@
+lib/fractal/acf_fit.ml: Acf List Printf Ss_stats Stdlib

@@ -1,0 +1,1 @@
+lib/fractal/acf_fit.mli: Acf

@@ -1,0 +1,1 @@
+lib/fractal/davies_harte.ml: Acf Array Printf Ss_fft Ss_stats Stdlib

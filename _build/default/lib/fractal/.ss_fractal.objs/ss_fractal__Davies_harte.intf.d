@@ -1,0 +1,1 @@
+lib/fractal/davies_harte.mli: Acf Ss_stats

@@ -1,0 +1,1 @@
+lib/fractal/farima_fit.ml: Array Farima_pq Frac_diff Ss_stats Stdlib Whittle

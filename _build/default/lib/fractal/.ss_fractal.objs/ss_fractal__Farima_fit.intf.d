@@ -1,0 +1,1 @@
+lib/fractal/farima_fit.mli: Farima_pq

@@ -1,0 +1,1 @@
+lib/fractal/farima_pq.ml: Acf Array Davies_harte Hosking Lazy Printf Ss_stats Stdlib

@@ -1,0 +1,1 @@
+lib/fractal/farima_pq.mli: Acf Ss_stats

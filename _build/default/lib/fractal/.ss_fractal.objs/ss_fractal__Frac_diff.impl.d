@@ -1,0 +1,1 @@
+lib/fractal/frac_diff.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/fractal/frac_diff.mli:

@@ -1,0 +1,1 @@
+lib/fractal/hosking.ml: Acf Array Float Printf Ss_stats Stdlib

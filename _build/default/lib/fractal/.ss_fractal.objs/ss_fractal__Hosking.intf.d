@@ -1,0 +1,1 @@
+lib/fractal/hosking.mli: Acf Ss_stats

@@ -1,0 +1,1 @@
+lib/fractal/hurst.ml: Array Float List Ss_fft Ss_stats Stdlib

@@ -1,0 +1,1 @@
+lib/fractal/hurst.mli: Ss_stats

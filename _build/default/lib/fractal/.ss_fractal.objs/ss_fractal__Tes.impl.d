@@ -1,0 +1,1 @@
+lib/fractal/tes.ml: Array Float Ss_stats Stdlib

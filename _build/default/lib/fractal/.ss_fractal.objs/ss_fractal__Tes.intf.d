@@ -1,0 +1,1 @@
+lib/fractal/tes.mli: Ss_stats

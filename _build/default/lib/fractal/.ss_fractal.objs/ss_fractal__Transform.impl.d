@@ -1,0 +1,1 @@
+lib/fractal/transform.ml: Acf Array Hosking List Printf Ss_stats Stdlib

@@ -1,0 +1,1 @@
+lib/fractal/transform.mli: Acf Ss_stats

@@ -1,0 +1,1 @@
+lib/fractal/whittle.ml: Array Hashtbl Ss_fft Ss_stats Stdlib

@@ -1,0 +1,1 @@
+lib/fractal/whittle.mli:

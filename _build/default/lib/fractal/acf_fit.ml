@@ -1,0 +1,128 @@
+module Reg = Ss_stats.Regression
+
+type params = {
+  knee : int;
+  lambda : float;
+  l : float;
+  beta : float;
+}
+
+let eval_real p x =
+  if x < 0.0 then invalid_arg "Acf_fit.eval_real: negative lag"
+  else if x = 0.0 then 1.0
+  else if x < float_of_int p.knee then exp (-.p.lambda *. x)
+  else Stdlib.min 1.0 (p.l *. (x ** -.p.beta))
+
+let eval p k =
+  if k < 0 then invalid_arg "Acf_fit.eval: negative lag" else eval_real p (float_of_int k)
+
+let to_acf p = Acf.composite ~knee:p.knee ~lambda:p.lambda ~l:p.l ~beta:p.beta
+
+let rescaled_acf p ~period =
+  if period < 1 then invalid_arg "Acf_fit.rescaled_acf: period < 1";
+  Acf.of_fun
+    ~name:(Printf.sprintf "rescaled(%s x%d)" (to_acf p).Acf.name period)
+    (fun k -> eval_real p (float_of_int k /. float_of_int period))
+
+let sse p points =
+  List.fold_left
+    (fun acc (k, r) ->
+      let e = eval p k -. r in
+      acc +. (e *. e))
+    0.0 points
+
+(* Fit r = l * k^-beta on points with r > 0, optionally with beta
+   fixed. Least squares in log10-log10 space. *)
+let fit_lrd ?fixed_beta points =
+  let usable = List.filter (fun (_, r) -> r > 0.0) points in
+  if List.length usable < 2 then None
+  else begin
+    let logs = List.map (fun (k, r) -> (log10 (float_of_int k), log10 r)) usable in
+    match fixed_beta with
+    | Some beta ->
+      (* Only the level: mean of log10 r + beta log10 k. *)
+      let s = List.fold_left (fun a (lk, lr) -> a +. lr +. (beta *. lk)) 0.0 logs in
+      let l = 10.0 ** (s /. float_of_int (List.length logs)) in
+      Some (l, beta)
+    | None ->
+      let f = Reg.ols logs in
+      let beta = -.f.Reg.slope in
+      if beta <= 0.0 || beta >= 1.0 then None
+      else Some (10.0 ** f.Reg.intercept, beta)
+  end
+
+(* Fit r = exp(-lambda k) on points with r > 0: ln r = -lambda k
+   through the origin. *)
+let fit_srd points =
+  let usable = List.filter (fun (_, r) -> r > 0.0) points in
+  if List.length usable < 2 then None
+  else begin
+    let pts = List.map (fun (k, r) -> (float_of_int k, log r)) usable in
+    let f = Reg.ols_through_origin pts in
+    let lambda = -.f.Reg.slope in
+    if lambda <= 0.0 then None else Some lambda
+  end
+
+let default_knees points =
+  let lags = List.map fst points in
+  let lo = List.fold_left Stdlib.min max_int lags in
+  let hi = List.fold_left Stdlib.max 0 lags in
+  let span = hi - lo in
+  let first = lo + (span / 10) in
+  let last = lo + (span * 9 / 10) in
+  let rec go k acc = if k > last then List.rev acc else go (k + 5) (k :: acc) in
+  go (Stdlib.max (lo + 2) first) []
+
+(* Rate that makes the exponential meet the power law exactly at the
+   knee (the paper's Eq 12 continuity constraint). *)
+let continuity_lambda ~knee ~l ~beta =
+  let r_knee = Stdlib.min (l *. (float_of_int knee ** -.beta)) 0.999 in
+  if r_knee <= 0.0 then None else Some (-.log r_knee /. float_of_int knee)
+
+let fit ?knee_candidates ?fixed_beta points =
+  if List.length points < 8 then invalid_arg "Acf_fit.fit: need >= 8 points";
+  let candidates =
+    match knee_candidates with Some ks -> ks | None -> default_knees points
+  in
+  if candidates = [] then invalid_arg "Acf_fit.fit: no candidate knees";
+  let try_knee knee =
+    if knee < 2 then None
+    else begin
+      let srd_pts = List.filter (fun (k, _) -> k >= 1 && k < knee) points in
+      let lrd_pts = List.filter (fun (k, _) -> k >= knee) points in
+      match (fit_srd srd_pts, fit_lrd ?fixed_beta lrd_pts) with
+      | Some _, Some (l, beta) -> (
+        (* Impose the Eq-12 continuity constraint: with a single
+           exponential the constraint pins the SRD rate, and a
+           jump-free model is also what keeps the autocorrelation
+           positive definite for the generators. The free SRD fit
+           still shapes knee selection through the SSE. *)
+        match continuity_lambda ~knee ~l ~beta with
+        | Some lambda ->
+          let p = { knee; lambda; l; beta } in
+          Some (p, sse p points)
+        | None -> None)
+      | _ -> None
+    end
+  in
+  let best =
+    List.fold_left
+      (fun best knee ->
+        match (best, try_knee knee) with
+        | None, r -> r
+        | Some (_, be) as b, Some (p, e) -> if e < be then Some (p, e) else b
+        | b, None -> b)
+      None candidates
+  in
+  match best with
+  | Some (p, _) -> p
+  | None -> invalid_arg "Acf_fit.fit: no candidate knee admits a fit"
+
+let compensate p ~a =
+  if a <= 0.0 || a > 1.0 then invalid_arg "Acf_fit.compensate: a outside (0,1]";
+  let l' = p.l /. a in
+  (* Boosted value of the (original) model at the knee. *)
+  let r_knee = eval p p.knee /. a in
+  let r_knee = Stdlib.min r_knee 0.999 in
+  let lambda' = -.log r_knee /. float_of_int p.knee in
+  { p with l = l'; lambda = lambda' }

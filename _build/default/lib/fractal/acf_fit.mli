@@ -1,0 +1,75 @@
+(** Fitting the paper's composite SRD+LRD autocorrelation model
+    (Section 3.2 Steps 2 and 4; Eqs 10–14, Fig 6).
+
+    The composite model is
+    [r(k) = exp(-lambda k)] for [k < knee], [l * k^(-beta)] for
+    [k >= knee]. The LRD part is fitted by least squares in log-log
+    space over lags beyond a candidate knee; the SRD part by least
+    squares of [ln r] on [k] through the origin below it; the knee is
+    chosen to minimize total squared error in correlation space.
+    [compensate] implements Eq (14): after the attenuation factor [a]
+    of the marginal transform is known, the *background* target
+    autocorrelation is boosted so the foreground lands on the
+    empirical one. *)
+
+type params = {
+  knee : int;  (** K_t, the SRD/LRD crossover lag *)
+  lambda : float;  (** SRD exponential rate *)
+  l : float;  (** LRD power-law level *)
+  beta : float;  (** LRD power-law exponent, beta = 2 - 2H *)
+}
+
+val eval : params -> int -> float
+(** Evaluate the composite model ([1] at lag 0). *)
+
+val eval_real : params -> float -> float
+(** Evaluate at a real-valued lag — both pieces are analytic in the
+    lag, which is how the paper's Eq (15) stretches the I-frame
+    autocorrelation to the full frame timeline:
+    [r(k) = r_I(k / K_I)] with fractional argument.
+    @raise Invalid_argument on a negative lag. *)
+
+val rescaled_acf : params -> period:int -> Acf.t
+(** [rescaled_acf p ~period] is Eq (15): the composite model
+    evaluated at [k / period] (real division, via {!eval_real}).
+    Smooth in the lag except at the knee, unlike integer-lag linear
+    interpolation, which matters for positive definiteness.
+    @raise Invalid_argument if [period < 1]. *)
+
+val to_acf : params -> Acf.t
+(** The model as an {!Acf.t} for the generators. *)
+
+val fit :
+  ?knee_candidates:int list ->
+  ?fixed_beta:float ->
+  (int * float) list ->
+  params
+(** [fit points] fits the composite model to empirical [(lag, r)]
+    points (lags >= 1, in increasing order). Candidate knees default
+    to every 5th lag between the 10th and 90th percentile of the
+    available lag range. If [fixed_beta] is given (the paper pins
+    [beta = 2 - 2H] from the Hurst estimate) only [l] is fitted in
+    the LRD part. Points with [r <= 0] are excluded from the
+    log-space fits.
+
+    The returned model satisfies the paper's Eq-12 continuity
+    constraint [exp(-lambda knee) = l knee^{-beta}]: with a single
+    exponential, that constraint pins the SRD rate once the LRD piece
+    and knee are chosen (the free SRD least-squares fit still drives
+    knee selection through the total SSE). Continuity matters beyond
+    aesthetics — a model that jumps at the knee is generally not a
+    positive-definite autocorrelation and the generators would reject
+    it. @raise Invalid_argument if fewer than 8 usable points or no
+    valid candidate knee. *)
+
+val sse : params -> (int * float) list -> float
+(** Sum of squared errors of the model against empirical points, in
+    correlation space. *)
+
+val compensate : params -> a:float -> params
+(** [compensate p ~a] is Eq (14): divides the LRD level by [a] and
+    re-solves the SRD rate so that
+    [exp(-lambda' * knee) = r_hat(knee) / a], keeping the model
+    continuous in intent at the knee. The boosted knee value is
+    clamped slightly below 1 so a valid rate exists.
+    @raise Invalid_argument if [a] outside (0, 1]. *)

@@ -1,0 +1,62 @@
+module Rng = Ss_stats.Rng
+module Fft = Ss_fft.Fft
+
+type plan = {
+  n : int;  (* requested path length *)
+  m : int;  (* half-size of the circulant, a power of two >= n *)
+  sqrt_lambda : float array;  (* sqrt of the 2m circulant eigenvalues *)
+  min_eig : float;
+}
+
+let plan ~acf ~n =
+  if n <= 0 then invalid_arg "Davies_harte.plan: n <= 0";
+  let m = Fft.next_pow2 n in
+  let two_m = 2 * m in
+  (* Circulant first row: gamma(0..m), then mirrored gamma(m-1..1). *)
+  let re = Array.make two_m 0.0 in
+  let im = Array.make two_m 0.0 in
+  for j = 0 to m do
+    re.(j) <- acf.Acf.r j
+  done;
+  for j = m + 1 to two_m - 1 do
+    re.(j) <- acf.Acf.r (two_m - j)
+  done;
+  Fft.forward re im;
+  (* Eigenvalues are the (real) DFT of the symmetric first row. The
+     standard approximate-circulant criterion: clip negative
+     eigenvalues to zero provided the clipped mass is a negligible
+     fraction of the total — the covariance error of the generated
+     path is bounded by that ratio. *)
+  let min_eig = Array.fold_left Stdlib.min re.(0) re in
+  let neg_mass = Array.fold_left (fun a l -> if l < 0.0 then a -. l else a) 0.0 re in
+  let pos_mass = Array.fold_left (fun a l -> if l > 0.0 then a +. l else a) 0.0 re in
+  if neg_mass > 1e-4 *. pos_mass then
+    invalid_arg
+      (Printf.sprintf
+         "Davies_harte.plan: embedding fails (min eigenvalue %g, clipped mass ratio %.2g); autocorrelation not embeddable at n=%d"
+         min_eig (neg_mass /. pos_mass) n);
+  let sqrt_lambda = Array.map (fun l -> sqrt (Stdlib.max l 0.0)) re in
+  { n; m; sqrt_lambda; min_eig }
+
+let plan_length p = p.n
+let min_eigenvalue p = p.min_eig
+
+let generate p rng =
+  let two_m = 2 * p.m in
+  let scale = 1.0 /. sqrt (float_of_int two_m) in
+  let re = Array.make two_m 0.0 in
+  let im = Array.make two_m 0.0 in
+  (* Hermitian random spectrum: a_0, a_m real; a_k = conj(a_{2m-k}). *)
+  re.(0) <- p.sqrt_lambda.(0) *. Rng.gaussian rng *. scale;
+  re.(p.m) <- p.sqrt_lambda.(p.m) *. Rng.gaussian rng *. scale;
+  let half = scale /. sqrt 2.0 in
+  for k = 1 to p.m - 1 do
+    let u = Rng.gaussian rng and v = Rng.gaussian rng in
+    let s = p.sqrt_lambda.(k) *. half in
+    re.(k) <- s *. u;
+    im.(k) <- s *. v;
+    re.(two_m - k) <- s *. u;
+    im.(two_m - k) <- -.s *. v
+  done;
+  Fft.forward re im;
+  Array.sub re 0 p.n

@@ -1,0 +1,101 @@
+module D = Ss_stats.Descriptive
+module Linalg = Ss_stats.Linalg
+
+type t = {
+  model : Farima_pq.t;
+  d : float;
+  ar : float array;
+  ma : float array;
+  innovation_variance : float;
+}
+
+(* Long-AR coefficients via Durbin-Levinson on the sample ACF. *)
+let long_ar_coefficients x ~order =
+  let r = D.acf x ~max_lag:order in
+  let prev = ref [||] in
+  let v = ref 1.0 in
+  for k = 1 to order do
+    let next = Array.make k 0.0 in
+    let acc = ref r.(k) in
+    for j = 1 to k - 1 do
+      acc := !acc -. (!prev.(j - 1) *. r.(k - j))
+    done;
+    let phi_kk = !acc /. !v in
+    let phi_kk =
+      (* A sample ACF can be slightly inconsistent; shrink instead of
+         failing. *)
+      if abs_float phi_kk >= 1.0 then 0.999 *. (if phi_kk > 0.0 then 1.0 else -1.0)
+      else phi_kk
+    in
+    next.(k - 1) <- phi_kk;
+    for j = 1 to k - 1 do
+      next.(j - 1) <- !prev.(j - 1) -. (phi_kk *. !prev.(k - j - 1))
+    done;
+    v := !v *. (1.0 -. (phi_kk *. phi_kk));
+    prev := next
+  done;
+  !prev
+
+let hannan_rissanen ?long_ar_order ~p ~q x =
+  if p < 0 || q < 0 || p + q = 0 then invalid_arg "Farima_fit.hannan_rissanen: need p+q >= 1";
+  let order = match long_ar_order with Some o -> o | None -> Stdlib.max 20 (2 * (p + q)) in
+  let n = Array.length x in
+  if n < 4 * (order + p + q) then invalid_arg "Farima_fit.hannan_rissanen: series too short";
+  let mean = D.mean x in
+  let x = Array.map (fun v -> v -. mean) x in
+  (* Stage 1: innovation estimates from the long AR. *)
+  let phi = long_ar_coefficients x ~order in
+  let eps = Array.make n 0.0 in
+  for t = 0 to n - 1 do
+    let s = ref x.(t) in
+    let jmax = Stdlib.min t order in
+    for j = 1 to jmax do
+      s := !s -. (phi.(j - 1) *. x.(t - j))
+    done;
+    eps.(t) <- !s
+  done;
+  (* Stage 2: regress x_t on x_{t-1..t-p} and eps_{t-1..t-q}. *)
+  let start = order + Stdlib.max p q in
+  let rows = n - start in
+  let design =
+    Array.init rows (fun i ->
+        let t = start + i in
+        Array.init (p + q) (fun j -> if j < p then x.(t - j - 1) else eps.(t - (j - p) - 1)))
+  in
+  let target = Array.init rows (fun i -> x.(start + i)) in
+  let coef = Linalg.least_squares design target in
+  let ar = Array.sub coef 0 p in
+  let ma = Array.sub coef p q in
+  (* Residual variance of the fitted regression. *)
+  let resid_var =
+    let s = ref 0.0 in
+    Array.iteri
+      (fun i row ->
+        let pred = ref 0.0 in
+        Array.iteri (fun j c -> pred := !pred +. (c *. row.(j))) coef;
+        let e = target.(i) -. !pred in
+        s := !s +. (e *. e))
+      design;
+    !s /. float_of_int rows
+  in
+  (ar, ma, resid_var)
+
+let fit ?(p = 1) ?(q = 1) ?d x =
+  let d =
+    match d with
+    | Some d -> d
+    | None ->
+      (* Only the lowest frequencies: the short-memory ARMA factor is
+         flat there, so the FGN-shaped Whittle objective estimates the
+         memory parameter without absorbing the AR/MA bump. *)
+      let h = (Whittle.estimate ~low_fraction:0.08 x).Whittle.h in
+      Stdlib.max (-0.49) (Stdlib.min 0.49 (h -. 0.5))
+  in
+  let differenced = Frac_diff.difference ~d x in
+  let ar, ma, innovation_variance = hannan_rissanen ~p ~q differenced in
+  (* Shrink an explosive AR estimate back inside the stationary
+     region. *)
+  let ar_sum = Array.fold_left (fun a c -> a +. abs_float c) 0.0 ar in
+  let ar = if ar_sum >= 1.0 then Array.map (fun c -> c *. 0.98 /. ar_sum) ar else ar in
+  let model = Farima_pq.create ~d ~ar ~ma in
+  { model; d; ar; ma; innovation_variance }

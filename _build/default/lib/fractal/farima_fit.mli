@@ -1,0 +1,43 @@
+(** FARIMA(p,d,q) estimation from data — the route the paper calls
+    difficult (Section 1: "it may be difficult to obtain accurate
+    estimates of the p and q parameters required for the generation
+    of traces with arbitrary marginals").
+
+    The classical two-stage recipe:
+
+    + estimate the memory parameter [d] (here: Whittle on the raw
+      series, [d = H - 1/2]), fractionally difference the series by
+      it ({!Frac_diff});
+    + fit the short-memory ARMA(p,q) part to the differenced series
+      by Hannan–Rissanen: a long autoregression (Durbin–Levinson on
+      the sample ACF) produces innovation estimates, then the ARMA
+      coefficients come from one least-squares regression of the
+      series on its own lags and the lagged innovations.
+
+    The [abl-farima] bench compares the resulting model against the
+    paper's direct composite-ACF fit on the reference trace. *)
+
+type t = {
+  model : Farima_pq.t;
+  d : float;
+  ar : float array;
+  ma : float array;
+  innovation_variance : float;  (** residual variance of the HR regression *)
+}
+
+val hannan_rissanen :
+  ?long_ar_order:int -> p:int -> q:int -> float array -> float array * float array * float
+(** [hannan_rissanen ~p ~q x] fits ARMA(p,q) to a (short-memory,
+    zero-mean-ed internally) series; returns [(ar, ma,
+    innovation_variance)]. [long_ar_order] defaults to
+    [max 20 (2(p+q))]. @raise Invalid_argument if the series is
+    shorter than [4 * (long_ar_order + p + q)] or [p < 0 || q < 0 ||
+    p + q = 0]. *)
+
+val fit : ?p:int -> ?q:int -> ?d:float -> float array -> t
+(** [fit x] estimates a FARIMA(p,d,q) (default p = 1, q = 1) for a
+    series: [d] from Whittle unless supplied, then Hannan–Rissanen on
+    the fractionally differenced series. AR roots are shrunk toward
+    stationarity if the HR estimate is explosive (coefficients scaled
+    by 0.98/|sum| when [sum |ar| >= 1]).
+    @raise Invalid_argument on degenerate input. *)

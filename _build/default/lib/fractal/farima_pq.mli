@@ -1,0 +1,50 @@
+(** Full FARIMA(p,d,q) processes.
+
+    The paper (Section 1) notes that an ARIMA(p,d,q) model "can be
+    used to model both LRD and SRD at the same time" but that
+    estimating [p] and [q] for trace generation is difficult — which
+    motivates its direct composite-ACF approach. This module supplies
+    the FARIMA baseline so the two routes can be compared: exact
+    autocorrelation computation and exact (Hosking) or fast filtered
+    generation.
+
+    A FARIMA(p,d,q) process is [phi(B) (1-B)^d X = theta(B) eps]:
+    an ARMA(p,q) filter driven by FARIMA(0,d,0) fractional noise.
+    Its autocovariance is the ARMA impulse-response autocorrelation
+    convolved with the exact FARIMA(0,d,0) autocovariance — computed
+    here by expanding the ARMA transfer function into MA(inf) weights
+    [psi] (truncated when they fall below 1e-14) and evaluating
+    [gamma_X(k) = sum_m w(m) gamma_Y(k+m)] with
+    [w = autocorrelation of psi]. *)
+
+type t
+
+val create : d:float -> ar:float array -> ma:float array -> t
+(** [create ~d ~ar ~ma] with AR coefficients [phi_1..phi_p] and MA
+    coefficients [theta_1..theta_q] (sign convention:
+    [X_t = sum phi_i X_{t-i} + eps_t + sum theta_j eps_{t-j}] applied
+    to the fractional noise). @raise Invalid_argument if [d] outside
+    (-0.5, 0.5) or the AR part is not (numerically) stationary — the
+    MA(inf) weights must decay below 1e-14 within 100,000 terms. *)
+
+val d : t -> float
+val hurst : t -> float
+(** [d + 1/2]. *)
+
+val psi_weights : t -> float array
+(** The truncated MA(inf) expansion of the ARMA(p,q) part
+    ([psi_0 = 1]). *)
+
+val acf : t -> Acf.t
+(** Exact normalized autocorrelation (memoized). For [ar = ma = [||]]
+    this coincides with {!Acf.farima}. *)
+
+val generate : t -> n:int -> Ss_stats.Rng.t -> float array
+(** Exact sampling through Hosking's recursion on {!acf}, normalized
+    to unit variance. O(n^2). *)
+
+val generate_filtered : t -> n:int -> Ss_stats.Rng.t -> float array
+(** Fast approximate sampling: an exact FARIMA(0,d,0) path
+    (Davies–Harte) pushed through the ARMA recursion, then
+    standardized. Exact in distribution up to the filter's O(p+q)
+    startup transient and the psi truncation; O(n log n). *)

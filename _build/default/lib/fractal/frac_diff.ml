@@ -1,0 +1,25 @@
+let weights ~d ~n =
+  if n <= 0 then invalid_arg "Frac_diff.weights: n <= 0";
+  let w = Array.make n 1.0 in
+  for j = 1 to n - 1 do
+    let fj = float_of_int j in
+    w.(j) <- w.(j - 1) *. (fj -. 1.0 -. d) /. fj
+  done;
+  w
+
+let difference ~d ?(truncation = 1000) x =
+  if truncation <= 0 then invalid_arg "Frac_diff.difference: truncation <= 0";
+  if d = 0.0 then Array.copy x
+  else begin
+    let n = Array.length x in
+    let w = weights ~d ~n:(Stdlib.min truncation (Stdlib.max 1 n)) in
+    Array.init n (fun t ->
+        let jmax = Stdlib.min t (Array.length w - 1) in
+        let s = ref 0.0 in
+        for j = 0 to jmax do
+          s := !s +. (w.(j) *. x.(t - j))
+        done;
+        !s)
+  end
+
+let integrate ~d ?truncation x = difference ~d:(-.d) ?truncation x

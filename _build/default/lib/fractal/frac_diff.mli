@@ -1,0 +1,21 @@
+(** Fractional differencing and integration filters (Hosking '81).
+
+    [(1-B)^d x] expands into the binomial filter
+    [sum_j pi_j x_{t-j}] with [pi_0 = 1] and the recursion
+    [pi_j = pi_{j-1} (j - 1 - d) / j]. Differencing by [d] turns a
+    FARIMA(p,d,q) series into an ARMA(p,q) one — the preprocessing
+    step of the {!Farima_fit} estimator. *)
+
+val weights : d:float -> n:int -> float array
+(** First [n] filter weights [pi_0 .. pi_{n-1}] of [(1-B)^d].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val difference : d:float -> ?truncation:int -> float array -> float array
+(** Apply [(1-B)^d] with the filter truncated at [truncation]
+    (default 1000) terms; the first [truncation] outputs use only the
+    available past (the standard finite-sample convention). Output
+    length equals input length. [d = 0] is the identity.
+    @raise Invalid_argument if [truncation <= 0]. *)
+
+val integrate : d:float -> ?truncation:int -> float array -> float array
+(** [(1-B)^{-d}], i.e. [difference ~d:(-.d)]. *)

@@ -1,0 +1,143 @@
+module Rng = Ss_stats.Rng
+
+(* Durbin–Levinson step: given phi_{k-1,.} (in [prev], length k-1),
+   v_{k-1} and r(.), produce phi_{k,.} into [next] (length k) and
+   return v_k. Shared by the table builder and the streaming
+   generator. *)
+let dl_step ~r ~k ~prev ~next ~v_prev =
+  let acc = ref (r k) in
+  for j = 1 to k - 1 do
+    acc := !acc -. (prev.(j - 1) *. r (k - j))
+  done;
+  let phi_kk = !acc /. v_prev in
+  if Float.is_nan phi_kk || abs_float phi_kk >= 1.0 then
+    invalid_arg
+      (Printf.sprintf
+         "Hosking: autocorrelation not positive definite at lag %d (phi=%g)" k phi_kk);
+  next.(k - 1) <- phi_kk;
+  for j = 1 to k - 1 do
+    next.(j - 1) <- prev.(j - 1) -. (phi_kk *. prev.(k - j - 1))
+  done;
+  v_prev *. (1.0 -. (phi_kk *. phi_kk))
+
+module Table = struct
+  type t = {
+    rows : float array array;  (* rows.(k-1) = [| phi_{k,1}; ...; phi_{k,k} |] *)
+    vars : float array;  (* vars.(k) = v_k, v_0 = 1 *)
+    stds : float array;  (* sqrt of vars *)
+    sums : float array;  (* sums.(k) = sum_j phi_{k,j}, sums.(0) = 0 *)
+  }
+
+  let length t = Array.length t.vars
+
+  let make ~acf ~n =
+    if n <= 0 || n > 20_000 then invalid_arg "Hosking.Table.make: n outside [1, 20000]";
+    let r = acf.Acf.r in
+    let rows = Array.make (Stdlib.max 0 (n - 1)) [||] in
+    let vars = Array.make n 1.0 in
+    let sums = Array.make n 0.0 in
+    let v = ref 1.0 in
+    for k = 1 to n - 1 do
+      let prev = if k = 1 then [||] else rows.(k - 2) in
+      let next = Array.make k 0.0 in
+      v := dl_step ~r ~k ~prev ~next ~v_prev:!v;
+      rows.(k - 1) <- next;
+      vars.(k) <- !v;
+      sums.(k) <- Array.fold_left ( +. ) 0.0 next
+    done;
+    { rows; vars; stds = Array.map sqrt vars; sums }
+
+  let check_k t k name =
+    if k < 0 || k >= length t then invalid_arg ("Hosking.Table." ^ name ^ ": bad index")
+
+  let cond_var t k =
+    check_k t k "cond_var";
+    t.vars.(k)
+
+  let innovation_std t k =
+    check_k t k "innovation_std";
+    t.stds.(k)
+
+  let row_sum t k =
+    check_k t k "row_sum";
+    t.sums.(k)
+
+  let cond_mean t xs k =
+    check_k t k "cond_mean";
+    if k = 0 then 0.0
+    else begin
+      let row = t.rows.(k - 1) in
+      let s = ref 0.0 in
+      for j = 1 to k do
+        s := !s +. (Array.unsafe_get row (j - 1) *. Array.unsafe_get xs (k - j))
+      done;
+      !s
+    end
+end
+
+let generate_into table rng buf =
+  let n = Array.length buf in
+  if n > Table.length table then invalid_arg "Hosking.generate_into: buffer too long";
+  for k = 0 to n - 1 do
+    let m = Table.cond_mean table buf k in
+    buf.(k) <- m +. (Table.innovation_std table k *. Rng.gaussian rng)
+  done
+
+let generate table rng =
+  let buf = Array.make (Table.length table) 0.0 in
+  generate_into table rng buf;
+  buf
+
+let generate_stream ~acf ~n rng =
+  if n <= 0 then invalid_arg "Hosking.generate_stream: n <= 0";
+  let r = acf.Acf.r in
+  let xs = Array.make n 0.0 in
+  xs.(0) <- Rng.gaussian rng;
+  let prev = ref [||] in
+  let v = ref 1.0 in
+  for k = 1 to n - 1 do
+    let next = Array.make k 0.0 in
+    v := dl_step ~r ~k ~prev:!prev ~next ~v_prev:!v;
+    prev := next;
+    let m = ref 0.0 in
+    for j = 1 to k do
+      m := !m +. (Array.unsafe_get next (j - 1) *. Array.unsafe_get xs (k - j))
+    done;
+    xs.(k) <- !m +. (sqrt !v *. Rng.gaussian rng)
+  done;
+  xs
+
+let generate_truncated ~acf ~n ~max_order rng =
+  if n <= 0 then invalid_arg "Hosking.generate_truncated: n <= 0";
+  if max_order < 1 then invalid_arg "Hosking.generate_truncated: max_order < 1";
+  if n <= max_order then generate_stream ~acf ~n rng
+  else begin
+    let r = acf.Acf.r in
+    let xs = Array.make n 0.0 in
+    xs.(0) <- Rng.gaussian rng;
+    let prev = ref [||] in
+    let v = ref 1.0 in
+    for k = 1 to max_order do
+      let next = Array.make k 0.0 in
+      v := dl_step ~r ~k ~prev:!prev ~next ~v_prev:!v;
+      prev := next;
+      if k < n then begin
+        let m = ref 0.0 in
+        for j = 1 to k do
+          m := !m +. (next.(j - 1) *. xs.(k - j))
+        done;
+        xs.(k) <- !m +. (sqrt !v *. Rng.gaussian rng)
+      end
+    done;
+    (* Frozen AR(max_order) filter beyond the exact prefix. *)
+    let row = !prev in
+    let std = sqrt !v in
+    for k = max_order + 1 to n - 1 do
+      let m = ref 0.0 in
+      for j = 1 to max_order do
+        m := !m +. (Array.unsafe_get row (j - 1) *. Array.unsafe_get xs (k - j))
+      done;
+      xs.(k) <- !m +. (std *. Rng.gaussian rng)
+    done;
+    xs
+  end

@@ -1,0 +1,75 @@
+(** Hosking's exact method for sampling a stationary zero-mean,
+    unit-variance Gaussian process with a prescribed autocorrelation
+    (paper Section 2, Eqs 1–6).
+
+    The Durbin–Levinson recursion produces, for every step [k], the
+    partial linear regression coefficients [phi_{k,j}] and the
+    conditional variance [v_k] of [X_k] given the past. These depend
+    only on the autocorrelation, not on the sample path, so they can
+    be computed once into a {!Table} and reused across the thousands
+    of replications an importance-sampling study needs. The table is
+    also what the likelihood-ratio computation of Appendix B
+    consumes: it exposes conditional means and variances directly.
+
+    Complexity: table construction O(n^2) time / O(n^2/2) memory;
+    each generated path O(n^2) multiply–adds. For long traces where
+    no conditional structure is needed, prefer {!Davies_harte}. *)
+
+module Table : sig
+  type t
+
+  val make : acf:Acf.t -> n:int -> t
+  (** Precompute coefficients for paths of length [n].
+      @raise Invalid_argument if [n <= 0 || n > 20_000] (the table is
+      quadratic in memory) or if the recursion detects an invalid
+      (non positive-definite) autocorrelation. *)
+
+  val length : t -> int
+  (** Maximum path length. *)
+
+  val cond_var : t -> int -> float
+  (** [cond_var t k] is [v_k = Var(X_k | X_0..X_{k-1})]; [v_0 = 1].
+      @raise Invalid_argument if [k] outside [0, n-1]. *)
+
+  val cond_mean : t -> float array -> int -> float
+  (** [cond_mean t xs k] is
+      [E(X_k | X_{k-1} = xs.(k-1), ..., X_0 = xs.(0)) =
+       sum_j phi_{k,j} xs.(k-j)]. Only the first [k] entries of [xs]
+      are read. @raise Invalid_argument if [k] outside [0, n-1]. *)
+
+  val innovation_std : t -> int -> float
+  (** [sqrt (cond_var t k)], cached. *)
+
+  val row_sum : t -> int -> float
+  (** [row_sum t k = sum_j phi_{k,j}] — the response of the
+      conditional mean to a constant unit shift of the whole past.
+      Importance sampling uses it: shifting the background mean by
+      [m*] shifts the conditional mean at step [k] by
+      [m* * row_sum t k]. [row_sum t 0 = 0].
+      @raise Invalid_argument if [k] outside [0, n-1]. *)
+end
+
+val generate : Table.t -> Ss_stats.Rng.t -> float array
+(** Sample one path of the table's full length. *)
+
+val generate_into : Table.t -> Ss_stats.Rng.t -> float array -> unit
+(** Overwrite an existing buffer with a fresh path (avoids per-path
+    allocation in tight simulation loops). The buffer may be shorter
+    than the table; it is filled completely.
+    @raise Invalid_argument if the buffer is longer than the
+    table. *)
+
+val generate_stream : acf:Acf.t -> n:int -> Ss_stats.Rng.t -> float array
+(** One-shot sampling without a precomputed table: runs the
+    Durbin–Levinson recursion on the fly in O(n) memory and O(n^2)
+    time. Produces the same distribution as {!generate}; use for a
+    single long path when the quadratic table would not fit.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val generate_truncated : acf:Acf.t -> n:int -> max_order:int -> Ss_stats.Rng.t -> float array
+(** Approximate fast path: exact Hosking up to lag [max_order], then
+    the order-[max_order] AR filter is frozen and applied in
+    O(n * max_order). Exact for the first [max_order] samples, an
+    AR(max_order) approximation afterwards; the ablation bench
+    [abl-trunc] quantifies the ACF error. @raise Invalid_argument if
+    [n <= 0 || max_order < 1]. *)

@@ -1,0 +1,104 @@
+module D = Ss_stats.Descriptive
+module T = Ss_stats.Timeseries
+module Reg = Ss_stats.Regression
+
+type estimate = {
+  h : float;
+  fit : Reg.fit;
+  points : (float * float) list;
+}
+
+(* Log-spaced integer grid from lo to hi with ~levels points,
+   deduplicated and sorted. *)
+let log_grid ~lo ~hi ~levels =
+  if lo < 1 || hi < lo || levels < 2 then invalid_arg "Hurst: bad grid parameters";
+  let ratio = log (float_of_int hi /. float_of_int lo) /. float_of_int (levels - 1) in
+  List.init levels (fun i ->
+      int_of_float (Float.round (float_of_int lo *. exp (ratio *. float_of_int i))))
+  |> List.sort_uniq compare
+  |> List.filter (fun m -> m >= lo && m <= hi)
+
+let variance_time ?(min_m = 10) ?max_m ?(levels = 20) x =
+  let n = Array.length x in
+  if n < 10 * min_m then invalid_arg "Hurst.variance_time: series too short";
+  let max_m = match max_m with Some m -> m | None -> n / 10 in
+  if max_m <= min_m then invalid_arg "Hurst.variance_time: max_m <= min_m";
+  let grid = log_grid ~lo:min_m ~hi:max_m ~levels in
+  let points =
+    List.filter_map
+      (fun m ->
+        let agg = T.aggregate x ~m in
+        if Array.length agg < 2 then None
+        else begin
+          let v = D.variance agg in
+          if v <= 0.0 then None
+          else Some (log10 (float_of_int m), log10 v)
+        end)
+      grid
+  in
+  let fit = Reg.ols points in
+  let beta = -.fit.Reg.slope in
+  { h = 1.0 -. (beta /. 2.0); fit; points }
+
+(* R/S statistic of the block x.(t0 .. t0+len-1), per paper Eq (8)
+   with W_k the mean-adjusted partial sums. *)
+let rs_statistic x ~t0 ~len =
+  let mean =
+    let s = ref 0.0 in
+    for i = t0 to t0 + len - 1 do
+      s := !s +. x.(i)
+    done;
+    !s /. float_of_int len
+  in
+  let var =
+    let s = ref 0.0 in
+    for i = t0 to t0 + len - 1 do
+      let d = x.(i) -. mean in
+      s := !s +. (d *. d)
+    done;
+    !s /. float_of_int len
+  in
+  if var <= 0.0 then None
+  else begin
+    let w = ref 0.0 in
+    let wmax = ref 0.0 and wmin = ref 0.0 in
+    for i = t0 to t0 + len - 1 do
+      w := !w +. (x.(i) -. mean);
+      if !w > !wmax then wmax := !w;
+      if !w < !wmin then wmin := !w
+    done;
+    Some ((!wmax -. !wmin) /. sqrt var)
+  end
+
+let rs ?(min_n = 8) ?(levels = 20) ?(blocks = 10) x =
+  let total = Array.length x in
+  if total < 4 * min_n then invalid_arg "Hurst.rs: series too short";
+  let grid = log_grid ~lo:min_n ~hi:total ~levels in
+  let points =
+    List.concat_map
+      (fun len ->
+        (* Non-overlapping starting points t_i = i * total/blocks with
+           (t_i - 1) + len <= total, as in the paper. *)
+        let stride = Stdlib.max 1 (total / blocks) in
+        let rec starts t acc =
+          if t + len > total then List.rev acc else starts (t + stride) (t :: acc)
+        in
+        starts 0 []
+        |> List.filter_map (fun t0 ->
+               match rs_statistic x ~t0 ~len with
+               | Some r when r > 0.0 -> Some (log10 (float_of_int len), log10 r)
+               | _ -> None))
+      grid
+  in
+  if List.length points < 2 then invalid_arg "Hurst.rs: degenerate input";
+  let fit = Reg.ols points in
+  { h = fit.Reg.slope; fit; points }
+
+let periodogram ?low_fraction x =
+  let h, fit = Ss_fft.Periodogram.hurst_fit ?low_fraction x in
+  let points =
+    Ss_fft.Periodogram.compute x |> Array.to_list
+    |> List.filter (fun (_, p) -> p > 0.0)
+    |> List.map (fun (l, p) -> (log10 l, log10 p))
+  in
+  { h; fit; points }

@@ -1,0 +1,36 @@
+(** Hurst-parameter estimation (paper Section 3.2, Step 1).
+
+    Three estimators: variance–time plots (Fig 3), R/S "pox" analysis
+    (Fig 4) and, as a cross-check, the low-frequency periodogram
+    slope. Each returns both the point estimate and the underlying
+    plot points + least-squares line so the figures can be
+    regenerated exactly as the paper draws them. *)
+
+type estimate = {
+  h : float;  (** estimated Hurst parameter *)
+  fit : Ss_stats.Regression.fit;  (** the log-log least-squares line *)
+  points : (float * float) list;
+      (** the log10-log10 plot points the line was fitted through *)
+}
+
+val variance_time :
+  ?min_m:int -> ?max_m:int -> ?levels:int -> float array -> estimate
+(** [variance_time x] computes [log10 var(X^(m))] against [log10 m]
+    for [levels] (default 20) aggregation sizes log-spaced between
+    [min_m] (default 10 — the paper ignores small [m]) and [max_m]
+    (default [n/10]); the slope [-beta] gives [H = 1 - beta/2].
+    @raise Invalid_argument if the series is shorter than
+    [10 * min_m] or parameters are inconsistent. *)
+
+val rs :
+  ?min_n:int -> ?levels:int -> ?blocks:int -> float array -> estimate
+(** [rs x] is the rescaled-adjusted-range analysis: for each block
+    size [n] (log-spaced from [min_n], default 8, up to the series
+    length) and each of [blocks] (default 10) non-overlapping
+    starting points, compute R(t,n)/S(t,n) per paper Eq (8) and plot
+    [log10 (R/S)] against [log10 n]; the slope estimates H directly
+    (Eq 9). Blocks with zero sample variance are skipped.
+    @raise Invalid_argument on degenerate input. *)
+
+val periodogram : ?low_fraction:float -> float array -> estimate
+(** Low-frequency periodogram regression: [H = (1 - slope)/2]. *)

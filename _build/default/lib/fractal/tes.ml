@@ -1,0 +1,48 @@
+module Rng = Ss_stats.Rng
+module Dist = Ss_stats.Dist
+
+type t = {
+  xi : float;
+  half_width : float;
+  dist : Dist.t option;
+}
+
+let create ?(xi = 0.5) ?dist ~half_width () =
+  if half_width <= 0.0 || half_width > 0.5 then
+    invalid_arg "Tes.create: half_width outside (0, 0.5]";
+  if xi < 0.0 || xi > 1.0 then invalid_arg "Tes.create: xi outside [0,1]";
+  { xi; half_width; dist }
+
+let stitch xi u =
+  if xi <= 0.0 then 1.0 -. u
+  else if xi >= 1.0 then u
+  else if u < xi then u /. xi
+  else (1.0 -. u) /. (1.0 -. xi)
+
+let generate t ~n rng =
+  if n <= 0 then invalid_arg "Tes.generate: n <= 0";
+  let u = ref (Rng.float rng) in
+  Array.init n (fun _ ->
+      let v = Rng.float_range rng (-.t.half_width) t.half_width in
+      let next = Float.rem (!u +. v +. 1.0) 1.0 in
+      u := next;
+      let s = stitch t.xi next in
+      (* Keep strictly inside (0,1) for quantile functions. *)
+      let s = Stdlib.min (Stdlib.max s 1e-12) (1.0 -. 1e-12) in
+      match t.dist with None -> s | Some d -> d.Dist.quantile s)
+
+let background_acf ~half_width tau =
+  if half_width <= 0.0 || half_width > 0.5 then
+    invalid_arg "Tes.background_acf: half_width outside (0, 0.5]";
+  if tau < 0 then invalid_arg "Tes.background_acf: negative lag";
+  if tau = 0 then 1.0
+  else begin
+    let pi = 4.0 *. atan 1.0 in
+    let sum = ref 0.0 in
+    for nu = 1 to 20_000 do
+      let x = 2.0 *. pi *. float_of_int nu *. half_width in
+      let sinc = sin x /. x in
+      sum := !sum +. ((sinc ** float_of_int tau) /. float_of_int (nu * nu))
+    done;
+    6.0 /. (pi *. pi) *. !sum
+  end

@@ -1,0 +1,39 @@
+(** TES (Transform-Expand-Sample) background processes.
+
+    The modeling technique of Melamed et al. (references [21, 22] of
+    the paper) that also matches a marginal and an autocorrelation:
+    a modulo-1 autoregressive uniform background
+    [U_n = frac(U_{n-1} + V_n)] — uniformity is invariant under
+    modulo-1 addition, so any innovation density works — optionally
+    "stitched" by [S_xi(u) = u/xi if u < xi else (1-u)/(1-xi)] to
+    make sample paths continuous, then inverted through a marginal
+    quantile function.
+
+    Implemented here as the published baseline against the paper's
+    unified Gaussian approach: TES matches marginals exactly and
+    gives tunable SRD, but cannot produce genuine long-range
+    dependence (its correlations decay geometrically in the
+    innovation bandwidth). The [abl-tes] bench shows exactly that
+    failure mode. *)
+
+type t
+
+val create : ?xi:float -> ?dist:Ss_stats.Dist.t -> half_width:float -> unit -> t
+(** [create ~half_width ()] builds a TES+ process with innovations
+    uniform on [\[-half_width, half_width\]] (smaller = stronger
+    correlation), stitching parameter [xi] (default 0.5; 0 or 1
+    disables stitching), and foreground marginal [dist] (default:
+    uniform on [0,1), i.e. the raw background).
+    @raise Invalid_argument if [half_width] outside (0, 0.5] or [xi]
+    outside [0,1]. *)
+
+val generate : t -> n:int -> Ss_stats.Rng.t -> float array
+(** Sample a foreground path of length [n]. *)
+
+val background_acf : half_width:float -> int -> float
+(** Analytic autocorrelation of the (unstitched) uniform background:
+    [rho(tau) = (6/pi^2) sum_nu nu^-2 sinc(2 pi nu a)^tau] with [a]
+    the innovation half-width — geometric decay in [tau], i.e. SRD
+    only. Exposed for tests and the [abl-tes] bench.
+    @raise Invalid_argument if [half_width] outside (0, 0.5] or
+    negative lag. *)

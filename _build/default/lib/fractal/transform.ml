@@ -1,0 +1,124 @@
+module Dist = Ss_stats.Dist
+module Special = Ss_stats.Special
+module Quad = Ss_stats.Quadrature
+module D = Ss_stats.Descriptive
+
+type t = {
+  dist : Dist.t;
+  h : float -> float;
+}
+
+let clamp_gauss x = if x > 8.0 then 8.0 else if x < -8.0 then -8.0 else x
+
+let make dist =
+  let h x =
+    let p = Special.normal_cdf (clamp_gauss x) in
+    (* normal_cdf(+-8) is strictly inside (0,1) in double precision,
+       so the quantile domain is respected. *)
+    dist.Dist.quantile p
+  in
+  { dist; h }
+
+let dist t = t.dist
+let apply1 t x = t.h x
+let apply t xs = Array.map t.h xs
+
+let quad_n = 128
+
+let moments t =
+  let mu = Quad.gaussian_expectation ~n:quad_n t.h in
+  let m2 = Quad.gaussian_expectation ~n:quad_n (fun x -> t.h x *. t.h x) in
+  let hx = Quad.gaussian_expectation ~n:quad_n (fun x -> t.h x *. x) in
+  (mu, m2 -. (mu *. mu), hx)
+
+let attenuation t =
+  let _, var, hx = moments t in
+  if var <= 0.0 then invalid_arg "Transform.attenuation: degenerate transform";
+  let a = hx *. hx /. var in
+  (* Schwarz guarantees a <= 1; clip quadrature rounding. *)
+  Stdlib.min a 1.0
+
+let attenuation_measured ~acf ~n ~lags rng t =
+  if lags = [] then invalid_arg "Transform.attenuation_measured: no lags";
+  List.iter
+    (fun k ->
+      if k <= 0 || k >= n then invalid_arg "Transform.attenuation_measured: lag out of range")
+    lags;
+  let x = Hosking.generate_stream ~acf ~n rng in
+  let y = apply t x in
+  let max_lag = List.fold_left Stdlib.max 0 lags in
+  let rx = D.acf x ~max_lag in
+  let ry = D.acf y ~max_lag in
+  let ratios =
+    List.filter_map
+      (fun k -> if abs_float rx.(k) > 1e-6 then Some (ry.(k) /. rx.(k)) else None)
+      lags
+  in
+  if ratios = [] then invalid_arg "Transform.attenuation_measured: background ACF vanishes at all lags";
+  List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+
+(* Normalized probabilists' Hermite polynomial he_k = He_k / sqrt(k!),
+   by stable recurrence he_{k+1} = (x he_k - sqrt(k) he_{k-1}) / sqrt(k+1). *)
+let hermite_normalized k x =
+  if k = 0 then 1.0
+  else begin
+    let prev = ref 1.0 in
+    let cur = ref x in
+    for j = 1 to k - 1 do
+      let fj = float_of_int j in
+      let next = ((x *. !cur) -. (sqrt fj *. !prev)) /. sqrt (fj +. 1.0) in
+      prev := !cur;
+      cur := next
+    done;
+    !cur
+  end
+
+let hermite_coefficient t ~k =
+  if k < 0 || k > 64 then invalid_arg "Transform.hermite_coefficient: k outside [0,64]";
+  Quad.gaussian_expectation ~n:quad_n (fun x -> t.h x *. hermite_normalized k x)
+
+(* Squared Hermite coefficients c_1^2 .. c_terms^2 over Var h. *)
+let hermite_spectrum t ~terms =
+  let _, var, _ = moments t in
+  if var <= 0.0 then invalid_arg "Transform: degenerate transform";
+  Array.init terms (fun j ->
+      let c = hermite_coefficient t ~k:(j + 1) in
+      c *. c /. var)
+
+let eval_response spectrum r =
+  let acc = ref 0.0 and rp = ref 1.0 in
+  Array.iter
+    (fun c2 ->
+      rp := !rp *. r;
+      acc := !acc +. (c2 *. !rp))
+    spectrum;
+  !acc
+
+let predicted_rh t ~r ~terms =
+  if terms < 1 then invalid_arg "Transform.predicted_rh: terms < 1";
+  eval_response (hermite_spectrum t ~terms) r
+
+let response ?(terms = 24) t =
+  let spectrum = hermite_spectrum t ~terms in
+  fun r -> eval_response spectrum r
+
+let invert_response rho ~target =
+  let lo0 = -0.999 and hi0 = 0.99999 in
+  let flo = rho lo0 and fhi = rho hi0 in
+  if target <= flo then lo0
+  else if target >= fhi then hi0
+  else begin
+    let lo = ref lo0 and hi = ref hi0 in
+    for _ = 1 to 60 do
+      let mid = ( !lo +. !hi ) /. 2.0 in
+      if rho mid < target then lo := mid else hi := mid
+    done;
+    (!lo +. !hi) /. 2.0
+  end
+
+let background_acf_for ?terms t ~target =
+  let rho = response ?terms t in
+  Acf.memoize
+    (Acf.of_fun
+       ~name:(Printf.sprintf "hermite-inv(%s)" target.Acf.name)
+       (fun k -> invert_response rho ~target:(target.Acf.r k)))

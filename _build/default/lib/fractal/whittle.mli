@@ -1,0 +1,29 @@
+(** Approximate Whittle maximum-likelihood estimation of the Hurst
+    parameter for fractional Gaussian noise.
+
+    The third estimator family the self-similar traffic literature
+    uses alongside variance–time and R/S plots (Leland et al. '94,
+    Beran et al. '95 — the measurement papers this paper builds on).
+    Minimizes the Whittle objective
+    [Q(H) = log( mean_j I(l_j)/f_H(l_j) ) + mean_j log f_H(l_j)]
+    over the periodogram ordinates, with the FGN spectral density
+    evaluated by truncated Paley–Wiener summation. *)
+
+val fgn_spectral_density : h:float -> float -> float
+(** [fgn_spectral_density ~h lambda] for [lambda] in (0, pi]:
+    [c (1 - cos lambda) sum_j |lambda + 2 pi j|^{-2H-1}] with the
+    constant chosen for unit process variance.
+    @raise Invalid_argument if [h] outside (0,1) or [lambda] outside
+    (0, pi]. *)
+
+type estimate = {
+  h : float;
+  objective : float;  (** Whittle objective at the minimum *)
+}
+
+val estimate : ?low_fraction:float -> float array -> estimate
+(** [estimate x] minimizes the Whittle objective over H in
+    (0.501, 0.999) by golden-section search, using the lowest
+    [low_fraction] (default 0.5) of periodogram frequencies.
+    @raise Invalid_argument if the series is shorter than 128
+    points. *)

@@ -1,0 +1,1 @@
+lib/queueing/batch_means.mli:

@@ -1,0 +1,1 @@
+lib/queueing/mc.ml: Array Lindley Ss_stats Stdlib

@@ -1,0 +1,1 @@
+lib/queueing/mc.mli: Ss_stats

@@ -1,0 +1,1 @@
+lib/queueing/trace_sim.ml: Array Lindley List Ss_stats

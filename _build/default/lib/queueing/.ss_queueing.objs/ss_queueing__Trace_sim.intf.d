@@ -1,0 +1,1 @@
+lib/queueing/trace_sim.mli:

@@ -1,0 +1,1 @@
+lib/queueing/workload.ml: Array List Ss_stats Stdlib

@@ -1,0 +1,1 @@
+lib/queueing/workload.mli: Ss_stats

@@ -1,0 +1,29 @@
+type result = {
+  mean : float;
+  half_width : float;
+  batch_count : int;
+  batch_size : int;
+  lag1_batch_corr : float;
+}
+
+let analyze ?(batches = 30) x =
+  if batches < 2 then invalid_arg "Batch_means.analyze: batches < 2";
+  let n = Array.length x in
+  if n < 2 * batches then invalid_arg "Batch_means.analyze: series too short";
+  let batch_size = n / batches in
+  let means =
+    Array.init batches (fun b ->
+        let s = ref 0.0 in
+        for i = b * batch_size to ((b + 1) * batch_size) - 1 do
+          s := !s +. x.(i)
+        done;
+        !s /. float_of_int batch_size)
+  in
+  let mean = Ss_stats.Descriptive.mean means in
+  let var = Ss_stats.Descriptive.sample_variance means in
+  let half_width = 1.96 *. sqrt (var /. float_of_int batches) in
+  let lag1 = Ss_stats.Descriptive.autocorrelation means 1 in
+  { mean; half_width; batch_count = batches; batch_size; lag1_batch_corr = lag1 }
+
+let overflow_indicator ~queue_path ~buffer =
+  Array.map (fun q -> if q > buffer then 1.0 else 0.0) queue_path

@@ -1,0 +1,30 @@
+(** Batch-means confidence intervals for single-run steady-state
+    estimates.
+
+    The paper's empirical queueing curves come from one long trace
+    run, and it warns that "we would expect significant correlations
+    between batches due to the self-similar nature of the traffic".
+    This module computes the classical batch-means interval *and*
+    the lag-1 batch correlation, so callers can see exactly how badly
+    that warning bites (under LRD, batch means stay correlated at
+    every batch size — the interval is optimistic). *)
+
+type result = {
+  mean : float;  (** grand mean *)
+  half_width : float;  (** normal-approximation 95% half width *)
+  batch_count : int;
+  batch_size : int;
+  lag1_batch_corr : float;
+      (** sample lag-1 correlation between batch means — near 0 for
+          SRD once batches are large, persistently positive under
+          LRD *)
+}
+
+val analyze : ?batches:int -> float array -> result
+(** [analyze x] splits the series into [batches] (default 30)
+    equal-size batches (discarding the remainder).
+    @raise Invalid_argument if fewer than [2 * batches] points. *)
+
+val overflow_indicator : queue_path:float array -> buffer:float -> float array
+(** The 0/1 per-slot indicator [Q_i > b] — the series whose batch
+    means estimate a steady-state overflow probability. *)

@@ -1,0 +1,39 @@
+let step ~q ~arrival ~service = Stdlib.max 0.0 (q +. arrival -. service)
+
+let path ?(q0 = 0.0) ~service arrivals =
+  if service < 0.0 then invalid_arg "Lindley.path: service < 0";
+  if q0 < 0.0 then invalid_arg "Lindley.path: q0 < 0";
+  let q = ref q0 in
+  Array.map
+    (fun a ->
+      q := step ~q:!q ~arrival:a ~service;
+      !q)
+    arrivals
+
+let sup_workload ~service arrivals =
+  let w = ref 0.0 and best = ref 0.0 in
+  Array.iter
+    (fun a ->
+      w := !w +. a -. service;
+      if !w > !best then best := !w)
+    arrivals;
+  !best
+
+let exceeds ?(q0 = 0.0) ~service ~buffer arrivals =
+  if service < 0.0 then invalid_arg "Lindley.exceeds: service < 0";
+  let q = ref q0 in
+  let n = Array.length arrivals in
+  let rec go i =
+    if i >= n then None
+    else begin
+      q := step ~q:!q ~arrival:arrivals.(i) ~service;
+      if !q > buffer then Some (i + 1) else go (i + 1)
+    end
+  in
+  go 0
+
+let utilization_service ~mean_arrival ~utilization =
+  if utilization <= 0.0 || utilization >= 1.0 then
+    invalid_arg "Lindley.utilization_service: utilization outside (0,1)";
+  if mean_arrival <= 0.0 then invalid_arg "Lindley.utilization_service: mean_arrival <= 0";
+  mean_arrival /. utilization

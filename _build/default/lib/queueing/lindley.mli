@@ -1,0 +1,31 @@
+(** Slotted single-server queue with deterministic service (paper
+    Section 4, Eq 16).
+
+    [Q_k = max(0, Q_{k-1} + Y_k - mu)] where [Y_k] is the work
+    arriving in slot [k] and [mu] the deterministic service per slot.
+    Overflow of a buffer [b] at or before time [k] is equivalent to
+    [sup_{i<=k} W_i > b] with [W] the cumulative workload process
+    (Eq 17) when the queue starts empty. *)
+
+val step : q:float -> arrival:float -> service:float -> float
+(** One Lindley step. *)
+
+val path : ?q0:float -> service:float -> float array -> float array
+(** [path ~service arrivals] is the queue size after each slot ([q0]
+    defaults to 0, i.e. an initially empty buffer).
+    @raise Invalid_argument if [service < 0] or [q0 < 0]. *)
+
+val sup_workload : service:float -> float array -> float
+(** [max_{1<=i<=n} W_i] with [W_i = sum_{j<=i} (Y_j - mu)]; equals
+    the maximum of [path ~q0:0.] when that maximum is reached before
+    any reflection at zero (the identity the importance sampler
+    exploits is distributional, via time reversal). *)
+
+val exceeds : ?q0:float -> service:float -> buffer:float -> float array -> int option
+(** First slot index (1-based) at which the queue size exceeds
+    [buffer], or [None] if it never does within the horizon. *)
+
+val utilization_service : mean_arrival:float -> utilization:float -> float
+(** Service rate giving a target utilization:
+    [mu = mean_arrival / utilization]. @raise Invalid_argument if
+    [utilization] outside (0,1) or [mean_arrival <= 0]. *)

@@ -1,0 +1,41 @@
+module Rng = Ss_stats.Rng
+
+type estimate = {
+  p : float;
+  variance : float;
+  normalized_variance : float;
+  replications : int;
+  hits : int;
+}
+
+let estimate_of_samples samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Mc.estimate_of_samples: no samples";
+  let p = Ss_stats.Descriptive.mean samples in
+  let variance = if n > 1 then Ss_stats.Descriptive.sample_variance samples else 0.0 in
+  let hits = Array.fold_left (fun a s -> if s <> 0.0 then a + 1 else a) 0 samples in
+  let normalized_variance = if p > 0.0 then variance /. (p *. p) else infinity in
+  { p; variance; normalized_variance; replications = n; hits }
+
+let overflow_probability ~gen ~service ~buffer ?(initial_workload = 0.0) ~horizon
+    ~replications rng =
+  if horizon <= 0 then invalid_arg "Mc.overflow_probability: horizon <= 0";
+  if replications <= 0 then invalid_arg "Mc.overflow_probability: replications <= 0";
+  let samples =
+    Array.init replications (fun _ ->
+        let sub = Rng.split rng in
+        let arrivals = gen sub in
+        if Array.length arrivals < horizon then
+          invalid_arg "Mc.overflow_probability: generated path shorter than horizon";
+        let arrivals =
+          if Array.length arrivals = horizon then arrivals else Array.sub arrivals 0 horizon
+        in
+        (* First passage of the unreflected workload (paper Eq 17). *)
+        if initial_workload +. Lindley.sup_workload ~service arrivals > buffer then 1.0
+        else 0.0)
+  in
+  estimate_of_samples samples
+
+let confidence_interval e ~z =
+  let half = z *. sqrt (e.variance /. float_of_int e.replications) in
+  (Stdlib.max 0.0 (e.p -. half), Stdlib.min 1.0 (e.p +. half))

@@ -1,0 +1,51 @@
+(** Plain (non-twisted) Monte Carlo estimation of buffer-overflow
+    probabilities, with replication bookkeeping shared by the
+    importance sampler.
+
+    The overflow event is the paper's Eq (17): first passage of the
+    cumulative workload [W_i = sum_{j<=i} (Y_j - mu)] above the
+    buffer within the horizon — which, for an initially empty queue
+    and stationary arrivals, has exactly the transient overflow
+    probability [Pr(Q_k > b)] (and converges to the steady-state
+    overflow probability as the horizon grows). Serves as the
+    baseline against which importance sampling's variance reduction
+    is measured. *)
+
+type estimate = {
+  p : float;  (** point estimate of the overflow probability *)
+  variance : float;  (** sample variance of the per-replication indicator/weight *)
+  normalized_variance : float;
+      (** [variance / p^2], the figure of merit of Fig 14; [infinity]
+          when [p = 0] *)
+  replications : int;
+  hits : int;  (** replications in which overflow occurred *)
+}
+
+val estimate_of_samples : float array -> estimate
+(** Build the record from per-replication unbiased samples (indicator
+    values for plain MC, [I*L] for IS). [hits] counts nonzero
+    samples. @raise Invalid_argument on empty input. *)
+
+val overflow_probability :
+  gen:(Ss_stats.Rng.t -> float array) ->
+  service:float ->
+  buffer:float ->
+  ?initial_workload:float ->
+  horizon:int ->
+  replications:int ->
+  Ss_stats.Rng.t ->
+  estimate
+(** [overflow_probability ~gen ~service ~buffer ~horizon
+    ~replications rng] draws [replications] independent arrival paths
+    (each generator call receives a split substream and must return
+    at least [horizon] slots of arrivals) and estimates
+    [Pr(initial_workload + sup_{i<=horizon} W_i > buffer)]
+    ([initial_workload] defaults to 0). @raise Invalid_argument on
+    nonpositive horizon or replications, or if a generated path is
+    shorter than the horizon. *)
+
+val confidence_interval : estimate -> z:float -> float * float
+(** Normal-approximation CI for [p] at the given z-value (e.g. 1.96
+    for 95%), clamped to [\[0, 1\]]. The lower bound is 0 whenever no
+    hits were seen — which for rare events is exactly why the paper
+    needs importance sampling. *)

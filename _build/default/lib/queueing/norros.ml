@@ -1,0 +1,18 @@
+let kappa h =
+  if h <= 0.0 || h >= 1.0 then invalid_arg "Norros.kappa: H outside (0,1)";
+  (h ** h) *. ((1.0 -. h) ** (1.0 -. h))
+
+let log_overflow ~mean_rate ~service ~hurst ~sigma2 ~buffer =
+  if service <= mean_rate then invalid_arg "Norros: service <= mean rate (unstable)";
+  if sigma2 <= 0.0 then invalid_arg "Norros: sigma2 <= 0";
+  if buffer < 0.0 then invalid_arg "Norros: negative buffer";
+  if hurst <= 0.0 || hurst >= 1.0 then invalid_arg "Norros: hurst outside (0,1)";
+  let k = kappa hurst in
+  let surplus = service -. mean_rate in
+  -.(surplus ** (2.0 *. hurst))
+  *. (buffer ** (2.0 -. (2.0 *. hurst)))
+  /. (2.0 *. k *. k *. sigma2)
+
+let overflow ~mean_rate ~service ~hurst ~sigma2 ~buffer =
+  let l = log_overflow ~mean_rate ~service ~hurst ~sigma2 ~buffer in
+  Stdlib.min 1.0 (exp l)

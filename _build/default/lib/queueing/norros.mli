@@ -1,0 +1,31 @@
+(** Norros' analytic storage model for fractional-Brownian-motion
+    input (reference [23] of the paper).
+
+    For cumulative input [A(t) = m t + sigma W_H(t)] served at
+    constant rate [C > m], the stationary queue satisfies the
+    Weibullian approximation
+
+    [P(Q > b) ~ exp( - (C-m)^{2H} b^{2-2H} /
+                     (2 kappa(H)^2 sigma^2) )]
+
+    with [kappa(H) = H^H (1-H)^{1-H}]. The paper's empirical finding
+    that overflow decays {e slower than exponentially} under
+    self-similar video is this formula's [b^{2-2H}] exponent; the
+    bench harness overlays it on the Fig-16 curves as an analytic
+    cross-check. *)
+
+val kappa : float -> float
+(** [H^H (1-H)^{1-H}]. @raise Invalid_argument if [H] outside
+    (0,1). *)
+
+val log_overflow :
+  mean_rate:float -> service:float -> hurst:float -> sigma2:float -> buffer:float -> float
+(** Natural log of the overflow approximation above.
+    [sigma2] is the per-slot marginal variance of the arrival
+    process (so that [Var A(t) ~ sigma2 t^{2H}]).
+    @raise Invalid_argument if [service <= mean_rate], [sigma2 <= 0],
+    [buffer < 0] or [hurst] outside (0,1). *)
+
+val overflow :
+  mean_rate:float -> service:float -> hurst:float -> sigma2:float -> buffer:float -> float
+(** [exp (log_overflow ...)], clamped to [0,1]. *)

@@ -1,0 +1,21 @@
+module D = Ss_stats.Descriptive
+
+let queue_path ~arrivals ~utilization =
+  let mean = D.mean arrivals in
+  if mean <= 0.0 then invalid_arg "Trace_sim.queue_path: nonpositive mean arrival";
+  let service = Lindley.utilization_service ~mean_arrival:mean ~utilization in
+  Lindley.path ~service arrivals
+
+let overflow_fraction ~queue_path ~buffer =
+  let n = Array.length queue_path in
+  if n = 0 then 0.0
+  else begin
+    let hits = Array.fold_left (fun a q -> if q > buffer then a + 1 else a) 0 queue_path in
+    float_of_int hits /. float_of_int n
+  end
+
+let overflow_curve ~arrivals ~utilization ~buffers =
+  let qp = queue_path ~arrivals ~utilization in
+  List.map (fun b -> (b, overflow_fraction ~queue_path:qp ~buffer:b)) buffers
+
+let normalized_buffer ~arrivals b = b *. D.mean arrivals

@@ -1,0 +1,28 @@
+(** Queueing statistics driven by one long (empirical) trace.
+
+    The paper could not replicate the real movie, so all its
+    empirical queueing curves come from a single pass of the trace
+    through the queue, reading [Pr(Q > b)] as the long-run fraction
+    of slots in which the queue exceeds [b] (and reusing the same
+    trace for every buffer size). This module reproduces that
+    methodology, caveats included. *)
+
+val queue_path : arrivals:float array -> utilization:float -> float array
+(** Run the trace through an initially empty queue whose service
+    rate is set from the trace's own mean:
+    [mu = mean(arrivals)/utilization]. Returns the queue-size path.
+    @raise Invalid_argument if [utilization] outside (0,1) or the
+    trace mean is not positive. *)
+
+val overflow_fraction : queue_path:float array -> buffer:float -> float
+(** Fraction of slots with [Q > buffer]. *)
+
+val overflow_curve :
+  arrivals:float array -> utilization:float -> buffers:float list -> (float * float) list
+(** [(buffer, Pr(Q > buffer))] for each requested buffer, from a
+    single queue pass (buffers are absolute work units; callers
+    normalize). *)
+
+val normalized_buffer : arrivals:float array -> float -> float
+(** Convert a normalized buffer size (units of mean arrival, the
+    paper's convention for Figs 14–17) to absolute work units. *)

@@ -1,0 +1,22 @@
+module Rng = Ss_stats.Rng
+
+let superpose sources =
+  match sources with
+  | [] -> invalid_arg "Workload.superpose: no sources"
+  | first :: _ ->
+    List.iter
+      (fun s -> if Array.length s = 0 then invalid_arg "Workload.superpose: empty source")
+      sources;
+    let n = List.fold_left (fun acc s -> Stdlib.min acc (Array.length s)) (Array.length first) sources in
+    Array.init n (fun i -> List.fold_left (fun acc s -> acc +. s.(i)) 0.0 sources)
+
+let superpose_gen gen ~sources rng =
+  if sources <= 0 then invalid_arg "Workload.superpose_gen: sources <= 0";
+  superpose (List.init sources (fun _ -> gen (Rng.split rng)))
+
+let scale factor xs = Array.map (fun v -> factor *. v) xs
+
+let peak_to_mean xs =
+  let mean = Ss_stats.Descriptive.mean xs in
+  if mean = 0.0 then invalid_arg "Workload.peak_to_mean: zero mean";
+  Ss_stats.Descriptive.max xs /. mean

@@ -1,0 +1,25 @@
+(** Arrival-process composition for the ATM multiplexer.
+
+    The paper's motivation (Section 1) is statistical multiplexing:
+    many VBR sources share one buffer. This module superposes
+    independent sources — slot-wise addition of their arrival
+    processes — so the [abl-mux] bench can quantify the multiplexing
+    gain (per-source overflow drops as sources are added at equal
+    utilization) and its erosion under long-range dependence. *)
+
+val superpose : float array list -> float array
+(** Slot-wise sum, truncated to the shortest source.
+    @raise Invalid_argument on an empty list or an empty source. *)
+
+val superpose_gen :
+  (Ss_stats.Rng.t -> float array) -> sources:int -> Ss_stats.Rng.t -> float array
+(** [superpose_gen gen ~sources rng] draws [sources] independent
+    paths (one split substream each) and superposes them.
+    @raise Invalid_argument if [sources <= 0]. *)
+
+val scale : float -> float array -> float array
+(** Multiply every slot (e.g. unit conversion). *)
+
+val peak_to_mean : float array -> float
+(** Burstiness summary: max over mean.
+    @raise Invalid_argument on empty input or zero mean. *)

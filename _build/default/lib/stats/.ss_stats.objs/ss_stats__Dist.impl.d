@@ -1,0 +1,1 @@
+lib/stats/dist.ml: Array Empirical Float Histogram Printf Rng Special Stdlib

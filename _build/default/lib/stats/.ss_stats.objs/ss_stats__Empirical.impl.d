@@ -1,0 +1,1 @@
+lib/stats/empirical.ml: Array Descriptive List

@@ -1,0 +1,1 @@
+lib/stats/fit_dist.ml: Array Descriptive Dist List Special Stdlib

@@ -1,0 +1,1 @@
+lib/stats/fit_dist.mli: Dist

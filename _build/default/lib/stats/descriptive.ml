@@ -1,0 +1,100 @@
+let check_nonempty name x =
+  if Array.length x = 0 then invalid_arg ("Descriptive." ^ name ^ ": empty input")
+
+let mean x =
+  check_nonempty "mean" x;
+  let s = ref 0.0 in
+  Array.iter (fun v -> s := !s +. v) x;
+  !s /. float_of_int (Array.length x)
+
+let central_moment x ~order ~m =
+  let s = ref 0.0 in
+  Array.iter
+    (fun v ->
+      let d = v -. m in
+      let rec pow acc k = if k = 0 then acc else pow (acc *. d) (k - 1) in
+      s := !s +. pow 1.0 order)
+    x;
+  !s /. float_of_int (Array.length x)
+
+let variance x =
+  check_nonempty "variance" x;
+  central_moment x ~order:2 ~m:(mean x)
+
+let sample_variance x =
+  if Array.length x < 2 then invalid_arg "Descriptive.sample_variance: need >= 2 points";
+  let n = float_of_int (Array.length x) in
+  variance x *. n /. (n -. 1.0)
+
+let std x = sqrt (variance x)
+
+let skewness x =
+  check_nonempty "skewness" x;
+  let m = mean x in
+  let v = central_moment x ~order:2 ~m in
+  if v = 0.0 then 0.0 else central_moment x ~order:3 ~m /. (v ** 1.5)
+
+let kurtosis x =
+  check_nonempty "kurtosis" x;
+  let m = mean x in
+  let v = central_moment x ~order:2 ~m in
+  if v = 0.0 then 0.0 else (central_moment x ~order:4 ~m /. (v *. v)) -. 3.0
+
+let min x =
+  check_nonempty "min" x;
+  Array.fold_left Stdlib.min x.(0) x
+
+let max x =
+  check_nonempty "max" x;
+  Array.fold_left Stdlib.max x.(0) x
+
+let sorted_copy x =
+  let y = Array.copy x in
+  Array.sort compare y;
+  y
+
+let quantile x p =
+  check_nonempty "quantile" x;
+  if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p outside [0,1]";
+  let y = sorted_copy x in
+  let n = Array.length y in
+  if n = 1 then y.(0)
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let i = int_of_float (floor h) in
+    let i = if i >= n - 1 then n - 2 else i in
+    let frac = h -. float_of_int i in
+    y.(i) +. (frac *. (y.(i + 1) -. y.(i)))
+  end
+
+let median x = quantile x 0.5
+
+let autocovariance x k =
+  let n = Array.length x in
+  if k < 0 || k >= n then invalid_arg "Descriptive.autocovariance: bad lag";
+  let m = mean x in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 - k do
+    s := !s +. ((Array.unsafe_get x i -. m) *. (Array.unsafe_get x (i + k) -. m))
+  done;
+  !s /. float_of_int n
+
+let autocorrelation x k =
+  let c0 = autocovariance x 0 in
+  if c0 = 0.0 then 0.0 else autocovariance x k /. c0
+
+let acf x ~max_lag =
+  let n = Array.length x in
+  if max_lag < 0 || max_lag >= n then invalid_arg "Descriptive.acf: bad max_lag";
+  let m = mean x in
+  let centered = Array.map (fun v -> v -. m) x in
+  let cov k =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 - k do
+      s := !s +. (Array.unsafe_get centered i *. Array.unsafe_get centered (i + k))
+    done;
+    !s /. float_of_int n
+  in
+  let c0 = cov 0 in
+  if c0 = 0.0 then Array.make (max_lag + 1) 0.0
+  else Array.init (max_lag + 1) (fun k -> cov k /. c0)

@@ -1,0 +1,56 @@
+(** Descriptive statistics over float arrays.
+
+    All functions are pure and never mutate their input. Functions
+    that need a sorted copy make one internally. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on empty input. *)
+
+val variance : float array -> float
+(** Population (biased, 1/n) variance, the convention used for
+    autocovariance estimation. @raise Invalid_argument on empty
+    input. *)
+
+val sample_variance : float array -> float
+(** Unbiased (1/(n-1)) variance. @raise Invalid_argument if fewer
+    than two points. *)
+
+val std : float array -> float
+(** Square root of {!variance}. *)
+
+val skewness : float array -> float
+(** Sample skewness (third standardized moment, biased form).
+    Returns 0 for constant data. *)
+
+val kurtosis : float array -> float
+(** Excess kurtosis (fourth standardized moment minus 3, biased
+    form). Returns 0 for constant data. *)
+
+val min : float array -> float
+(** @raise Invalid_argument on empty input. *)
+
+val max : float array -> float
+(** @raise Invalid_argument on empty input. *)
+
+val median : float array -> float
+(** Median by sorting a copy. @raise Invalid_argument on empty
+    input. *)
+
+val quantile : float array -> float -> float
+(** [quantile data p] is the [p]-quantile (linear interpolation
+    between order statistics, type-7). @raise Invalid_argument if
+    [p] outside [0,1] or data empty. *)
+
+val autocovariance : float array -> int -> float
+(** [autocovariance x k] is the biased lag-[k] autocovariance
+    [1/n * sum (x_i - mean)(x_{i+k} - mean)].
+    @raise Invalid_argument if [k < 0 || k >= length x]. *)
+
+val autocorrelation : float array -> int -> float
+(** Lag-[k] autocorrelation (autocovariance normalized by lag-0).
+    Returns 0 when the series is constant. *)
+
+val acf : float array -> max_lag:int -> float array
+(** [acf x ~max_lag] is [[|r(0); r(1); ...; r(max_lag)|]] computed
+    with a single pass per lag against the global mean.
+    @raise Invalid_argument if [max_lag >= length x]. *)

@@ -1,0 +1,360 @@
+type t = {
+  name : string;
+  pdf : float -> float;
+  cdf : float -> float;
+  quantile : float -> float;
+  mean : float;
+  variance : float;
+  sample : Rng.t -> float;
+}
+
+let check_p name p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg ("Dist." ^ name ^ ".quantile: p outside (0,1)")
+
+let uniform ~lo ~hi =
+  if hi <= lo then invalid_arg "Dist.uniform: hi <= lo";
+  let w = hi -. lo in
+  {
+    name = Printf.sprintf "uniform(%g,%g)" lo hi;
+    pdf = (fun x -> if x < lo || x > hi then 0.0 else 1.0 /. w);
+    cdf =
+      (fun x -> if x < lo then 0.0 else if x > hi then 1.0 else (x -. lo) /. w);
+    quantile =
+      (fun p ->
+        check_p "uniform" p;
+        lo +. (p *. w));
+    mean = (lo +. hi) /. 2.0;
+    variance = w *. w /. 12.0;
+    sample = (fun rng -> Rng.float_range rng lo hi);
+  }
+
+let normal ~mean ~std =
+  if std <= 0.0 then invalid_arg "Dist.normal: std <= 0";
+  {
+    name = Printf.sprintf "normal(%g,%g)" mean std;
+    pdf = (fun x -> Special.normal_pdf ((x -. mean) /. std) /. std);
+    cdf = (fun x -> Special.normal_cdf ((x -. mean) /. std));
+    quantile =
+      (fun p ->
+        check_p "normal" p;
+        mean +. (std *. Special.normal_quantile p));
+    mean;
+    variance = std *. std;
+    sample = (fun rng -> Rng.gaussian_mv rng ~mean ~std);
+  }
+
+let lognormal ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Dist.lognormal: sigma <= 0";
+  let m = exp (mu +. (sigma *. sigma /. 2.0)) in
+  let v = (exp (sigma *. sigma) -. 1.0) *. m *. m in
+  {
+    name = Printf.sprintf "lognormal(%g,%g)" mu sigma;
+    pdf =
+      (fun x ->
+        if x <= 0.0 then 0.0
+        else Special.normal_pdf ((log x -. mu) /. sigma) /. (sigma *. x));
+    cdf =
+      (fun x ->
+        if x <= 0.0 then 0.0 else Special.normal_cdf ((log x -. mu) /. sigma));
+    quantile =
+      (fun p ->
+        check_p "lognormal" p;
+        exp (mu +. (sigma *. Special.normal_quantile p)));
+    mean = m;
+    variance = v;
+    sample = (fun rng -> exp (mu +. (sigma *. Rng.gaussian rng)));
+  }
+
+let exponential ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate <= 0";
+  {
+    name = Printf.sprintf "exponential(%g)" rate;
+    pdf = (fun x -> if x < 0.0 then 0.0 else rate *. exp (-.rate *. x));
+    cdf = (fun x -> if x < 0.0 then 0.0 else 1.0 -. exp (-.rate *. x));
+    quantile =
+      (fun p ->
+        check_p "exponential" p;
+        -.log1p (-.p) /. rate);
+    mean = 1.0 /. rate;
+    variance = 1.0 /. (rate *. rate);
+    sample = (fun rng -> Rng.exponential rng ~rate);
+  }
+
+(* Marsaglia–Tsang gamma sampler, shape >= 1; shape < 1 boosted via
+   the U^{1/shape} trick. *)
+let rec gamma_sample rng ~shape ~scale =
+  if shape < 1.0 then begin
+    let u = Rng.float rng in
+    let u = if u = 0.0 then 0.5 else u in
+    gamma_sample rng ~shape:(shape +. 1.0) ~scale *. (u ** (1.0 /. shape))
+  end
+  else begin
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec draw () =
+      let x = Rng.gaussian rng in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then draw ()
+      else begin
+        let v3 = v *. v *. v in
+        let u = Rng.float rng in
+        let u = if u = 0.0 then 1e-300 else u in
+        if log u < (0.5 *. x *. x) +. d -. (d *. v3) +. (d *. log v3) then d *. v3
+        else draw ()
+      end
+    in
+    scale *. draw ()
+  end
+
+(* Gamma quantile by safeguarded Newton on the regularized incomplete
+   gamma, starting from the Wilson–Hilferty approximation. *)
+let gamma_quantile ~shape ~scale p =
+  let z = Special.normal_quantile p in
+  let wh =
+    let t = 1.0 -. (1.0 /. (9.0 *. shape)) +. (z /. (3.0 *. sqrt shape)) in
+    shape *. t *. t *. t
+  in
+  let x0 = if wh > 1e-300 then wh else 1e-6 in
+  (* Bracket the root in normalized units (scale = 1). *)
+  let f x = Special.gamma_p shape x -. p in
+  let lo = ref 0.0 and hi = ref (Stdlib.max (2.0 *. x0) 1.0) in
+  while f !hi < 0.0 do
+    hi := !hi *. 2.0
+  done;
+  let x = ref (Stdlib.min (Stdlib.max x0 1e-12) !hi) in
+  let log_gamma_shape = Special.log_gamma shape in
+  let pdf1 x =
+    (* density of Gamma(shape, 1) *)
+    if x <= 0.0 then 0.0
+    else exp (((shape -. 1.0) *. log x) -. x -. log_gamma_shape)
+  in
+  for _ = 1 to 60 do
+    let fx = f !x in
+    if fx > 0.0 then hi := !x else lo := !x;
+    let d = pdf1 !x in
+    let nx = if d > 0.0 then !x -. (fx /. d) else !x in
+    x := if nx <= !lo || nx >= !hi then (!lo +. !hi) /. 2.0 else nx
+  done;
+  scale *. !x
+
+let gamma ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Dist.gamma: bad parameters";
+  let log_gamma_shape = Special.log_gamma shape in
+  let pdf x =
+    if x <= 0.0 then 0.0
+    else
+      exp
+        (((shape -. 1.0) *. log (x /. scale)) -. (x /. scale) -. log_gamma_shape)
+      /. scale
+  in
+  {
+    name = Printf.sprintf "gamma(%g,%g)" shape scale;
+    pdf;
+    cdf = (fun x -> if x <= 0.0 then 0.0 else Special.gamma_p shape (x /. scale));
+    quantile =
+      (fun p ->
+        check_p "gamma" p;
+        gamma_quantile ~shape ~scale p);
+    mean = shape *. scale;
+    variance = shape *. scale *. scale;
+    sample = (fun rng -> gamma_sample rng ~shape ~scale);
+  }
+
+let pareto ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Dist.pareto: bad parameters";
+  let mean = if shape > 1.0 then shape *. scale /. (shape -. 1.0) else infinity in
+  let variance =
+    if shape > 2.0 then
+      scale *. scale *. shape /. ((shape -. 1.0) *. (shape -. 1.0) *. (shape -. 2.0))
+    else infinity
+  in
+  {
+    name = Printf.sprintf "pareto(%g,%g)" shape scale;
+    pdf =
+      (fun x ->
+        if x < scale then 0.0 else shape *. (scale ** shape) /. (x ** (shape +. 1.0)));
+    cdf = (fun x -> if x < scale then 0.0 else 1.0 -. ((scale /. x) ** shape));
+    quantile =
+      (fun p ->
+        check_p "pareto" p;
+        scale /. ((1.0 -. p) ** (1.0 /. shape)));
+    mean;
+    variance;
+    sample = (fun rng -> Rng.pareto rng ~shape ~scale);
+  }
+
+let weibull ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Dist.weibull: bad parameters";
+  let gamma1p x = exp (Special.log_gamma (1.0 +. x)) in
+  let m = scale *. gamma1p (1.0 /. shape) in
+  let v = (scale *. scale *. gamma1p (2.0 /. shape)) -. (m *. m) in
+  {
+    name = Printf.sprintf "weibull(%g,%g)" shape scale;
+    pdf =
+      (fun x ->
+        if x < 0.0 then 0.0
+        else begin
+          let z = x /. scale in
+          shape /. scale *. (z ** (shape -. 1.0)) *. exp (-.(z ** shape))
+        end);
+    cdf = (fun x -> if x < 0.0 then 0.0 else 1.0 -. exp (-.((x /. scale) ** shape)));
+    quantile =
+      (fun p ->
+        check_p "weibull" p;
+        scale *. ((-.log1p (-.p)) ** (1.0 /. shape)));
+    mean = m;
+    variance = v;
+    sample =
+      (fun rng ->
+        let u = Rng.float rng in
+        scale *. ((-.log1p (-.u)) ** (1.0 /. shape)));
+  }
+
+let gamma_pareto ~shape ~scale ~cut =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Dist.gamma_pareto: bad parameters";
+  if cut <= 0.0 || cut >= 1.0 then invalid_arg "Dist.gamma_pareto: cut outside (0,1)";
+  let body = gamma ~shape ~scale in
+  let xc = body.quantile cut in
+  let fc = body.pdf xc in
+  let survival = 1.0 -. cut in
+  (* Tail index from density continuity at the crossover:
+     survival * alpha / xc = gamma_pdf(xc). *)
+  let alpha = xc *. fc /. survival in
+  if not (alpha > 0.0 && Float.is_finite alpha) then
+    invalid_arg "Dist.gamma_pareto: degenerate tail at crossover";
+  let tail_cdf x = 1.0 -. (survival *. ((xc /. x) ** alpha)) in
+  let tail_pdf x = survival *. alpha *. (xc ** alpha) /. (x ** (alpha +. 1.0)) in
+  let cdf x = if x <= xc then body.cdf x else tail_cdf x in
+  let pdf x = if x <= xc then body.pdf x else tail_pdf x in
+  let quantile p =
+    check_p "gamma_pareto" p;
+    if p <= cut then body.quantile p
+    else xc *. (((1.0 -. p) /. survival) ** (-1.0 /. alpha))
+  in
+  (* Moments: body contribution via incomplete-gamma identities,
+     tail contribution in closed form (infinite when alpha <= 1 or
+     <= 2 respectively). *)
+  let body_m1 = shape *. scale *. Special.gamma_p (shape +. 1.0) (xc /. scale) in
+  let body_m2 =
+    shape *. (shape +. 1.0) *. scale *. scale *. Special.gamma_p (shape +. 2.0) (xc /. scale)
+  in
+  let mean =
+    if alpha <= 1.0 then infinity
+    else body_m1 +. (survival *. alpha *. xc /. (alpha -. 1.0))
+  in
+  let variance =
+    if alpha <= 2.0 then infinity
+    else begin
+      let m2 = body_m2 +. (survival *. alpha *. xc *. xc /. (alpha -. 2.0)) in
+      m2 -. (mean *. mean)
+    end
+  in
+  {
+    name = Printf.sprintf "gamma_pareto(%g,%g,cut=%g)" shape scale cut;
+    pdf;
+    cdf;
+    quantile;
+    mean;
+    variance;
+    sample =
+      (fun rng ->
+        let u = Rng.float rng in
+        let u = if u <= 0.0 then 1e-12 else if u >= 1.0 then 1.0 -. 1e-12 else u in
+        quantile u);
+  }
+
+let of_empirical emp =
+  let lo, hi = Empirical.support emp in
+  let eps = Stdlib.max ((hi -. lo) *. 1e-4) 1e-9 in
+  {
+    name = Printf.sprintf "empirical(n=%d)" (Empirical.size emp);
+    pdf =
+      (fun x ->
+        (Empirical.cdf emp (x +. eps) -. Empirical.cdf emp (x -. eps)) /. (2.0 *. eps));
+    cdf = Empirical.cdf emp;
+    quantile =
+      (fun p ->
+        check_p "empirical" p;
+        Empirical.quantile emp p);
+    mean = Empirical.mean emp;
+    variance = Empirical.variance emp;
+    sample =
+      (fun rng ->
+        let u = Rng.float rng in
+        Empirical.quantile emp (Stdlib.min u (1.0 -. 1e-12)));
+  }
+
+let of_histogram h =
+  let cum = Histogram.cdf h in
+  let nbins = Array.length cum in
+  let quantile p =
+    check_p "histogram" p;
+    (* Find the first bin whose cumulative mass reaches p, then
+       interpolate linearly inside it. *)
+    let rec find i = if i >= nbins - 1 || cum.(i) >= p then i else find (i + 1) in
+    let i = find 0 in
+    let lo_mass = if i = 0 then 0.0 else cum.(i - 1) in
+    let mass = cum.(i) -. lo_mass in
+    let frac = if mass <= 0.0 then 0.5 else (p -. lo_mass) /. mass in
+    let left = h.Histogram.lo +. (float_of_int i *. h.Histogram.width) in
+    left +. (frac *. h.Histogram.width)
+  in
+  let cdf x =
+    if x <= h.Histogram.lo then 0.0
+    else if x >= h.Histogram.hi then 1.0
+    else begin
+      let i = Histogram.bin_of h x in
+      let lo_mass = if i = 0 then 0.0 else cum.(i - 1) in
+      let left = h.Histogram.lo +. (float_of_int i *. h.Histogram.width) in
+      let frac = (x -. left) /. h.Histogram.width in
+      lo_mass +. (frac *. (cum.(i) -. lo_mass))
+    end
+  in
+  (* Moments of the piecewise-uniform reconstruction. *)
+  let mean = Histogram.mean h in
+  let variance =
+    let s = ref 0.0 in
+    for i = 0 to nbins - 1 do
+      let c = Histogram.bin_center h i in
+      let f = Histogram.frequency h i in
+      s := !s +. (f *. (((c -. mean) *. (c -. mean)) +. (h.Histogram.width *. h.Histogram.width /. 12.0)))
+    done;
+    !s
+  in
+  {
+    name = Printf.sprintf "histogram(%d bins)" nbins;
+    pdf = (fun x -> if x < h.Histogram.lo || x > h.Histogram.hi then 0.0 else Histogram.pdf_at h x);
+    cdf;
+    quantile;
+    mean;
+    variance;
+    sample =
+      (fun rng ->
+        let u = Rng.float rng in
+        let u = if u <= 0.0 then 1e-12 else u in
+        quantile u);
+  }
+
+let truncate_below d ~floor:fl =
+  let clamp x = if x < fl then fl else x in
+  (* Recompute moments of the clamped variate by averaging the
+     clamped quantile function over a fine grid. *)
+  let n = 4096 in
+  let m1 = ref 0.0 and m2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let p = (float_of_int i +. 0.5) /. float_of_int n in
+    let x = clamp (d.quantile p) in
+    m1 := !m1 +. x;
+    m2 := !m2 +. (x *. x)
+  done;
+  let mean = !m1 /. float_of_int n in
+  let variance = (!m2 /. float_of_int n) -. (mean *. mean) in
+  {
+    name = d.name ^ Printf.sprintf "|>=%g" fl;
+    pdf = (fun x -> if x < fl then 0.0 else d.pdf x);
+    cdf = (fun x -> if x < fl then 0.0 else d.cdf x);
+    quantile = (fun p -> clamp (d.quantile p));
+    mean;
+    variance;
+    sample = (fun rng -> clamp (d.sample rng));
+  }

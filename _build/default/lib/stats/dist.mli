@@ -1,0 +1,78 @@
+(** Parametric (and empirical) probability distributions behind a
+    uniform first-class interface.
+
+    Each distribution packs its density, CDF, quantile function,
+    moments and a sampler. The quantile function is what the paper's
+    transform [h = F_Y^{-1} . Phi] consumes, so every constructor
+    guarantees [quantile] is non-decreasing and defined on (0,1).
+
+    Includes the combined Gamma/Pareto body-tail hybrid used by
+    Garrett & Willinger (SIGCOMM '94) to model VBR frame sizes, which
+    this repository implements as the parametric baseline against the
+    paper's direct histogram inversion. *)
+
+type t = {
+  name : string;
+  pdf : float -> float;  (** density (0 outside support) *)
+  cdf : float -> float;  (** cumulative distribution *)
+  quantile : float -> float;
+      (** inverse CDF on (0,1); @raise Invalid_argument outside *)
+  mean : float;
+  variance : float;
+  sample : Rng.t -> float;  (** random deviate *)
+}
+
+val uniform : lo:float -> hi:float -> t
+(** @raise Invalid_argument if [hi <= lo]. *)
+
+val normal : mean:float -> std:float -> t
+(** @raise Invalid_argument if [std <= 0]. *)
+
+val lognormal : mu:float -> sigma:float -> t
+(** Log of the variate is N(mu, sigma^2).
+    @raise Invalid_argument if [sigma <= 0]. *)
+
+val exponential : rate:float -> t
+(** @raise Invalid_argument if [rate <= 0]. *)
+
+val gamma : shape:float -> scale:float -> t
+(** Gamma with density [x^{shape-1} e^{-x/scale}]; sampling by
+    Marsaglia–Tsang, quantile by bracketed Newton on the regularized
+    incomplete gamma. @raise Invalid_argument if [shape <= 0 ||
+    scale <= 0]. *)
+
+val pareto : shape:float -> scale:float -> t
+(** Pareto type I on [\[scale, inf)], [P(X > x) = (scale/x)^shape].
+    [mean]/[variance] are [infinity] when the corresponding moment
+    does not exist. @raise Invalid_argument if [shape <= 0 ||
+    scale <= 0]. *)
+
+val weibull : shape:float -> scale:float -> t
+(** @raise Invalid_argument if [shape <= 0 || scale <= 0]. *)
+
+val gamma_pareto : shape:float -> scale:float -> cut:float -> t
+(** Garrett–Willinger body-tail hybrid: Gamma(shape, scale) body up
+    to the [cut]-quantile, Pareto tail beyond it, with the Pareto
+    scale chosen so the CDF is continuous at the crossover and the
+    tail index chosen so the *density* is also continuous there
+    (matching slopes of log-survival). [cut] must lie in (0,1).
+    @raise Invalid_argument on bad parameters. *)
+
+val of_empirical : Empirical.t -> t
+(** Wrap an empirical distribution: direct inversion of the sorted
+    sample with interpolated quantiles. [pdf] is a finite-difference
+    estimate. *)
+
+val of_histogram : Histogram.t -> t
+(** Histogram-based inversion exactly as the paper words it: the
+    quantile function interpolates linearly within the bin containing
+    the requested probability mass, so the reconstructed density is
+    the histogram's step function. Coarser than {!of_empirical} (a
+    deliberately lossy summary) but independent of the raw sample
+    size. *)
+
+val truncate_below : t -> floor:float -> t
+(** [truncate_below d ~floor] clamps samples and quantiles at
+    [floor] (frame sizes cannot be negative); CDF mass below [floor]
+    collapses onto it. [mean]/[variance] are recomputed numerically
+    from the clamped quantile function. *)

@@ -1,0 +1,59 @@
+let check_positive name data =
+  if Array.length data < 2 then invalid_arg ("Fit_dist." ^ name ^ ": need >= 2 points");
+  Array.iter
+    (fun x -> if x <= 0.0 then invalid_arg ("Fit_dist." ^ name ^ ": non-positive datum"))
+    data
+
+let gamma_moments data =
+  if Array.length data < 2 then invalid_arg "Fit_dist.gamma_moments: need >= 2 points";
+  let mean = Descriptive.mean data in
+  let var = Descriptive.variance data in
+  if mean <= 0.0 then invalid_arg "Fit_dist.gamma_moments: non-positive mean";
+  if var <= 0.0 then invalid_arg "Fit_dist.gamma_moments: zero variance";
+  (mean *. mean /. var, var /. mean)
+
+let gamma_mle ?(max_iter = 50) data =
+  check_positive "gamma_mle" data;
+  let mean = Descriptive.mean data in
+  let mean_log = Descriptive.mean (Array.map log data) in
+  let s = log mean -. mean_log in
+  if s <= 0.0 then invalid_arg "Fit_dist.gamma_mle: degenerate data (constant?)";
+  let shape0, _ = gamma_moments data in
+  let shape = ref (Stdlib.max shape0 1e-3) in
+  (* Solve log k - psi(k) = s by Newton with positivity safeguard. *)
+  for _ = 1 to max_iter do
+    let f = log !shape -. Special.digamma !shape -. s in
+    let f' = (1.0 /. !shape) -. Special.trigamma !shape in
+    let next = !shape -. (f /. f') in
+    shape := if next > 0.0 then next else !shape /. 2.0
+  done;
+  (!shape, mean /. !shape)
+
+let pareto_tail_mle data ~cut =
+  if cut <= 0.0 || cut >= 1.0 then invalid_arg "Fit_dist.pareto_tail_mle: cut outside (0,1)";
+  let xc = Descriptive.quantile data cut in
+  if xc <= 0.0 then invalid_arg "Fit_dist.pareto_tail_mle: non-positive cut point";
+  let tail = Array.to_list data |> List.filter (fun x -> x > xc) in
+  if List.length tail < 10 then invalid_arg "Fit_dist.pareto_tail_mle: fewer than 10 tail points";
+  let mean_log = List.fold_left (fun a x -> a +. log (x /. xc)) 0.0 tail
+                 /. float_of_int (List.length tail) in
+  (1.0 /. mean_log, xc)
+
+let gamma_pareto_auto ?(cut = 0.97) data =
+  let shape, scale = gamma_mle data in
+  Dist.gamma_pareto ~shape ~scale ~cut
+
+let lognormal_mle data =
+  check_positive "lognormal_mle" data;
+  let logs = Array.map log data in
+  let mu = Descriptive.mean logs in
+  let sigma = Descriptive.std logs in
+  if sigma <= 0.0 then invalid_arg "Fit_dist.lognormal_mle: zero log-variance";
+  (mu, sigma)
+
+let log_likelihood d data =
+  Array.fold_left
+    (fun acc x ->
+      let p = d.Dist.pdf x in
+      if p <= 0.0 then neg_infinity else acc +. log p)
+    0.0 data

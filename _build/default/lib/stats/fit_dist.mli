@@ -1,0 +1,39 @@
+(** Parameter estimation for the marginal-distribution families.
+
+    The paper inverts the empirical distribution directly; its
+    predecessor (Garrett & Willinger '94) fits a parametric
+    Gamma/Pareto hybrid instead. This module provides the estimators
+    needed to reproduce that parametric baseline (the [abl-marg]
+    ablation) and general-purpose moment/ML fits. *)
+
+val gamma_moments : float array -> float * float
+(** Method-of-moments Gamma fit: [(shape, scale)] with
+    [shape = mean^2/var], [scale = var/mean].
+    @raise Invalid_argument on fewer than 2 points, non-positive data
+    mean, or zero variance. *)
+
+val gamma_mle : ?max_iter:int -> float array -> float * float
+(** Maximum-likelihood Gamma fit by Newton iteration on the digamma
+    equation [log shape - psi(shape) = log mean - mean(log x)],
+    started from the moments fit. All data must be strictly
+    positive. @raise Invalid_argument otherwise. *)
+
+val pareto_tail_mle : float array -> cut:float -> float * float
+(** Hill-style tail fit: using the observations above the empirical
+    [cut]-quantile [x_c], the tail index is
+    [1 / mean(log(x_i / x_c))]; returns [(alpha, x_c)].
+    @raise Invalid_argument if [cut] outside (0,1) or fewer than 10
+    tail points. *)
+
+val gamma_pareto_auto : ?cut:float -> float array -> Dist.t
+(** The Garrett–Willinger marginal: Gamma MLE body spliced with a
+    density-continuous Pareto tail at the [cut]-quantile (default
+    0.97), via {!Dist.gamma_pareto}. *)
+
+val lognormal_mle : float array -> float * float
+(** [(mu, sigma)] from the sample mean/std of [log x]; data must be
+    strictly positive. @raise Invalid_argument otherwise. *)
+
+val log_likelihood : Dist.t -> float array -> float
+(** Sum of log densities (for model comparison); returns
+    [neg_infinity] if any point has zero density. *)

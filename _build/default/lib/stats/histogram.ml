@@ -1,0 +1,64 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  total : int;
+}
+
+let make ?range ~bins data =
+  if bins <= 0 then invalid_arg "Histogram.make: bins <= 0";
+  if Array.length data = 0 then invalid_arg "Histogram.make: empty data";
+  let lo, hi =
+    match range with
+    | Some (lo, hi) ->
+      if hi <= lo then invalid_arg "Histogram.make: inverted range";
+      (lo, hi)
+    | None ->
+      let lo = Descriptive.min data and hi = Descriptive.max data in
+      if hi > lo then (lo, hi +. ((hi -. lo) *. 1e-9))
+      else (lo -. 0.5, lo +. 0.5)
+  in
+  let width = (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  let clamp i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+  Array.iter
+    (fun v ->
+      let i = clamp (int_of_float (floor ((v -. lo) /. width))) in
+      counts.(i) <- counts.(i) + 1)
+    data;
+  { lo; hi; width; counts; total = Array.length data }
+
+let bins t = Array.length t.counts
+
+let bin_of t v =
+  let i = int_of_float (floor ((v -. t.lo) /. t.width)) in
+  if i < 0 then 0 else if i >= bins t then bins t - 1 else i
+
+let bin_center t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_center: out of range";
+  t.lo +. ((float_of_int i +. 0.5) *. t.width)
+
+let frequency t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.frequency: out of range";
+  float_of_int t.counts.(i) /. float_of_int t.total
+
+let pdf_at t v = frequency t (bin_of t v) /. t.width
+
+let to_points t =
+  List.init (bins t) (fun i -> (bin_center t i, frequency t i))
+
+let cdf t =
+  let n = bins t in
+  let acc = ref 0.0 in
+  Array.init n (fun i ->
+      acc := !acc +. frequency t i;
+      (* Clamp tiny floating accumulation overshoot. *)
+      if i = n - 1 then 1.0 else Stdlib.min !acc 1.0)
+
+let mean t =
+  let s = ref 0.0 in
+  for i = 0 to bins t - 1 do
+    s := !s +. (bin_center t i *. frequency t i)
+  done;
+  !s

@@ -1,0 +1,44 @@
+(** Fixed-width histograms over float data.
+
+    Used both for reporting marginal distributions (paper Figs 1, 12)
+    and as the basis of histogram-inversion transforms. *)
+
+type t = {
+  lo : float;  (** left edge of the first bin *)
+  hi : float;  (** right edge of the last bin *)
+  width : float;  (** common bin width *)
+  counts : int array;  (** per-bin occupancy *)
+  total : int;  (** number of data points binned *)
+}
+
+val make : ?range:float * float -> bins:int -> float array -> t
+(** [make ~bins data] builds a histogram with [bins] equal-width bins
+    spanning [range] (default: data min/max, widened slightly so the
+    maximum lands in the last bin). Values outside [range] are
+    clamped to the boundary bins, so [total] always equals the data
+    length. @raise Invalid_argument if [bins <= 0], data is empty, or
+    the range is inverted. *)
+
+val bin_of : t -> float -> int
+(** Index of the bin containing a value (clamped at the ends). *)
+
+val bin_center : t -> int -> float
+(** Midpoint of bin [i]. @raise Invalid_argument if out of range. *)
+
+val frequency : t -> int -> float
+(** [frequency h i] is the fraction of points in bin [i]. *)
+
+val pdf_at : t -> float -> float
+(** Density estimate at a point: bin frequency divided by bin
+    width. *)
+
+val to_points : t -> (float * float) list
+(** [(bin center, frequency)] pairs in bin order, for plotting. *)
+
+val cdf : t -> float array
+(** Cumulative frequencies by right bin edge: [cdf.(i)] is the
+    fraction of data in bins [0..i]. Monotone, ending at 1. *)
+
+val mean : t -> float
+(** Mean of the binned distribution (bin centers weighted by
+    frequency). *)

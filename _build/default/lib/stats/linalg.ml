@@ -1,0 +1,99 @@
+let dims a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Linalg: empty matrix";
+  let m = Array.length a.(0) in
+  Array.iter (fun row -> if Array.length row <> m then invalid_arg "Linalg: ragged matrix") a;
+  (n, m)
+
+let cholesky a =
+  let n, m = dims a in
+  if n <> m then invalid_arg "Linalg.cholesky: not square";
+  (* Symmetry check with relative tolerance. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let scale = Stdlib.max (abs_float a.(i).(j)) (abs_float a.(j).(i)) in
+      if abs_float (a.(i).(j) -. a.(j).(i)) > 1e-9 *. Stdlib.max scale 1.0 then
+        invalid_arg "Linalg.cholesky: not symmetric"
+    done
+  done;
+  let l = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref a.(i).(j) in
+      for k = 0 to j - 1 do
+        s := !s -. (l.(i).(k) *. l.(j).(k))
+      done;
+      if i = j then begin
+        if !s <= 0.0 then invalid_arg "Linalg.cholesky: not positive definite";
+        l.(i).(i) <- sqrt !s
+      end
+      else l.(i).(j) <- !s /. l.(j).(j)
+    done
+  done;
+  l
+
+let solve_lower l b =
+  let n, m = dims l in
+  if n <> m || Array.length b <> n then invalid_arg "Linalg.solve_lower: dimension mismatch";
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    if l.(i).(i) = 0.0 then invalid_arg "Linalg.solve_lower: zero diagonal";
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (l.(i).(k) *. x.(k))
+    done;
+    x.(i) <- !s /. l.(i).(i)
+  done;
+  x
+
+let solve_upper_transposed l b =
+  let n, m = dims l in
+  if n <> m || Array.length b <> n then
+    invalid_arg "Linalg.solve_upper_transposed: dimension mismatch";
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    if l.(i).(i) = 0.0 then invalid_arg "Linalg.solve_upper_transposed: zero diagonal";
+    let s = ref b.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (l.(k).(i) *. x.(k))
+    done;
+    x.(i) <- !s /. l.(i).(i)
+  done;
+  x
+
+let solve_spd a b =
+  let l = cholesky a in
+  solve_upper_transposed l (solve_lower l b)
+
+let least_squares x y =
+  let n, p = dims x in
+  if Array.length y <> n then invalid_arg "Linalg.least_squares: dimension mismatch";
+  if n < p then invalid_arg "Linalg.least_squares: underdetermined";
+  let xtx = Array.make_matrix p p 0.0 in
+  let xty = Array.make p 0.0 in
+  for i = 0 to n - 1 do
+    let row = x.(i) in
+    for a = 0 to p - 1 do
+      xty.(a) <- xty.(a) +. (row.(a) *. y.(i));
+      for b = a to p - 1 do
+        xtx.(a).(b) <- xtx.(a).(b) +. (row.(a) *. row.(b))
+      done
+    done
+  done;
+  for a = 0 to p - 1 do
+    for b = 0 to a - 1 do
+      xtx.(a).(b) <- xtx.(b).(a)
+    done
+  done;
+  (try solve_spd xtx xty
+   with Invalid_argument _ -> invalid_arg "Linalg.least_squares: singular design")
+
+let mat_vec a v =
+  let n, m = dims a in
+  if Array.length v <> m then invalid_arg "Linalg.mat_vec: dimension mismatch";
+  Array.init n (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to m - 1 do
+        s := !s +. (a.(i).(j) *. v.(j))
+      done;
+      !s)

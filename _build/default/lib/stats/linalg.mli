@@ -1,0 +1,35 @@
+(** Small dense linear algebra: Cholesky factorization and
+    least-squares solving.
+
+    Needed for (a) the Hannan–Rissanen ARMA regression of
+    {!Ss_fractal.Farima_fit}, and (b) the O(n^3) direct Gaussian
+    sampler that serves as the exact small-n oracle against which the
+    Hosking and Davies–Harte generators are cross-validated in the
+    test suite. Matrices are row-major [float array array]; all
+    functions copy their inputs. *)
+
+val cholesky : float array array -> float array array
+(** Lower-triangular [l] with [l l^T = a] for a symmetric positive
+    definite [a]. @raise Invalid_argument if [a] is not square, not
+    symmetric (to 1e-9 relative), or not positive definite. *)
+
+val solve_lower : float array array -> float array -> float array
+(** Forward substitution [l x = b] for lower-triangular [l].
+    @raise Invalid_argument on dimension mismatch or a zero
+    diagonal. *)
+
+val solve_upper_transposed : float array array -> float array -> float array
+(** Back substitution [l^T x = b] given lower-triangular [l]. *)
+
+val solve_spd : float array array -> float array -> float array
+(** [solve_spd a b] solves [a x = b] for symmetric positive definite
+    [a] via Cholesky. *)
+
+val least_squares : float array array -> float array -> float array
+(** [least_squares x y] solves [min ||x c - y||^2] through the normal
+    equations [(x^T x) c = x^T y]; [x] is n-by-p with n >= p.
+    @raise Invalid_argument on dimension mismatch or a singular
+    design. *)
+
+val mat_vec : float array array -> float array -> float array
+(** Matrix-vector product. *)

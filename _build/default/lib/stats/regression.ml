@@ -1,0 +1,53 @@
+type fit = { slope : float; intercept : float; r2 : float; n : int }
+
+let wols pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Regression.wols: need >= 2 points";
+  List.iter (fun (_, _, w) -> if w <= 0.0 then invalid_arg "Regression.wols: w <= 0") pts;
+  let sw = List.fold_left (fun a (_, _, w) -> a +. w) 0.0 pts in
+  let sx = List.fold_left (fun a (x, _, w) -> a +. (w *. x)) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y, w) -> a +. (w *. y)) 0.0 pts in
+  let mx = sx /. sw and my = sy /. sw in
+  let sxx =
+    List.fold_left (fun a (x, _, w) -> a +. (w *. (x -. mx) *. (x -. mx))) 0.0 pts
+  in
+  let sxy =
+    List.fold_left (fun a (x, y, w) -> a +. (w *. (x -. mx) *. (y -. my))) 0.0 pts
+  in
+  if sxx = 0.0 then invalid_arg "Regression.wols: degenerate x values";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_tot =
+    List.fold_left (fun a (_, y, w) -> a +. (w *. (y -. my) *. (y -. my))) 0.0 pts
+  in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y, w) ->
+        let e = y -. intercept -. (slope *. x) in
+        a +. (w *. e *. e))
+      0.0 pts
+  in
+  let r2 = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept; r2; n }
+
+let ols pts = wols (List.map (fun (x, y) -> (x, y, 1.0)) pts)
+
+let ols_through_origin pts =
+  let n = List.length pts in
+  if n < 1 then invalid_arg "Regression.ols_through_origin: empty input";
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  if sxx = 0.0 then invalid_arg "Regression.ols_through_origin: degenerate x values";
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let slope = sxy /. sxx in
+  let ss_tot = List.fold_left (fun a (_, y) -> a +. (y *. y)) 0.0 pts in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) ->
+        let e = y -. (slope *. x) in
+        a +. (e *. e))
+      0.0 pts
+  in
+  let r2 = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept = 0.0; r2; n }
+
+let predict f x = f.intercept +. (f.slope *. x)

@@ -1,0 +1,28 @@
+(** Least-squares line fitting.
+
+    Used throughout the paper's estimation steps: variance–time and
+    R/S slopes (Hurst estimation, Figs 3–4) and the log-space fits of
+    the SRD/LRD autocorrelation components (Fig 6). *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination (1 for a perfect fit) *)
+  n : int;  (** number of points used *)
+}
+
+val ols : (float * float) list -> fit
+(** Ordinary least squares of [y] on [x].
+    @raise Invalid_argument with fewer than two distinct x values. *)
+
+val wols : (float * float * float) list -> fit
+(** Weighted least squares over [(x, y, w)] triples with [w > 0].
+    @raise Invalid_argument on bad weights or fewer than two distinct
+    x values. *)
+
+val ols_through_origin : (float * float) list -> fit
+(** Least squares of [y = slope * x] (intercept forced to 0); [r2]
+    is computed against the uncentered sum of squares. *)
+
+val predict : fit -> float -> float
+(** [predict f x = f.intercept +. f.slope *. x]. *)

@@ -1,0 +1,132 @@
+(* xoshiro256++ with splitmix64 seeding. The cached Gaussian deviate
+   from the polar method is stored in the state so that [copy] and
+   [split] preserve reproducibility. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable gauss_cache : float;
+  mutable gauss_full : bool;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64 step: returns next output and updated state. *)
+let splitmix64 st =
+  let st = Int64.add st 0x9E3779B97F4A7C15L in
+  let z = st in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (Int64.logxor z (Int64.shift_right_logical z 31), st)
+
+let all_zero s0 s1 s2 s3 =
+  Int64.equal s0 0L && Int64.equal s1 0L && Int64.equal s2 0L && Int64.equal s3 0L
+
+let create ~seed =
+  let st = Int64.of_int seed in
+  let s0, st = splitmix64 st in
+  let s1, st = splitmix64 st in
+  let s2, st = splitmix64 st in
+  let s3, _ = splitmix64 st in
+  (* splitmix64 output of a fixed walk is never all-zero in practice,
+     but guard anyway: an all-zero xoshiro state is absorbing. *)
+  let s3 = if all_zero s0 s1 s2 s3 then 1L else s3 in
+  { s0; s1; s2; s3; gauss_cache = 0.0; gauss_full = false }
+
+let of_state a =
+  if Array.length a <> 4 then invalid_arg "Rng.of_state: need 4 words";
+  if all_zero a.(0) a.(1) a.(2) a.(3) then invalid_arg "Rng.of_state: all-zero state";
+  { s0 = a.(0); s1 = a.(1); s2 = a.(2); s3 = a.(3); gauss_cache = 0.0; gauss_full = false }
+
+let copy t =
+  {
+    s0 = t.s0;
+    s1 = t.s1;
+    s2 = t.s2;
+    s3 = t.s3;
+    gauss_cache = t.gauss_cache;
+    gauss_full = t.gauss_full;
+  }
+
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Derive a child state by running splitmix64 from a word drawn
+     from the parent; recommended practice for xoshiro seeding. *)
+  let st = bits64 t in
+  let s0, st = splitmix64 st in
+  let s1, st = splitmix64 st in
+  let s2, st = splitmix64 st in
+  let s3, _ = splitmix64 st in
+  let s3 = if all_zero s0 s1 s2 s3 then 1L else s3 in
+  { s0; s1; s2; s3; gauss_cache = 0.0; gauss_full = false }
+
+let float t =
+  (* 53 high bits -> uniform in [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_range t a b =
+  if b <= a then invalid_arg "Rng.float_range: empty range";
+  a +. ((b -. a) *. float t)
+
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int_range: empty range";
+  let span = hi - lo + 1 in
+  (* Rejection sampling on the low bits to avoid modulo bias. *)
+  let mask =
+    let rec grow m = if m >= span - 1 then m else grow ((m lsl 1) lor 1) in
+    grow 1
+  in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 t) (Int64.of_int mask)) in
+    if v < span then lo + v else draw ()
+  in
+  if span = 1 then lo else draw ()
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let gaussian t =
+  if t.gauss_full then begin
+    t.gauss_full <- false;
+    t.gauss_cache
+  end
+  else begin
+    (* Marsaglia polar method. *)
+    let rec draw () =
+      let u = (2.0 *. float t) -. 1.0 in
+      let v = (2.0 *. float t) -. 1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then draw ()
+      else begin
+        let f = sqrt (-2.0 *. log s /. s) in
+        t.gauss_cache <- v *. f;
+        t.gauss_full <- true;
+        u *. f
+      end
+    in
+    draw ()
+  end
+
+let gaussian_mv t ~mean ~std =
+  if std < 0.0 then invalid_arg "Rng.gaussian_mv: negative std";
+  mean +. (std *. gaussian t)
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate <= 0";
+  -.log1p (-.float t) /. rate
+
+let pareto t ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Rng.pareto: bad parameters";
+  scale /. ((1.0 -. float t) ** (1.0 /. shape))

@@ -1,0 +1,30 @@
+let aggregate x ~m =
+  if m <= 0 then invalid_arg "Timeseries.aggregate: m <= 0";
+  let n = Array.length x / m in
+  Array.init n (fun k ->
+      let s = ref 0.0 in
+      for i = k * m to ((k + 1) * m) - 1 do
+        s := !s +. Array.unsafe_get x i
+      done;
+      !s /. float_of_int m)
+
+let acf = Descriptive.acf
+
+let acf_points x ~max_lag =
+  let r = acf x ~max_lag in
+  List.init max_lag (fun i -> (i + 1, r.(i + 1)))
+
+let subsample x ~every =
+  if every <= 0 then invalid_arg "Timeseries.subsample: every <= 0";
+  let n = ((Array.length x - 1) / every) + 1 in
+  if Array.length x = 0 then [||] else Array.init n (fun i -> x.(i * every))
+
+let differenced x =
+  if Array.length x < 2 then invalid_arg "Timeseries.differenced: need >= 2 points";
+  Array.init (Array.length x - 1) (fun i -> x.(i + 1) -. x.(i))
+
+let standardize x =
+  let m = Descriptive.mean x in
+  let s = Descriptive.std x in
+  if s = 0.0 then invalid_arg "Timeseries.standardize: constant input";
+  Array.map (fun v -> (v -. m) /. s) x

@@ -1,0 +1,32 @@
+(** Time-series helpers: aggregation and correlation estimation.
+
+    The variance–time Hurst estimator works on m-aggregated series
+    X^{(m)}_k = (X_{km-m+1} + ... + X_{km})/m; this module provides
+    that aggregation plus convenience wrappers around
+    {!Descriptive.acf}. *)
+
+val aggregate : float array -> m:int -> float array
+(** [aggregate x ~m] averages consecutive blocks of [m] samples,
+    discarding the final partial block. @raise Invalid_argument if
+    [m <= 0]; returns [[||]] if fewer than [m] samples. *)
+
+val acf : float array -> max_lag:int -> float array
+(** Sample autocorrelation function, lags 0..max_lag (see
+    {!Descriptive.acf}). *)
+
+val acf_points : float array -> max_lag:int -> (int * float) list
+(** [(lag, r(lag))] pairs for lags 1..max_lag, convenient for fitting
+    and plotting. *)
+
+val subsample : float array -> every:int -> float array
+(** [subsample x ~every] keeps indices 0, every, 2*every, ... —
+    used to isolate I frames from a GOP-periodic stream.
+    @raise Invalid_argument if [every <= 0]. *)
+
+val differenced : float array -> float array
+(** First differences [x_{i+1} - x_i]; length shrinks by one.
+    @raise Invalid_argument if input has fewer than 2 points. *)
+
+val standardize : float array -> float array
+(** Subtract the mean and divide by the (population) standard
+    deviation. @raise Invalid_argument on empty or constant input. *)

@@ -1,0 +1,1 @@
+lib/video/composite.ml: Array Frame Gop List Printf Ss_fractal Ss_stats Stdlib Trace

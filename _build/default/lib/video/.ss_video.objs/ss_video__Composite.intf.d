@@ -1,0 +1,1 @@
+lib/video/composite.mli: Frame Gop Ss_fractal Trace

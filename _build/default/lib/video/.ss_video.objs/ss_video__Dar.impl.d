@@ -1,0 +1,1 @@
+lib/video/dar.ml: Array Ss_fractal Ss_stats

@@ -1,0 +1,1 @@
+lib/video/dar.mli: Ss_fractal Ss_stats

@@ -1,0 +1,1 @@
+lib/video/gop.ml: Array Frame List String

@@ -1,0 +1,1 @@
+lib/video/gop.mli: Frame

@@ -1,0 +1,1 @@
+lib/video/scene_source.ml: Array Float Frame Gop Ss_stats Stdlib Trace

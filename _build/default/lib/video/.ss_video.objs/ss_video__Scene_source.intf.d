@@ -1,0 +1,1 @@
+lib/video/scene_source.mli: Gop Ss_stats Trace

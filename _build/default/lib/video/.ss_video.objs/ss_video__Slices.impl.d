@@ -1,0 +1,1 @@
+lib/video/slices.ml: Array Trace

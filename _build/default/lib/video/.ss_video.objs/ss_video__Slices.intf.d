@@ -1,0 +1,1 @@
+lib/video/slices.mli: Trace

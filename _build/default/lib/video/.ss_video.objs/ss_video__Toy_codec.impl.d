@@ -1,0 +1,1 @@
+lib/video/toy_codec.ml: Array Float Frame Gop List Ss_fft Ss_stats Stdlib Trace

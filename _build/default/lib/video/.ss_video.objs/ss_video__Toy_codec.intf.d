@@ -1,0 +1,1 @@
+lib/video/toy_codec.mli: Gop Ss_stats Trace

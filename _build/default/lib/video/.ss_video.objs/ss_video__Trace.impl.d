@@ -1,0 +1,1 @@
+lib/video/trace.ml: Array Format Frame Fun Gop List Printf Ss_stats String

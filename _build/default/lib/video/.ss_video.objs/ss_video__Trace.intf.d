@@ -1,0 +1,1 @@
+lib/video/trace.mli: Format Frame Gop

@@ -1,0 +1,36 @@
+(** Composite I/B/P foreground construction (paper Section 3.3).
+
+    One stationary background Gaussian process X drives three
+    marginal transforms — [h_I], [h_P], [h_B] — built from the
+    per-type empirical histograms of a reference trace. Frame [t] of
+    the synthetic stream is [h_{kind t}(x_t)], reproducing both the
+    per-type marginals and the GOP-periodic autocorrelation
+    structure. *)
+
+type t
+(** Per-type transforms bound to a GOP pattern. *)
+
+val of_trace : Trace.t -> t
+(** Build the three empirical transforms from a reference trace.
+    @raise Invalid_argument if the trace lacks any frame type present
+    in its GOP pattern. *)
+
+val gop : t -> Gop.t
+
+val transform : t -> Frame.kind -> Ss_fractal.Transform.t
+(** The marginal transform used for a frame type. *)
+
+val apply : t -> float array -> Trace.t
+(** [apply t x] maps a background Gaussian path to a foreground
+    trace: frame [i] is [h_{kind i}(x.(i))]. *)
+
+val mean_attenuation : t -> float
+(** Frame-count-weighted average of the per-type theoretical
+    attenuation factors — the effective [a] for the composite
+    stream. *)
+
+val i_acf_target : t -> reference:Trace.t -> max_lag:int -> (int * float) list
+(** Autocorrelation points of the reference trace's I-frame
+    subsequence — the input to the paper's Step-1/Step-2 fit of
+    Section 3.3. [max_lag] is in I-frame lags.
+    @raise Invalid_argument if too few I frames. *)

@@ -1,0 +1,25 @@
+module Rng = Ss_stats.Rng
+module Dist = Ss_stats.Dist
+
+type t = {
+  rho : float;
+  dist : Dist.t;
+}
+
+let create ~rho dist =
+  if rho < 0.0 || rho >= 1.0 then invalid_arg "Dar.create: rho outside [0,1)";
+  { rho; dist }
+
+let of_trace_marginal ~rho sizes =
+  create ~rho (Dist.of_empirical (Ss_stats.Empirical.of_data sizes))
+
+let generate t ~n rng =
+  if n <= 0 then invalid_arg "Dar.generate: n <= 0";
+  let current = ref (t.dist.Dist.sample rng) in
+  Array.init n (fun _ ->
+      if Rng.float rng >= t.rho then current := t.dist.Dist.sample rng;
+      !current)
+
+let acf t =
+  if t.rho = 0.0 then Ss_fractal.Acf.white_noise
+  else Ss_fractal.Acf.exponential ~lambda:(-.log t.rho)

@@ -1,0 +1,25 @@
+(** DAR(1) — the discrete autoregressive teleconference-video model
+    of Heyman et al. (reference [10] of the paper).
+
+    [X_n = X_{n-1}] with probability [rho], otherwise a fresh draw
+    from the marginal. The autocorrelation is exactly [rho^k]
+    regardless of the marginal — the canonical "traditional
+    (Markovian) model with exponential ACF" the paper argues cannot
+    capture VBR video's long-range dependence. Used as the
+    traditional baseline in the [abl-trad] bench. *)
+
+type t
+
+val create : rho:float -> Ss_stats.Dist.t -> t
+(** @raise Invalid_argument if [rho] outside [0,1). *)
+
+val of_trace_marginal : rho:float -> float array -> t
+(** DAR(1) over the empirical marginal of a frame-size record — the
+    way the model is fitted in practice ([rho] from the lag-1 sample
+    autocorrelation). *)
+
+val generate : t -> n:int -> Ss_stats.Rng.t -> float array
+(** Sample a path. @raise Invalid_argument if [n <= 0]. *)
+
+val acf : t -> Ss_fractal.Acf.t
+(** The exact [rho^k] autocorrelation. *)

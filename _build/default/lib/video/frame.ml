@@ -1,0 +1,12 @@
+type kind = I | P | B
+
+let to_char = function I -> 'I' | P -> 'P' | B -> 'B'
+
+let of_char = function
+  | 'I' -> I
+  | 'P' -> P
+  | 'B' -> B
+  | c -> invalid_arg (Printf.sprintf "Frame.of_char: %C is not I, P or B" c)
+
+let equal a b = match (a, b) with I, I | P, P | B, B -> true | _ -> false
+let pp fmt k = Format.pp_print_char fmt (to_char k)

@@ -1,0 +1,18 @@
+(** MPEG frame types.
+
+    An MPEG-1 sequence interleaves intraframes (I, coded standalone),
+    forward-predicted frames (P) and bidirectionally predicted frames
+    (B); the paper's composite model applies a separate marginal
+    transform per type (Section 3.3). *)
+
+type kind = I | P | B
+
+val to_char : kind -> char
+(** ['I'], ['P'] or ['B']. *)
+
+val of_char : char -> kind
+(** @raise Invalid_argument on any other character (case
+    sensitive). *)
+
+val equal : kind -> kind -> bool
+val pp : Format.formatter -> kind -> unit

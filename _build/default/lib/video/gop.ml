@@ -1,0 +1,28 @@
+type t = Frame.kind array
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Gop.of_string: empty pattern";
+  let pat = Array.init (String.length s) (fun i -> Frame.of_char s.[i]) in
+  if not (Frame.equal pat.(0) Frame.I) then
+    invalid_arg "Gop.of_string: pattern must start with an I frame";
+  pat
+
+let default = of_string "IBBPBBPBBPBB"
+let to_string t = String.init (Array.length t) (fun i -> Frame.to_char t.(i))
+let length = Array.length
+
+let kind_at t i =
+  if i < 0 then invalid_arg "Gop.kind_at: negative index";
+  t.(i mod Array.length t)
+
+let i_period = Array.length
+
+let indices_of t kind ~n =
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else go (i + 1) (if Frame.equal (kind_at t i) kind then i :: acc else acc)
+  in
+  go 0 []
+
+let count_in_pattern t kind =
+  Array.fold_left (fun acc k -> if Frame.equal k kind then acc + 1 else acc) 0 t

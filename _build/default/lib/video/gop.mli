@@ -1,0 +1,33 @@
+(** Group-of-pictures structure.
+
+    The paper's codec emits the 12-frame pattern [IBBPBBPBBPBB]
+    (one I frame every 12 frames); this module represents arbitrary
+    GOP patterns and answers "what type is frame [t]?". *)
+
+type t
+
+val of_string : string -> t
+(** Parse a pattern such as ["IBBPBBPBBPBB"]. The pattern must be
+    non-empty and start with [I] (the stream is assumed to repeat it
+    verbatim). @raise Invalid_argument otherwise. *)
+
+val default : t
+(** The paper's [IBBPBBPBBPBB]. *)
+
+val to_string : t -> string
+val length : t -> int
+
+val kind_at : t -> int -> Frame.kind
+(** Frame type at absolute frame index [t >= 0].
+    @raise Invalid_argument if negative. *)
+
+val i_period : t -> int
+(** Distance between consecutive I frames = pattern length (the
+    paper's [K_I = 12]). *)
+
+val indices_of : t -> Frame.kind -> n:int -> int list
+(** All absolute indices of the given type among frames
+    [0 .. n-1]. *)
+
+val count_in_pattern : t -> Frame.kind -> int
+(** Occurrences of a type inside one pattern repetition. *)

@@ -1,0 +1,86 @@
+module Rng = Ss_stats.Rng
+
+type config = {
+  frames : int;
+  gop : Gop.t;
+  fps : float;
+  hurst : float;
+  mean_scene_frames : float;
+  mean_i_bytes : float;
+  p_factor : float;
+  b_factor : float;
+  activity_shape : float;
+  ar_coeff : float;
+  ar_sigma : float;
+}
+
+let default =
+  {
+    frames = 131_072;
+    gop = Gop.default;
+    fps = 30.0;
+    hurst = 0.9;
+    mean_scene_frames = 120.0;
+    mean_i_bytes = 9_000.0;
+    p_factor = 0.45;
+    b_factor = 0.25;
+    activity_shape = 3.0;
+    ar_coeff = 0.95;
+    ar_sigma = 0.25;
+  }
+
+let validate c =
+  let req cond msg = if not cond then invalid_arg ("Scene_source: " ^ msg) in
+  req (c.frames > 0) "frames <= 0";
+  req (c.fps > 0.0) "fps <= 0";
+  req (c.hurst > 0.5 && c.hurst < 1.0) "hurst outside (0.5,1)";
+  req (c.mean_scene_frames > 1.0) "mean_scene_frames <= 1";
+  req (c.mean_i_bytes > 0.0) "mean_i_bytes <= 0";
+  req (c.p_factor > 0.0 && c.p_factor <= 1.0) "p_factor outside (0,1]";
+  req (c.b_factor > 0.0 && c.b_factor <= 1.0) "b_factor outside (0,1]";
+  req (c.activity_shape > 0.0) "activity_shape <= 0";
+  req (c.ar_coeff >= 0.0 && c.ar_coeff < 1.0) "ar_coeff outside [0,1)";
+  req (c.ar_sigma >= 0.0) "ar_sigma < 0"
+
+let kind_factor c = function
+  | Frame.I -> 1.0
+  | Frame.P -> c.p_factor
+  | Frame.B -> c.b_factor
+
+let generate c rng =
+  validate c;
+  (* Pareto tail index producing the target Hurst parameter via
+     H = (3 - alpha)/2; scale set so the mean length matches. *)
+  let alpha = 3.0 -. (2.0 *. c.hurst) in
+  let scene_scale = c.mean_scene_frames *. (alpha -. 1.0) /. alpha in
+  let activity =
+    (* Gamma with unit mean; the absolute level comes from mean_i_bytes. *)
+    Ss_stats.Dist.gamma ~shape:c.activity_shape ~scale:(1.0 /. c.activity_shape)
+  in
+  (* Lognormal AR(1) modulation with unit mean:
+     g_t = rho g_{t-1} + sigma sqrt(1-rho^2) Z; modulation =
+     exp(g_t - sigma^2/2) where g is stationary N(0, sigma^2). *)
+  let rho = c.ar_coeff in
+  let innov_std = c.ar_sigma *. sqrt (1.0 -. (rho *. rho)) in
+  let half_var = c.ar_sigma *. c.ar_sigma /. 2.0 in
+  let sizes = Array.make c.frames 0.0 in
+  let g = ref (Rng.gaussian rng *. c.ar_sigma) in
+  let frames_left = ref 0 in
+  let level = ref 1.0 in
+  for t = 0 to c.frames - 1 do
+    if !frames_left <= 0 then begin
+      (* New scene: heavy-tailed length, fresh activity level. *)
+      let len = Rng.pareto rng ~shape:alpha ~scale:scene_scale in
+      frames_left := Stdlib.max 1 (int_of_float (Float.round len));
+      level := activity.Ss_stats.Dist.sample rng
+    end;
+    decr frames_left;
+    g := (rho *. !g) +. (innov_std *. Rng.gaussian rng);
+    let modulation = exp (!g -. half_var) in
+    let base = c.mean_i_bytes *. !level *. modulation in
+    let size = base *. kind_factor c (Gop.kind_at c.gop t) in
+    (* Frame sizes are integer byte counts with a small floor: even an
+       empty MPEG frame carries headers. *)
+    sizes.(t) <- Float.round (Stdlib.max 64.0 size)
+  done;
+  Trace.make ~name:"synthetic-movie" ~fps:c.fps ~gop:c.gop sizes

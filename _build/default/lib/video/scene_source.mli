@@ -1,0 +1,49 @@
+(** Synthetic MPEG-1 VBR rate simulator — the stand-in for the
+    paper's proprietary "Last Action Hero" trace.
+
+    The construction is the classical heavy-tailed scene model:
+
+    - the movie is a renewal sequence of {e scenes} whose lengths are
+      Pareto with tail index [alpha = 3 - 2H]; heavy-tailed renewal
+      theory then gives the byte-rate process an autocorrelation tail
+      [~ k^{-(alpha-1)} = k^{-(2-2H)}], i.e. exact asymptotic
+      self-similarity with the target Hurst parameter;
+    - each scene carries a Gamma-distributed {e activity level}
+      (long-tailed marginal, as empirical VBR video shows);
+    - within a scene, frame-to-frame fluctuation is a lognormal AR(1)
+      modulation — the short-range-dependent "fast" component that
+      gives the empirical ACF its knee;
+    - each frame's size is the activity level times a per-type (I/P/B)
+      compression factor times the fluctuation, so the stream has the
+      strict 12-frame GOP periodicity visible in the paper's ACF
+      plots.
+
+    All code paths the real trace would exercise (marginal
+    estimation, ACF knee fitting, Hurst estimation, per-type
+    histograms, queueing) see statistically equivalent input. *)
+
+type config = {
+  frames : int;  (** trace length in frames *)
+  gop : Gop.t;
+  fps : float;
+  hurst : float;  (** target H in (0.5, 1) — sets the Pareto tail *)
+  mean_scene_frames : float;  (** average scene length *)
+  mean_i_bytes : float;  (** mean I-frame size, bytes *)
+  p_factor : float;  (** mean P size relative to I (0,1] *)
+  b_factor : float;  (** mean B size relative to I (0,1] *)
+  activity_shape : float;  (** Gamma shape of scene activity *)
+  ar_coeff : float;  (** within-scene AR(1) coefficient in [0,1) *)
+  ar_sigma : float;  (** std of the AR(1) log-modulation *)
+}
+
+val default : config
+(** Calibrated to the paper's trace: 30 fps, GOP [IBBPBBPBBPBB],
+    H = 0.9, mean scene ~ 4 s, mean I frame ~ 9000 bytes, P ~ 0.45 I,
+    B ~ 0.25 I. [frames] defaults to 131072 (≈ 73 min). *)
+
+val validate : config -> unit
+(** @raise Invalid_argument explaining the first violated
+    constraint. *)
+
+val generate : config -> Ss_stats.Rng.t -> Trace.t
+(** Sample a synthetic trace. Deterministic given the RNG state. *)

@@ -1,0 +1,24 @@
+let per_frame_default = 15
+
+let spread_evenly ?(per_frame = per_frame_default) trace =
+  if per_frame <= 0 then invalid_arg "Slices.spread_evenly: per_frame <= 0";
+  let sizes = trace.Trace.sizes in
+  let n = Array.length sizes in
+  let out = Array.make (n * per_frame) 0.0 in
+  for i = 0 to n - 1 do
+    let share = sizes.(i) /. float_of_int per_frame in
+    for s = 0 to per_frame - 1 do
+      out.((i * per_frame) + s) <- share
+    done
+  done;
+  out
+
+let front_loaded ?(per_frame = per_frame_default) trace =
+  if per_frame <= 0 then invalid_arg "Slices.front_loaded: per_frame <= 0";
+  let sizes = trace.Trace.sizes in
+  let n = Array.length sizes in
+  let out = Array.make (n * per_frame) 0.0 in
+  for i = 0 to n - 1 do
+    out.(i * per_frame) <- sizes.(i)
+  done;
+  out

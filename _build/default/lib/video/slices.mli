@@ -1,0 +1,22 @@
+(** Slice-granularity traffic.
+
+    The paper's trace carries 15 slices per frame (Table 1) and its
+    companion work (Ismail et al., reference [15]) studies "frame
+    spreading": transmitting a frame's bytes spread evenly over the
+    frame interval instead of as one burst. This module converts a
+    frame-size trace to a slice-level arrival process so the
+    [abl-slice] bench can measure how much spreading smooths queueing
+    at the same utilization. *)
+
+val per_frame_default : int
+(** 15 — the paper's slice rate. *)
+
+val spread_evenly : ?per_frame:int -> Trace.t -> float array
+(** Each frame's bytes divided equally over its slices; the slot time
+    becomes [1/(fps*per_frame)]. Total bytes are conserved exactly.
+    @raise Invalid_argument if [per_frame <= 0]. *)
+
+val front_loaded : ?per_frame:int -> Trace.t -> float array
+(** The no-spreading reference at slice granularity: all of a frame's
+    bytes arrive in its first slice (slices 2..per_frame are empty).
+    Same mean rate as {!spread_evenly}, maximal burstiness. *)

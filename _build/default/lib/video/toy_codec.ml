@@ -1,0 +1,150 @@
+module Rng = Ss_stats.Rng
+module Dct = Ss_fft.Dct
+
+type config = {
+  width : int;
+  height : int;
+  quant : float;
+  blobs : int;
+  noise : float;
+  mean_scene_frames : float;
+}
+
+let default =
+  {
+    width = 64;
+    height = 48;
+    quant = 12.0;
+    blobs = 3;
+    noise = 2.0;
+    mean_scene_frames = 90.0;
+  }
+
+type blob = {
+  mutable x : float;
+  mutable y : float;
+  vx : float;
+  vy : float;
+  amp : float;
+  sigma : float;
+}
+
+let new_blob c rng =
+  {
+    x = Rng.float_range rng 0.0 (float_of_int c.width);
+    y = Rng.float_range rng 0.0 (float_of_int c.height);
+    vx = Rng.float_range rng (-2.0) 2.0;
+    vy = Rng.float_range rng (-2.0) 2.0;
+    amp = Rng.float_range rng 40.0 160.0;
+    sigma = Rng.float_range rng 3.0 10.0;
+  }
+
+(* Render one luma frame: background + Gaussian blobs + noise. *)
+let render c rng blobs frame =
+  let w = c.width and h = c.height in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let v = ref (96.0 +. (c.noise *. Rng.gaussian rng)) in
+      List.iter
+        (fun b ->
+          let dx = float_of_int x -. b.x and dy = float_of_int y -. b.y in
+          let d2 = ((dx *. dx) +. (dy *. dy)) /. (2.0 *. b.sigma *. b.sigma) in
+          if d2 < 12.0 then v := !v +. (b.amp *. exp (-.d2)))
+        blobs;
+      frame.((y * w) + x) <- !v
+    done
+  done
+
+let move_blobs c blobs =
+  List.iter
+    (fun b ->
+      b.x <- mod_float (b.x +. b.vx +. float_of_int c.width) (float_of_int c.width);
+      b.y <- mod_float (b.y +. b.vy +. float_of_int c.height) (float_of_int c.height))
+    blobs
+
+(* Exponential-Golomb code length for a signed integer level. *)
+let golomb_bits level =
+  let m = (2 * abs level) + (if level > 0 then 0 else 1) in
+  let rec log2 n acc = if n <= 1 then acc else log2 (n / 2) (acc + 1) in
+  (2 * log2 (m + 1) 0) + 1
+
+(* Bits to code one 8x8 block of a (residual) image with zig-zag
+   run-length of zeros: each nonzero level costs its Golomb length
+   plus a 4-bit run count; an end-of-block marker costs 2 bits. *)
+let block_bits c img ~w ~bx ~by =
+  let block = Array.make 64 0.0 in
+  for j = 0 to 7 do
+    for i = 0 to 7 do
+      block.((j * 8) + i) <- img.((((by * 8) + j) * w) + (bx * 8) + i)
+    done
+  done;
+  let coefs = Dct.forward_8x8 block in
+  let bits = ref 2 in
+  let run = ref 0 in
+  (* Plain raster order stands in for zig-zag: run structure is
+     equivalent for size-accounting purposes. *)
+  Array.iter
+    (fun coef ->
+      let level = int_of_float (Float.round (coef /. c.quant)) in
+      if level = 0 then incr run
+      else begin
+        bits := !bits + 4 + golomb_bits level;
+        run := 0
+      end)
+    coefs;
+  !bits
+
+let frame_bits c img =
+  let bw = c.width / 8 and bh = c.height / 8 in
+  let bits = ref 64 (* frame header *) in
+  for by = 0 to bh - 1 do
+    for bx = 0 to bw - 1 do
+      bits := !bits + block_bits c img ~w:c.width ~bx ~by
+    done
+  done;
+  !bits
+
+let subtract dst a b =
+  Array.iteri (fun i _ -> dst.(i) <- a.(i) -. b.(i)) dst
+
+let average dst a b =
+  Array.iteri (fun i _ -> dst.(i) <- a.(i) -. ((b.(i) +. a.(i)) /. 2.0)) dst
+
+let encode c ~gop ~frames rng =
+  if c.width <= 0 || c.width mod 8 <> 0 || c.height <= 0 || c.height mod 8 <> 0 then
+    invalid_arg "Toy_codec.encode: dimensions must be positive multiples of 8";
+  if frames <= 0 then invalid_arg "Toy_codec.encode: frames <= 0";
+  if c.quant <= 0.0 then invalid_arg "Toy_codec.encode: quant <= 0";
+  let npix = c.width * c.height in
+  let cur = Array.make npix 0.0 in
+  let anchor = Array.make npix 0.0 in
+  (* previous I or P frame *)
+  let resid = Array.make npix 0.0 in
+  let sizes = Array.make frames 0.0 in
+  let blobs = ref (List.init c.blobs (fun _ -> new_blob c rng)) in
+  let scene_left = ref 0 in
+  for t = 0 to frames - 1 do
+    if !scene_left <= 0 then begin
+      blobs := List.init c.blobs (fun _ -> new_blob c rng);
+      scene_left :=
+        Stdlib.max 1 (int_of_float (Rng.exponential rng ~rate:(1.0 /. c.mean_scene_frames)))
+    end;
+    decr scene_left;
+    render c rng !blobs cur;
+    move_blobs c !blobs;
+    let bits =
+      match Gop.kind_at gop t with
+      | Frame.I ->
+        Array.blit cur 0 anchor 0 npix;
+        frame_bits c cur
+      | Frame.P ->
+        subtract resid cur anchor;
+        Array.blit cur 0 anchor 0 npix;
+        frame_bits { c with quant = c.quant } resid
+      | Frame.B ->
+        average resid cur anchor;
+        frame_bits { c with quant = c.quant *. 1.5 } resid
+    in
+    sizes.(t) <- Float.round (float_of_int bits /. 8.0)
+  done;
+  Trace.make ~name:"toy-codec" ~gop sizes

@@ -1,0 +1,33 @@
+(** A miniature MPEG-1-like codec over synthetic scenes.
+
+    This is the demonstration substrate standing in for the paper's
+    PVRG-MPEG 1.1 codec: it shows end-to-end where frame sizes come
+    from. Synthetic luma frames (moving Gaussian blobs over a noisy
+    background, blob setup redrawn at scene changes) are coded with
+    the real MPEG-1 intraframe tool chain in miniature — 8x8 DCT
+    (from {!Ss_fft.Dct}), uniform quantization, zig-zag run-length +
+    exponential-Golomb size accounting. P frames code the residual
+    against the previous frame, B frames against the average of their
+    I/P anchors, exactly the dependency structure of the
+    [IBBPBBPBBPBB] GOP.
+
+    It is deliberately small and is not on the critical experiment
+    path (the statistical reference trace comes from
+    {!Scene_source}); tests and one example use it. *)
+
+type config = {
+  width : int;  (** luma width, multiple of 8 *)
+  height : int;  (** luma height, multiple of 8 *)
+  quant : float;  (** quantizer step (larger = smaller frames) *)
+  blobs : int;  (** moving objects per scene *)
+  noise : float;  (** background noise std, luma units *)
+  mean_scene_frames : float;  (** scene-change interval *)
+}
+
+val default : config
+(** 64x48 luma, quant 12, 3 blobs. *)
+
+val encode : config -> gop:Gop.t -> frames:int -> Ss_stats.Rng.t -> Trace.t
+(** Synthesize and encode [frames] frames; returns the byte-size
+    trace. @raise Invalid_argument if dimensions are not positive
+    multiples of 8, [frames <= 0], or [quant <= 0]. *)

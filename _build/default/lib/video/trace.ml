@@ -1,0 +1,107 @@
+module D = Ss_stats.Descriptive
+
+type t = {
+  sizes : float array;
+  gop : Gop.t;
+  fps : float;
+  name : string;
+}
+
+let make ?(name = "trace") ?(fps = 30.0) ~gop sizes =
+  if Array.length sizes = 0 then invalid_arg "Trace.make: empty sizes";
+  Array.iter (fun s -> if s < 0.0 then invalid_arg "Trace.make: negative frame size") sizes;
+  if fps <= 0.0 then invalid_arg "Trace.make: fps <= 0";
+  { sizes; gop; fps; name }
+
+let length t = Array.length t.sizes
+let kind_at t i = Gop.kind_at t.gop i
+
+let of_kind t kind =
+  Gop.indices_of t.gop kind ~n:(length t)
+  |> List.map (fun i -> t.sizes.(i))
+  |> Array.of_list
+
+type summary = {
+  frames : int;
+  duration_s : float;
+  mean_bytes : float;
+  peak_bytes : float;
+  mean_rate_bps : float;
+  peak_rate_bps : float;
+  std_bytes : float;
+  mean_by_kind : (Frame.kind * float) list;
+}
+
+let summarize t =
+  let mean = D.mean t.sizes in
+  let peak = D.max t.sizes in
+  let mean_by_kind =
+    List.filter_map
+      (fun kind ->
+        let xs = of_kind t kind in
+        if Array.length xs = 0 then None else Some (kind, D.mean xs))
+      [ Frame.I; Frame.P; Frame.B ]
+  in
+  {
+    frames = length t;
+    duration_s = float_of_int (length t) /. t.fps;
+    mean_bytes = mean;
+    peak_bytes = peak;
+    mean_rate_bps = mean *. 8.0 *. t.fps;
+    peak_rate_bps = peak *. 8.0 *. t.fps;
+    std_bytes = D.std t.sizes;
+    mean_by_kind;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "frames            %d@." s.frames;
+  Format.fprintf fmt "duration          %.1f s@." s.duration_s;
+  Format.fprintf fmt "mean bytes/frame  %.1f@." s.mean_bytes;
+  Format.fprintf fmt "peak bytes/frame  %.1f@." s.peak_bytes;
+  Format.fprintf fmt "std bytes/frame   %.1f@." s.std_bytes;
+  Format.fprintf fmt "mean rate         %.3f Mbit/s@." (s.mean_rate_bps /. 1e6);
+  Format.fprintf fmt "peak rate         %.3f Mbit/s@." (s.peak_rate_bps /. 1e6);
+  List.iter
+    (fun (k, m) -> Format.fprintf fmt "mean %c bytes      %.1f@." (Frame.to_char k) m)
+    s.mean_by_kind
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# name %s\n" t.name;
+      Printf.fprintf oc "# fps %.6g\n" t.fps;
+      Printf.fprintf oc "# gop %s\n" (Gop.to_string t.gop);
+      Array.iter (fun s -> Printf.fprintf oc "%.6g\n" s) t.sizes)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let name = ref "trace" and fps = ref 30.0 and gop = ref Gop.default in
+      let sizes = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           let line = String.trim (input_line ic) in
+           if line = "" then ()
+           else if String.length line > 0 && line.[0] = '#' then begin
+             match String.split_on_char ' ' line with
+             | "#" :: "name" :: rest -> name := String.concat " " rest
+             | [ "#"; "fps"; v ] -> (
+               match float_of_string_opt v with Some f when f > 0.0 -> fps := f | _ -> ())
+             | [ "#"; "gop"; v ] -> (
+               match Gop.of_string v with g -> gop := g | exception Invalid_argument _ -> ())
+             | _ -> ()
+           end
+           else begin
+             match float_of_string_opt line with
+             | Some v when v >= 0.0 -> sizes := v :: !sizes
+             | _ -> failwith (Printf.sprintf "Trace.load: %s:%d: bad size %S" path !lineno line)
+           end
+         done
+       with End_of_file -> ());
+      make ~name:!name ~fps:!fps ~gop:!gop (Array.of_list (List.rev !sizes)))

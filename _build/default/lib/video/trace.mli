@@ -1,0 +1,52 @@
+(** VBR video traces: per-frame sizes plus stream metadata.
+
+    A trace is the object the whole modeling pipeline consumes — the
+    paper's role for the "Last Action Hero" record. Sizes are floats
+    in bytes/frame. *)
+
+type t = {
+  sizes : float array;  (** bytes per frame *)
+  gop : Gop.t;
+  fps : float;  (** frames per second *)
+  name : string;
+}
+
+val make : ?name:string -> ?fps:float -> gop:Gop.t -> float array -> t
+(** Wrap a size array (not copied). Default [fps] is 30, [name]
+    "trace". @raise Invalid_argument on empty sizes or any negative
+    size. *)
+
+val length : t -> int
+
+val kind_at : t -> int -> Frame.kind
+(** Frame type of index [i] under the trace's GOP. *)
+
+val of_kind : t -> Frame.kind -> float array
+(** Subsequence of sizes of the given frame type, in stream order.
+    For I frames under the default GOP this is the paper's
+    "isolate I frames" Step 1 of Section 3.3. *)
+
+type summary = {
+  frames : int;
+  duration_s : float;
+  mean_bytes : float;
+  peak_bytes : float;
+  mean_rate_bps : float;  (** mean bit rate, bits/second *)
+  peak_rate_bps : float;
+  std_bytes : float;
+  mean_by_kind : (Frame.kind * float) list;  (** per-type mean sizes *)
+}
+
+val summarize : t -> summary
+(** Table-1-style statistics of the stream. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val save : t -> string -> unit
+(** Write to a text file: [#]-prefixed metadata header (name, fps,
+    gop) followed by one size per line. *)
+
+val load : string -> t
+(** Read a file written by {!save}. Unknown header keys are ignored;
+    missing metadata falls back to defaults. @raise Failure on a
+    malformed size line; @raise Sys_error if unreadable. *)

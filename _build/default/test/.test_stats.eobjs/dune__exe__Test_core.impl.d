@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Buffer Format Lazy List Printf Ss_core Ss_fractal Ss_queueing Ss_stats Ss_video Stdlib String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Ss_fractal Ss_queueing Ss_stats Ss_video Stdlib

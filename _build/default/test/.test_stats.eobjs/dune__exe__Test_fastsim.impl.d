@@ -1,0 +1,1 @@
+test/test_fastsim.ml: Alcotest Array Float List Ss_fastsim Ss_fractal Ss_queueing Ss_stats

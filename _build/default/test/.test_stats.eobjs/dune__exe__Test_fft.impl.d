@@ -1,0 +1,1 @@
+test/test_fft.ml: Alcotest Array Float List Printf Ss_fft Ss_stats

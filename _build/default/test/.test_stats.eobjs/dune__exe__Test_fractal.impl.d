@@ -1,0 +1,1 @@
+test/test_fractal.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Ss_fractal Ss_stats Stdlib

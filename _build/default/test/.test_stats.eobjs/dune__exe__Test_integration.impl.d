@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Lazy List Ss_core Ss_fastsim Ss_fractal Ss_queueing Ss_stats Ss_video

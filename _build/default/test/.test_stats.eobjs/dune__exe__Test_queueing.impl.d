@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Array Ss_queueing Ss_stats Stdlib

@@ -1,0 +1,1 @@
+test/test_video.ml: Alcotest Array Filename Float Fun List Printf Ss_fractal Ss_stats Ss_video Sys

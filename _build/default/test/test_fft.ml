@@ -1,0 +1,255 @@
+(* Tests for the ss_fft substrate: FFT vs naive DFT, DCT, and the
+   periodogram estimator. *)
+
+module Fft = Ss_fft.Fft
+module Dct = Ss_fft.Dct
+module Periodogram = Ss_fft.Periodogram
+module Rng = Ss_stats.Rng
+module D = Ss_stats.Descriptive
+
+let close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+let random_complex rng n =
+  (Array.init n (fun _ -> Rng.gaussian rng), Array.init n (fun _ -> Rng.gaussian rng))
+
+(* ------------------------------------------------------------------ *)
+(* Power-of-two helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_is_pow2 () =
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check bool) (Printf.sprintf "is_pow2 %d" n) expected (Fft.is_pow2 n))
+    [ (1, true); (2, true); (4, true); (1024, true); (0, false); (3, false); (-8, false); (6, false) ]
+
+let test_next_pow2 () =
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check int) (Printf.sprintf "next_pow2 %d" n) expected (Fft.next_pow2 n))
+    [ (1, 1); (2, 2); (3, 4); (5, 8); (1000, 1024); (1024, 1024) ];
+  raises_invalid "next_pow2 0" (fun () -> Fft.next_pow2 0)
+
+(* ------------------------------------------------------------------ *)
+(* FFT correctness                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fft_matches_naive_dft () =
+  let rng = Rng.create ~seed:1 in
+  List.iter
+    (fun n ->
+      let re, im = random_complex rng n in
+      let want_re, want_im = Fft.dft_naive re im in
+      let got_re = Array.copy re and got_im = Array.copy im in
+      Fft.forward got_re got_im;
+      for k = 0 to n - 1 do
+        close ~eps:1e-8 (Printf.sprintf "n=%d re[%d]" n k) want_re.(k) got_re.(k);
+        close ~eps:1e-8 (Printf.sprintf "n=%d im[%d]" n k) want_im.(k) got_im.(k)
+      done)
+    [ 1; 2; 4; 8; 16; 64; 256 ]
+
+let test_fft_roundtrip () =
+  let rng = Rng.create ~seed:2 in
+  let n = 512 in
+  let re, im = random_complex rng n in
+  let rre = Array.copy re and rim = Array.copy im in
+  Fft.forward rre rim;
+  Fft.inverse rre rim;
+  for k = 0 to n - 1 do
+    close ~eps:1e-10 "roundtrip re" re.(k) rre.(k);
+    close ~eps:1e-10 "roundtrip im" im.(k) rim.(k)
+  done
+
+let test_fft_impulse () =
+  (* DFT of a unit impulse at 0 is all-ones. *)
+  let n = 16 in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  re.(0) <- 1.0;
+  Fft.forward re im;
+  for k = 0 to n - 1 do
+    close ~eps:1e-12 "impulse re" 1.0 re.(k);
+    close ~eps:1e-12 "impulse im" 0.0 im.(k)
+  done
+
+let test_fft_constant () =
+  (* DFT of all-ones is an impulse of height n at frequency 0. *)
+  let n = 32 in
+  let re = Array.make n 1.0 and im = Array.make n 0.0 in
+  Fft.forward re im;
+  close ~eps:1e-10 "dc bin" (float_of_int n) re.(0);
+  for k = 1 to n - 1 do
+    close ~eps:1e-9 "nonzero bins re" 0.0 re.(k);
+    close ~eps:1e-9 "nonzero bins im" 0.0 im.(k)
+  done
+
+let test_fft_single_tone () =
+  (* cos(2 pi j m / n) puts mass n/2 at bins m and n-m. *)
+  let n = 64 and m = 5 in
+  let re =
+    Array.init n (fun j ->
+        cos (2.0 *. Float.pi *. float_of_int (j * m) /. float_of_int n))
+  in
+  let im = Array.make n 0.0 in
+  Fft.forward re im;
+  close ~eps:1e-9 "tone bin m" (float_of_int n /. 2.0) re.(m);
+  close ~eps:1e-9 "tone bin n-m" (float_of_int n /. 2.0) re.(n - m);
+  close ~eps:1e-9 "dc empty" 0.0 re.(0)
+
+let test_fft_parseval () =
+  let rng = Rng.create ~seed:3 in
+  let n = 256 in
+  let re, im = random_complex rng n in
+  let energy_time =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. (re.(i) *. re.(i)) +. (im.(i) *. im.(i))
+    done;
+    !s
+  in
+  let fre = Array.copy re and fim = Array.copy im in
+  Fft.forward fre fim;
+  let energy_freq =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. (fre.(i) *. fre.(i)) +. (fim.(i) *. fim.(i))
+    done;
+    !s /. float_of_int n
+  in
+  close ~eps:1e-8 "Parseval" energy_time energy_freq
+
+let test_fft_linearity () =
+  let rng = Rng.create ~seed:4 in
+  let n = 128 in
+  let a_re, a_im = random_complex rng n in
+  let b_re, b_im = random_complex rng n in
+  let sum_re = Array.init n (fun i -> a_re.(i) +. (2.0 *. b_re.(i))) in
+  let sum_im = Array.init n (fun i -> a_im.(i) +. (2.0 *. b_im.(i))) in
+  Fft.forward sum_re sum_im;
+  Fft.forward a_re a_im;
+  Fft.forward b_re b_im;
+  for k = 0 to n - 1 do
+    close ~eps:1e-9 "linearity re" (a_re.(k) +. (2.0 *. b_re.(k))) sum_re.(k);
+    close ~eps:1e-9 "linearity im" (a_im.(k) +. (2.0 *. b_im.(k))) sum_im.(k)
+  done
+
+let test_fft_invalid () =
+  raises_invalid "length mismatch" (fun () -> Fft.forward (Array.make 4 0.0) (Array.make 8 0.0));
+  raises_invalid "non power of two" (fun () -> Fft.forward (Array.make 6 0.0) (Array.make 6 0.0))
+
+let test_real_forward_magnitude2 () =
+  let rng = Rng.create ~seed:5 in
+  let n = 64 in
+  let x = Array.init n (fun _ -> Rng.gaussian rng) in
+  let snapshot = Array.copy x in
+  let mag2 = Fft.real_forward_magnitude2 x in
+  let re = Array.copy x and im = Array.make n 0.0 in
+  Fft.forward re im;
+  for k = 0 to n - 1 do
+    close ~eps:1e-9 "magnitude^2" ((re.(k) *. re.(k)) +. (im.(k) *. im.(k))) mag2.(k)
+  done;
+  Array.iteri (fun i v -> close "input untouched" snapshot.(i) v) x
+
+(* ------------------------------------------------------------------ *)
+(* DCT                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_dct_roundtrip () =
+  let rng = Rng.create ~seed:6 in
+  let block = Array.init 64 (fun _ -> Rng.float_range rng 0.0 255.0) in
+  let back = Dct.inverse_8x8 (Dct.forward_8x8 block) in
+  Array.iteri (fun i v -> close ~eps:1e-9 (Printf.sprintf "pixel %d" i) block.(i) v) back
+
+let test_dct_constant_block () =
+  (* A flat block concentrates all energy in the DC coefficient;
+     orthonormal scaling makes DC = 8 * value. *)
+  let block = Array.make 64 10.0 in
+  let coefs = Dct.forward_8x8 block in
+  close ~eps:1e-9 "dc" 80.0 coefs.(0);
+  for i = 1 to 63 do
+    close ~eps:1e-9 "ac zero" 0.0 coefs.(i)
+  done
+
+let test_dct_energy_preservation () =
+  (* Orthonormal transform preserves the L2 norm. *)
+  let rng = Rng.create ~seed:7 in
+  let block = Array.init 64 (fun _ -> Rng.gaussian rng) in
+  let coefs = Dct.forward_8x8 block in
+  let e xs = Array.fold_left (fun a v -> a +. (v *. v)) 0.0 xs in
+  close ~eps:1e-9 "energy" (e block) (e coefs)
+
+let test_dct_invalid () =
+  raises_invalid "wrong size" (fun () -> Dct.forward_8x8 (Array.make 32 0.0));
+  raises_invalid "wrong size inverse" (fun () -> Dct.inverse_8x8 (Array.make 100 0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Periodogram                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_periodogram_white_noise_flat () =
+  (* For white noise the periodogram averages to var/(2 pi). *)
+  let rng = Rng.create ~seed:8 in
+  let x = Array.init 8192 (fun _ -> Rng.gaussian rng) in
+  let pts = Periodogram.compute x in
+  let mean_p = D.mean (Array.map snd pts) in
+  close ~eps:0.02 "white noise level" (1.0 /. (2.0 *. Float.pi)) mean_p
+
+let test_periodogram_tone_peak () =
+  let n = 4096 and m = 100 in
+  let x =
+    Array.init n (fun j ->
+        sin (2.0 *. Float.pi *. float_of_int (j * m) /. float_of_int n))
+  in
+  let pts = Periodogram.compute x in
+  (* The maximum must sit at Fourier frequency index m (array offset
+     m-1 since frequencies start at j = 1). *)
+  let best = ref 0 in
+  Array.iteri (fun i (_, p) -> if p > snd pts.(!best) then best := i) pts;
+  Alcotest.(check int) "peak index" (m - 1) !best
+
+let test_periodogram_hurst_white_noise () =
+  let rng = Rng.create ~seed:9 in
+  let x = Array.init 16384 (fun _ -> Rng.gaussian rng) in
+  let h, _ = Periodogram.hurst_fit x in
+  close ~eps:0.12 "white noise H = 0.5" 0.5 h
+
+let test_periodogram_invalid () =
+  raises_invalid "too short" (fun () -> Periodogram.compute (Array.make 8 0.0))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_fft"
+    [
+      ("helpers", [ tc "is_pow2" test_is_pow2; tc "next_pow2" test_next_pow2 ]);
+      ( "fft",
+        [
+          tc "matches naive DFT" test_fft_matches_naive_dft;
+          tc "roundtrip" test_fft_roundtrip;
+          tc "impulse" test_fft_impulse;
+          tc "constant" test_fft_constant;
+          tc "single tone" test_fft_single_tone;
+          tc "Parseval" test_fft_parseval;
+          tc "linearity" test_fft_linearity;
+          tc "invalid" test_fft_invalid;
+          tc "real magnitude^2" test_real_forward_magnitude2;
+        ] );
+      ( "dct",
+        [
+          tc "roundtrip" test_dct_roundtrip;
+          tc "constant block" test_dct_constant_block;
+          tc "energy preservation" test_dct_energy_preservation;
+          tc "invalid" test_dct_invalid;
+        ] );
+      ( "periodogram",
+        [
+          tc "white noise flat" test_periodogram_white_noise_flat;
+          tc "tone peak" test_periodogram_tone_peak;
+          tc "white noise Hurst" test_periodogram_hurst_white_noise;
+          tc "invalid" test_periodogram_invalid;
+        ] );
+    ]

@@ -1,0 +1,240 @@
+(* Tests for ss_queueing: the Lindley recursion, Monte Carlo overflow
+   estimation and single-trace queueing statistics. *)
+
+module Rng = Ss_stats.Rng
+module D = Ss_stats.Descriptive
+module Lindley = Ss_queueing.Lindley
+module Mc = Ss_queueing.Mc
+module Trace_sim = Ss_queueing.Trace_sim
+
+let close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+(* ------------------------------------------------------------------ *)
+(* Lindley                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lindley_step () =
+  close "accumulates" 3.0 (Lindley.step ~q:2.0 ~arrival:2.0 ~service:1.0);
+  close "drains" 0.5 (Lindley.step ~q:1.0 ~arrival:0.5 ~service:1.0);
+  close "floors at zero" 0.0 (Lindley.step ~q:0.5 ~arrival:0.0 ~service:1.0)
+
+let test_lindley_path_by_hand () =
+  let arrivals = [| 3.0; 0.0; 0.0; 5.0; 0.0 |] in
+  let path = Lindley.path ~service:1.0 arrivals in
+  Alcotest.(check (list (float 1e-9)))
+    "hand-computed path" [ 2.0; 1.0; 0.0; 4.0; 3.0 ] (Array.to_list path)
+
+let test_lindley_path_initial_condition () =
+  let arrivals = [| 0.0; 0.0 |] in
+  let path = Lindley.path ~q0:5.0 ~service:1.0 arrivals in
+  Alcotest.(check (list (float 1e-9))) "drains from q0" [ 4.0; 3.0 ] (Array.to_list path)
+
+let test_lindley_constant_overload () =
+  (* Arrivals exceed service every slot: queue grows linearly. *)
+  let arrivals = Array.make 10 2.0 in
+  let path = Lindley.path ~service:1.0 arrivals in
+  close "grows by 1/slot" 10.0 path.(9)
+
+let test_lindley_sup_workload () =
+  let arrivals = [| 3.0; 0.0; 0.0; 5.0; 0.0 |] in
+  (* W = 2, 1, 0, 4, 3: sup = 4 *)
+  close "sup workload" 4.0 (Lindley.sup_workload ~service:1.0 arrivals);
+  (* When W dips negative, sup stays at the earlier max. *)
+  close "sup of all-idle" 0.0 (Lindley.sup_workload ~service:1.0 (Array.make 5 0.0))
+
+let test_lindley_sup_equals_queue_max_before_reflection () =
+  (* While W never dips below 0, sup W = max queue. *)
+  let arrivals = [| 2.0; 2.0; 0.5 |] in
+  let sup = Lindley.sup_workload ~service:1.0 arrivals in
+  let path = Lindley.path ~service:1.0 arrivals in
+  close "sup = max Q when no reflection" (Array.fold_left Stdlib.max 0.0 path) sup
+
+let test_lindley_exceeds () =
+  let arrivals = [| 3.0; 3.0; 3.0 |] in
+  (match Lindley.exceeds ~service:1.0 ~buffer:3.5 arrivals with
+  | Some i -> Alcotest.(check int) "first passage slot" 2 i
+  | None -> Alcotest.fail "expected overflow");
+  (match Lindley.exceeds ~service:1.0 ~buffer:100.0 arrivals with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no overflow expected");
+  (* Full initial buffer crosses immediately. *)
+  match Lindley.exceeds ~q0:10.0 ~service:0.5 ~buffer:9.9 [| 1.0 |] with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "expected immediate crossing from q0"
+
+let test_lindley_utilization_service () =
+  close "uti 0.5" 20.0 (Lindley.utilization_service ~mean_arrival:10.0 ~utilization:0.5);
+  raises_invalid "uti 1" (fun () -> Lindley.utilization_service ~mean_arrival:1.0 ~utilization:1.0);
+  raises_invalid "uti 0" (fun () -> Lindley.utilization_service ~mean_arrival:1.0 ~utilization:0.0)
+
+let test_lindley_invalid () =
+  raises_invalid "negative service" (fun () -> Lindley.path ~service:(-1.0) [| 1.0 |]);
+  raises_invalid "negative q0" (fun () -> Lindley.path ~q0:(-1.0) ~service:1.0 [| 1.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Geo/D/1-style sanity: compare simulated overflow to an exact
+   random walk computation on a two-point arrival distribution.       *)
+(* ------------------------------------------------------------------ *)
+
+let test_mc_matches_exact_two_point () =
+  (* Arrivals: 2 with probability p, 0 otherwise; service 1. The
+     workload walk steps +1 w.p. p, -1 w.p. 1-p. For p < 1/2,
+     P(sup W > b) = (p/(1-p))^(b+1) for integer b (gambler's ruin). *)
+  let p = 0.3 in
+  let gen rng = Array.init 4000 (fun _ -> if Rng.float rng < p then 2.0 else 0.0) in
+  let est =
+    Mc.overflow_probability ~gen ~service:1.0 ~buffer:3.0 ~horizon:4000
+      ~replications:4000 (Rng.create ~seed:1)
+  in
+  let exact = (p /. (1.0 -. p)) ** 4.0 in
+  (* 4000 slots is effectively infinite horizon for this walk. *)
+  let tol = 4.0 *. sqrt (exact /. 4000.0) in
+  close ~eps:tol "gambler's ruin overflow" exact est.Mc.p
+
+let test_mc_monotone_in_buffer () =
+  let p = 0.4 in
+  let gen rng = Array.init 500 (fun _ -> if Rng.float rng < p then 2.0 else 0.0) in
+  let est b =
+    (Mc.overflow_probability ~gen ~service:1.0 ~buffer:b ~horizon:500 ~replications:1000
+       (Rng.create ~seed:2))
+      .Mc.p
+  in
+  let p1 = est 1.0 and p5 = est 5.0 and p10 = est 10.0 in
+  if not (p1 >= p5 && p5 >= p10) then
+    Alcotest.failf "overflow not monotone in buffer: %.3f %.3f %.3f" p1 p5 p10
+
+let test_mc_estimate_of_samples () =
+  let e = Mc.estimate_of_samples [| 1.0; 0.0; 1.0; 0.0 |] in
+  close "p" 0.5 e.Mc.p;
+  Alcotest.(check int) "hits" 2 e.Mc.hits;
+  Alcotest.(check int) "replications" 4 e.Mc.replications;
+  (* unbiased sample variance of {1,0,1,0} is 1/3 *)
+  close ~eps:1e-12 "variance" (1.0 /. 3.0) e.Mc.variance;
+  close ~eps:1e-12 "normalized variance" (4.0 /. 3.0) e.Mc.normalized_variance
+
+let test_mc_zero_hits () =
+  let e = Mc.estimate_of_samples (Array.make 10 0.0) in
+  close "p = 0" 0.0 e.Mc.p;
+  Alcotest.(check bool) "nvar infinite" true (e.Mc.normalized_variance = infinity)
+
+let test_mc_confidence_interval () =
+  let e = Mc.estimate_of_samples (Array.append (Array.make 50 1.0) (Array.make 50 0.0)) in
+  let lo, hi = Mc.confidence_interval e ~z:1.96 in
+  if not (lo < 0.5 && 0.5 < hi) then Alcotest.fail "CI must straddle the point estimate";
+  if lo < 0.0 || hi > 1.0 then Alcotest.fail "CI must clamp to [0,1]"
+
+let test_mc_initial_workload_shifts () =
+  (* Adding initial workload is equivalent to lowering the buffer. *)
+  let p = 0.4 in
+  let gen rng = Array.init 300 (fun _ -> if Rng.float rng < p then 2.0 else 0.0) in
+  let est ~initial_workload ~buffer =
+    (Mc.overflow_probability ~gen ~service:1.0 ~buffer ~initial_workload ~horizon:300
+       ~replications:2000 (Rng.create ~seed:5))
+      .Mc.p
+  in
+  close "shifted = lowered buffer" (est ~initial_workload:0.0 ~buffer:3.0)
+    (est ~initial_workload:2.0 ~buffer:5.0)
+
+let test_mc_invalid () =
+  raises_invalid "no samples" (fun () -> Mc.estimate_of_samples [||]);
+  raises_invalid "bad horizon" (fun () ->
+      Mc.overflow_probability ~gen:(fun _ -> [| 1.0 |]) ~service:1.0 ~buffer:1.0 ~horizon:0
+        ~replications:1 (Rng.create ~seed:1));
+  raises_invalid "short path" (fun () ->
+      Mc.overflow_probability ~gen:(fun _ -> [| 1.0 |]) ~service:1.0 ~buffer:1.0 ~horizon:5
+        ~replications:1 (Rng.create ~seed:1))
+
+(* ------------------------------------------------------------------ *)
+(* Trace_sim                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_sim_queue_path () =
+  (* Constant arrivals at utilization u: service = mean/u > mean, so
+     the queue stays empty. *)
+  let arrivals = Array.make 100 10.0 in
+  let qp = Trace_sim.queue_path ~arrivals ~utilization:0.5 in
+  Array.iter (fun q -> close "empty queue" 0.0 q) qp
+
+let test_trace_sim_overflow_fraction () =
+  let qp = [| 0.0; 1.0; 2.0; 3.0 |] in
+  close "fraction above 1.5" 0.5 (Trace_sim.overflow_fraction ~queue_path:qp ~buffer:1.5);
+  close "fraction above 10" 0.0 (Trace_sim.overflow_fraction ~queue_path:qp ~buffer:10.0)
+
+let test_trace_sim_curve_monotone () =
+  let rng = Rng.create ~seed:3 in
+  let arrivals = Array.init 20_000 (fun _ -> Rng.exponential rng ~rate:1.0) in
+  let curve =
+    Trace_sim.overflow_curve ~arrivals ~utilization:0.8
+      ~buffers:[ 0.0; 1.0; 2.0; 4.0; 8.0 ]
+  in
+  let rec check = function
+    | (_, p1) :: ((_, p2) :: _ as rest) ->
+      if p2 > p1 +. 1e-12 then Alcotest.fail "curve not decreasing";
+      check rest
+    | _ -> ()
+  in
+  check curve
+
+let test_trace_sim_utilization_effect () =
+  let rng = Rng.create ~seed:4 in
+  let arrivals = Array.init 20_000 (fun _ -> Rng.exponential rng ~rate:1.0) in
+  let frac u =
+    Trace_sim.overflow_fraction
+      ~queue_path:(Trace_sim.queue_path ~arrivals ~utilization:u)
+      ~buffer:2.0
+  in
+  if frac 0.9 <= frac 0.5 then Alcotest.fail "higher utilization must overflow more"
+
+let test_trace_sim_normalized_buffer () =
+  let arrivals = [| 2.0; 4.0; 6.0 |] in
+  close "normalization" 40.0 (Trace_sim.normalized_buffer ~arrivals 10.0)
+
+let test_trace_sim_invalid () =
+  raises_invalid "bad utilization" (fun () ->
+      Trace_sim.queue_path ~arrivals:[| 1.0 |] ~utilization:1.5);
+  raises_invalid "zero mean" (fun () ->
+      Trace_sim.queue_path ~arrivals:[| 0.0; 0.0 |] ~utilization:0.5)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_queueing"
+    [
+      ( "lindley",
+        [
+          tc "step" test_lindley_step;
+          tc "path by hand" test_lindley_path_by_hand;
+          tc "initial condition" test_lindley_path_initial_condition;
+          tc "constant overload" test_lindley_constant_overload;
+          tc "sup workload" test_lindley_sup_workload;
+          tc "sup = max Q (no reflection)" test_lindley_sup_equals_queue_max_before_reflection;
+          tc "exceeds" test_lindley_exceeds;
+          tc "utilization service" test_lindley_utilization_service;
+          tc "invalid" test_lindley_invalid;
+        ] );
+      ( "mc",
+        [
+          tc "matches gambler's ruin" test_mc_matches_exact_two_point;
+          tc "monotone in buffer" test_mc_monotone_in_buffer;
+          tc "estimate record" test_mc_estimate_of_samples;
+          tc "zero hits" test_mc_zero_hits;
+          tc "initial workload shift" test_mc_initial_workload_shifts;
+          tc "confidence interval" test_mc_confidence_interval;
+          tc "invalid" test_mc_invalid;
+        ] );
+      ( "trace-sim",
+        [
+          tc "queue path" test_trace_sim_queue_path;
+          tc "overflow fraction" test_trace_sim_overflow_fraction;
+          tc "curve monotone" test_trace_sim_curve_monotone;
+          tc "utilization effect" test_trace_sim_utilization_effect;
+          tc "normalized buffer" test_trace_sim_normalized_buffer;
+          tc "invalid" test_trace_sim_invalid;
+        ] );
+    ]

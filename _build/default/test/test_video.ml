@@ -1,0 +1,409 @@
+(* Tests for ss_video: frame types, GOP patterns, traces and their
+   I/O, the scene-based synthetic source, the toy codec, and the
+   composite I/B/P transform machinery. *)
+
+module Rng = Ss_stats.Rng
+module D = Ss_stats.Descriptive
+module Frame = Ss_video.Frame
+module Gop = Ss_video.Gop
+module Trace = Ss_video.Trace
+module Scene = Ss_video.Scene_source
+module Toy = Ss_video.Toy_codec
+module Composite = Ss_video.Composite
+module Transform = Ss_fractal.Transform
+
+let close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+(* ------------------------------------------------------------------ *)
+(* Frame                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_char_roundtrip () =
+  List.iter
+    (fun k -> Alcotest.(check bool) "roundtrip" true (Frame.equal k (Frame.of_char (Frame.to_char k))))
+    [ Frame.I; Frame.P; Frame.B ];
+  raises_invalid "of_char x" (fun () -> Frame.of_char 'x');
+  raises_invalid "of_char lowercase" (fun () -> Frame.of_char 'i')
+
+let test_frame_equal () =
+  Alcotest.(check bool) "I = I" true (Frame.equal Frame.I Frame.I);
+  Alcotest.(check bool) "I <> P" false (Frame.equal Frame.I Frame.P);
+  Alcotest.(check bool) "P <> B" false (Frame.equal Frame.P Frame.B)
+
+(* ------------------------------------------------------------------ *)
+(* Gop                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_gop_default_pattern () =
+  Alcotest.(check string) "default" "IBBPBBPBBPBB" (Gop.to_string Gop.default);
+  Alcotest.(check int) "length 12" 12 (Gop.length Gop.default);
+  Alcotest.(check int) "i period 12" 12 (Gop.i_period Gop.default)
+
+let test_gop_kind_at_cycles () =
+  let g = Gop.default in
+  Alcotest.(check char) "frame 0" 'I' (Frame.to_char (Gop.kind_at g 0));
+  Alcotest.(check char) "frame 1" 'B' (Frame.to_char (Gop.kind_at g 1));
+  Alcotest.(check char) "frame 3" 'P' (Frame.to_char (Gop.kind_at g 3));
+  Alcotest.(check char) "frame 12 wraps to I" 'I' (Frame.to_char (Gop.kind_at g 12));
+  Alcotest.(check char) "frame 27 = 27 mod 12 = 3 -> P" 'P' (Frame.to_char (Gop.kind_at g 27));
+  raises_invalid "negative index" (fun () -> Gop.kind_at g (-1))
+
+let test_gop_indices_of () =
+  let g = Gop.default in
+  Alcotest.(check (list int)) "I indices" [ 0; 12 ] (Gop.indices_of g Frame.I ~n:24);
+  Alcotest.(check (list int)) "P indices in one gop" [ 3; 6; 9 ] (Gop.indices_of g Frame.P ~n:12);
+  Alcotest.(check int) "B count over 24" 16 (List.length (Gop.indices_of g Frame.B ~n:24))
+
+let test_gop_count_in_pattern () =
+  let g = Gop.default in
+  Alcotest.(check int) "I per gop" 1 (Gop.count_in_pattern g Frame.I);
+  Alcotest.(check int) "P per gop" 3 (Gop.count_in_pattern g Frame.P);
+  Alcotest.(check int) "B per gop" 8 (Gop.count_in_pattern g Frame.B)
+
+let test_gop_intra_only () =
+  let g = Gop.of_string "I" in
+  Alcotest.(check int) "length 1" 1 (Gop.length g);
+  for i = 0 to 20 do
+    Alcotest.(check char) "all I" 'I' (Frame.to_char (Gop.kind_at g i))
+  done;
+  Alcotest.(check int) "no P" 0 (Gop.count_in_pattern g Frame.P)
+
+let test_gop_invalid () =
+  raises_invalid "empty" (fun () -> Gop.of_string "");
+  raises_invalid "must start with I" (fun () -> Gop.of_string "BBI");
+  raises_invalid "bad char" (fun () -> Gop.of_string "IXB")
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let small_trace () =
+  Trace.make ~name:"t" ~fps:30.0 ~gop:Gop.default
+    (Array.init 24 (fun i -> float_of_int (100 + i)))
+
+let test_trace_basics () =
+  let t = small_trace () in
+  Alcotest.(check int) "length" 24 (Trace.length t);
+  Alcotest.(check char) "kind 0" 'I' (Frame.to_char (Trace.kind_at t 0))
+
+let test_trace_of_kind () =
+  let t = small_trace () in
+  let i_sizes = Trace.of_kind t Frame.I in
+  Alcotest.(check (list (float 1e-9))) "I sizes" [ 100.0; 112.0 ] (Array.to_list i_sizes);
+  let p_sizes = Trace.of_kind t Frame.P in
+  Alcotest.(check int) "P count" 6 (Array.length p_sizes);
+  close "first P" 103.0 p_sizes.(0)
+
+let test_trace_summary () =
+  let t = small_trace () in
+  let s = Trace.summarize t in
+  Alcotest.(check int) "frames" 24 s.Trace.frames;
+  close ~eps:1e-6 "duration" 0.8 s.Trace.duration_s;
+  close "peak" 123.0 s.Trace.peak_bytes;
+  close ~eps:1e-6 "mean rate" (s.Trace.mean_bytes *. 8.0 *. 30.0) s.Trace.mean_rate_bps;
+  (* per-kind means are present for all three kinds *)
+  Alcotest.(check int) "kinds" 3 (List.length s.Trace.mean_by_kind)
+
+let test_trace_save_load_roundtrip () =
+  let t = small_trace () in
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save t path;
+      let t2 = Trace.load path in
+      Alcotest.(check string) "name" "t" t2.Trace.name;
+      close "fps" 30.0 t2.Trace.fps;
+      Alcotest.(check string) "gop" "IBBPBBPBBPBB" (Gop.to_string t2.Trace.gop);
+      Alcotest.(check int) "length" (Trace.length t) (Trace.length t2);
+      Array.iteri
+        (fun i v -> close (Printf.sprintf "size %d" i) t.Trace.sizes.(i) v)
+        t2.Trace.sizes)
+
+let test_trace_load_rejects_garbage () =
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# name bad\n12\nnot-a-number\n";
+      close_out oc;
+      match Trace.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure on malformed line")
+
+let with_temp_content content f =
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      f path)
+
+let test_trace_load_failure_injection () =
+  (* Negative size *)
+  with_temp_content "100\n-5\n" (fun path ->
+      match Trace.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "negative size must be rejected");
+  (* Empty file -> empty trace is invalid *)
+  with_temp_content "" (fun path ->
+      match Trace.load path with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "empty trace must be rejected");
+  (* NaN masquerading as a number *)
+  with_temp_content "100\nnan\n200\n" (fun path ->
+      match Trace.load path with
+      | exception Failure _ -> ()
+      | t ->
+        (* float_of_string accepts nan; make/validation must not let a
+           NaN size produce a negative-test bypass: nan >= 0.0 is
+           false, so make rejects it. *)
+        Array.iter
+          (fun s -> if Float.is_nan s then Alcotest.fail "NaN size slipped through")
+          t.Trace.sizes);
+  (* Malformed metadata degrades to defaults rather than failing. *)
+  with_temp_content "# fps banana\n# gop XYZ\n100\n200\n" (fun path ->
+      let t = Trace.load path in
+      Alcotest.(check int) "sizes parsed" 2 (Trace.length t);
+      close "default fps" 30.0 t.Trace.fps;
+      Alcotest.(check string) "default gop" "IBBPBBPBBPBB" (Gop.to_string t.Trace.gop))
+
+let test_trace_load_windows_line_endings () =
+  with_temp_content "# name crlf\r\n100\r\n200\r\n" (fun path ->
+      (* String.trim strips \r; sizes must parse. *)
+      let t = Trace.load path in
+      Alcotest.(check int) "two frames" 2 (Trace.length t))
+
+let test_trace_invalid () =
+  raises_invalid "empty" (fun () -> Trace.make ~gop:Gop.default [||]);
+  raises_invalid "negative size" (fun () -> Trace.make ~gop:Gop.default [| -1.0 |]);
+  raises_invalid "bad fps" (fun () -> Trace.make ~fps:0.0 ~gop:Gop.default [| 1.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Scene source                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_scene_deterministic () =
+  let cfg = { Scene.default with frames = 2000 } in
+  let a = Scene.generate cfg (Rng.create ~seed:1) in
+  let b = Scene.generate cfg (Rng.create ~seed:1) in
+  Array.iteri (fun i v -> close "reproducible" v b.Trace.sizes.(i)) a.Trace.sizes
+
+let test_scene_respects_frames_and_gop () =
+  let cfg = { Scene.default with frames = 1234 } in
+  let t = Scene.generate cfg (Rng.create ~seed:2) in
+  Alcotest.(check int) "frames" 1234 (Trace.length t);
+  Alcotest.(check string) "gop" "IBBPBBPBBPBB" (Gop.to_string t.Trace.gop)
+
+let test_scene_positive_sizes () =
+  let cfg = { Scene.default with frames = 5000 } in
+  let t = Scene.generate cfg (Rng.create ~seed:3) in
+  Array.iter (fun s -> if s < 64.0 then Alcotest.failf "size below floor: %g" s) t.Trace.sizes
+
+let test_scene_type_ordering () =
+  (* Mean I > mean P > mean B by construction. *)
+  let cfg = { Scene.default with frames = 24_000 } in
+  let t = Scene.generate cfg (Rng.create ~seed:4) in
+  let mean_of k = D.mean (Trace.of_kind t k) in
+  let mi = mean_of Frame.I and mp = mean_of Frame.P and mb = mean_of Frame.B in
+  if not (mi > mp && mp > mb) then
+    Alcotest.failf "type means out of order: I=%.0f P=%.0f B=%.0f" mi mp mb;
+  (* And the ratios should reflect the configured factors loosely. *)
+  close ~eps:0.1 "P/I ratio" cfg.Scene.p_factor (mp /. mi);
+  close ~eps:0.1 "B/I ratio" cfg.Scene.b_factor (mb /. mi)
+
+let test_scene_mean_level () =
+  let cfg = { Scene.default with frames = 60_000; gop = Gop.of_string "I" } in
+  let t = Scene.generate cfg (Rng.create ~seed:5) in
+  (* Mean should be within a factor ~2 of mean_i_bytes (heavy-tailed
+     scene activity makes this loose). *)
+  let m = D.mean t.Trace.sizes in
+  if m < cfg.Scene.mean_i_bytes /. 2.0 || m > cfg.Scene.mean_i_bytes *. 2.0 then
+    Alcotest.failf "mean %.0f too far from target %.0f" m cfg.Scene.mean_i_bytes
+
+let test_scene_long_range_dependence () =
+  (* The construction's raison d'etre: H estimates must be well above
+     0.5 (white noise) on an intraframe trace. *)
+  let cfg = { Scene.default with frames = 65_536; gop = Gop.of_string "I" } in
+  let t = Scene.generate cfg (Rng.create ~seed:6) in
+  let h = (Ss_fractal.Hurst.variance_time t.Trace.sizes).Ss_fractal.Hurst.h in
+  if h < 0.65 then Alcotest.failf "scene source not LRD: H=%.3f" h
+
+let test_scene_gop_periodicity_in_acf () =
+  (* With I/B/P coding, the frame-level ACF must peak at multiples of
+     the GOP period relative to its immediate neighbors. *)
+  let cfg = { Scene.default with frames = 48_000 } in
+  let t = Scene.generate cfg (Rng.create ~seed:7) in
+  let r = D.acf t.Trace.sizes ~max_lag:26 in
+  if not (r.(12) > r.(11) && r.(12) > r.(13)) then
+    Alcotest.failf "no GOP peak at lag 12: %.3f %.3f %.3f" r.(11) r.(12) r.(13);
+  if not (r.(24) > r.(23) && r.(24) > r.(25)) then Alcotest.fail "no GOP peak at lag 24"
+
+let test_scene_validate () =
+  raises_invalid "frames" (fun () -> Scene.validate { Scene.default with frames = 0 });
+  raises_invalid "hurst low" (fun () -> Scene.validate { Scene.default with hurst = 0.5 });
+  raises_invalid "hurst high" (fun () -> Scene.validate { Scene.default with hurst = 1.0 });
+  raises_invalid "p_factor" (fun () -> Scene.validate { Scene.default with p_factor = 0.0 });
+  raises_invalid "ar_coeff" (fun () -> Scene.validate { Scene.default with ar_coeff = 1.0 })
+
+(* ------------------------------------------------------------------ *)
+(* Toy codec                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_toy_codec_runs () =
+  let t = Toy.encode Toy.default ~gop:Gop.default ~frames:48 (Rng.create ~seed:8) in
+  Alcotest.(check int) "frames" 48 (Trace.length t);
+  Array.iter (fun s -> if s <= 0.0 then Alcotest.fail "nonpositive frame size") t.Trace.sizes
+
+let test_toy_codec_i_bigger_than_b () =
+  (* Intraframes code the whole image; B frames only residuals. *)
+  let t = Toy.encode Toy.default ~gop:Gop.default ~frames:120 (Rng.create ~seed:9) in
+  let mi = D.mean (Trace.of_kind t Frame.I) in
+  let mb = D.mean (Trace.of_kind t Frame.B) in
+  if mi <= mb then Alcotest.failf "I frames (%.0f) not larger than B (%.0f)" mi mb
+
+let test_toy_codec_quant_shrinks () =
+  let small = Toy.encode { Toy.default with quant = 30.0 } ~gop:(Gop.of_string "I") ~frames:24 (Rng.create ~seed:10) in
+  let large = Toy.encode { Toy.default with quant = 4.0 } ~gop:(Gop.of_string "I") ~frames:24 (Rng.create ~seed:10) in
+  if D.mean small.Trace.sizes >= D.mean large.Trace.sizes then
+    Alcotest.fail "coarser quantizer should shrink frames"
+
+let test_toy_codec_deterministic () =
+  let a = Toy.encode Toy.default ~gop:Gop.default ~frames:24 (Rng.create ~seed:11) in
+  let b = Toy.encode Toy.default ~gop:Gop.default ~frames:24 (Rng.create ~seed:11) in
+  Array.iteri (fun i v -> close "reproducible" v b.Trace.sizes.(i)) a.Trace.sizes
+
+let test_toy_codec_invalid () =
+  raises_invalid "frames 0" (fun () ->
+      Toy.encode Toy.default ~gop:Gop.default ~frames:0 (Rng.create ~seed:1));
+  raises_invalid "bad dims" (fun () ->
+      Toy.encode { Toy.default with width = 30 } ~gop:Gop.default ~frames:1 (Rng.create ~seed:1));
+  raises_invalid "bad quant" (fun () ->
+      Toy.encode { Toy.default with quant = 0.0 } ~gop:Gop.default ~frames:1 (Rng.create ~seed:1))
+
+(* ------------------------------------------------------------------ *)
+(* Composite                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let reference () =
+  Scene.generate { Scene.default with frames = 24_000 } (Rng.create ~seed:12)
+
+let test_composite_transforms_match_marginals () =
+  let t = reference () in
+  let c = Composite.of_trace t in
+  let rng = Rng.create ~seed:13 in
+  (* Push gaussians through h_I; quantiles must match the I-frame
+     empirical distribution. *)
+  let i_sizes = Trace.of_kind t Frame.I in
+  let h_i = Composite.transform c Frame.I in
+  let ys = Array.init 20_000 (fun _ -> Transform.apply1 h_i (Rng.gaussian rng)) in
+  let want = D.median i_sizes and got = D.median ys in
+  if abs_float (want -. got) /. want > 0.05 then
+    Alcotest.failf "I median mismatch: %.0f vs %.0f" want got
+
+let test_composite_apply_respects_gop () =
+  let t = reference () in
+  let c = Composite.of_trace t in
+  let rng = Rng.create ~seed:14 in
+  let x = Array.init 2400 (fun _ -> Rng.gaussian rng) in
+  let synth = Composite.apply c x in
+  Alcotest.(check int) "length" 2400 (Trace.length synth);
+  (* Same background value at an I slot maps above the same value at a
+     B slot (h_I dominates h_B pointwise for this source). *)
+  let mi = D.mean (Trace.of_kind synth Frame.I) in
+  let mb = D.mean (Trace.of_kind synth Frame.B) in
+  if mi <= mb then Alcotest.fail "composite lost I/B ordering"
+
+let test_composite_mean_attenuation_bounds () =
+  let c = Composite.of_trace (reference ()) in
+  let a = Composite.mean_attenuation c in
+  if a <= 0.0 || a > 1.0 then Alcotest.failf "attenuation %g outside (0,1]" a
+
+let test_composite_missing_kind () =
+  (* An intra-only trace has no P/B transforms. *)
+  let t =
+    Scene.generate
+      { Scene.default with frames = 2000; gop = Gop.of_string "I" }
+      (Rng.create ~seed:15)
+  in
+  let c = Composite.of_trace t in
+  raises_invalid "no P transform" (fun () -> ignore (Composite.transform c Frame.P));
+  (* apply still works: every slot is I *)
+  let synth = Composite.apply c [| 0.0; 1.0; -1.0 |] in
+  Alcotest.(check int) "length" 3 (Trace.length synth)
+
+let test_composite_i_acf_target () =
+  let t = reference () in
+  let c = Composite.of_trace t in
+  let pts = Composite.i_acf_target c ~reference:t ~max_lag:50 in
+  Alcotest.(check int) "50 points" 50 (List.length pts);
+  (* I-frame ACF at small lags must be high for this source. *)
+  (match pts with
+  | (1, r1) :: _ -> if r1 < 0.2 then Alcotest.failf "I-frame r(1) suspiciously low: %g" r1
+  | _ -> Alcotest.fail "first point should be lag 1");
+  raises_invalid "too few I frames" (fun () ->
+      ignore (Composite.i_acf_target c ~reference:t ~max_lag:100_000))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_video"
+    [
+      ("frame", [ tc "char roundtrip" test_frame_char_roundtrip; tc "equal" test_frame_equal ]);
+      ( "gop",
+        [
+          tc "default pattern" test_gop_default_pattern;
+          tc "kind_at cycles" test_gop_kind_at_cycles;
+          tc "indices_of" test_gop_indices_of;
+          tc "count in pattern" test_gop_count_in_pattern;
+          tc "intra only" test_gop_intra_only;
+          tc "invalid" test_gop_invalid;
+        ] );
+      ( "trace",
+        [
+          tc "basics" test_trace_basics;
+          tc "of_kind" test_trace_of_kind;
+          tc "summary" test_trace_summary;
+          tc "save/load roundtrip" test_trace_save_load_roundtrip;
+          tc "load rejects garbage" test_trace_load_rejects_garbage;
+          tc "load failure injection" test_trace_load_failure_injection;
+          tc "load CRLF" test_trace_load_windows_line_endings;
+          tc "invalid" test_trace_invalid;
+        ] );
+      ( "scene-source",
+        [
+          tc "deterministic" test_scene_deterministic;
+          tc "frames and gop" test_scene_respects_frames_and_gop;
+          tc "positive sizes" test_scene_positive_sizes;
+          tc "I > P > B" test_scene_type_ordering;
+          tc "mean level" test_scene_mean_level;
+          tc "long range dependence" test_scene_long_range_dependence;
+          tc "GOP periodicity in ACF" test_scene_gop_periodicity_in_acf;
+          tc "validate" test_scene_validate;
+        ] );
+      ( "toy-codec",
+        [
+          tc "runs" test_toy_codec_runs;
+          tc "I bigger than B" test_toy_codec_i_bigger_than_b;
+          tc "quantizer shrinks" test_toy_codec_quant_shrinks;
+          tc "deterministic" test_toy_codec_deterministic;
+          tc "invalid" test_toy_codec_invalid;
+        ] );
+      ( "composite",
+        [
+          tc "transforms match marginals" test_composite_transforms_match_marginals;
+          tc "apply respects gop" test_composite_apply_respects_gop;
+          tc "mean attenuation bounds" test_composite_mean_attenuation_bounds;
+          tc "missing kind" test_composite_missing_kind;
+          tc "I acf target" test_composite_i_acf_target;
+        ] );
+    ]
