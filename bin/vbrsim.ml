@@ -54,6 +54,20 @@ let replications_arg =
   let doc = "Independent replications per estimate." in
   Arg.(value & opt int 300 & info [ "replications"; "n" ] ~docv:"INT" ~doc)
 
+let csv_arg =
+  let doc =
+    "Also write the overflow curve as CSV rows '(buffer, overflow)' to $(docv) (normalized \
+     buffer units; '#'-prefixed header), for the plots/ scripts."
+  in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let write_overflow_csv path rows =
+  let oc = open_out path in
+  output_string oc "# buffer,overflow\n";
+  List.iter (fun (b, p) -> Printf.fprintf oc "%g,%g\n" b p) rows;
+  close_out oc;
+  Format.printf "wrote overflow curve to %s@." path
+
 let wrap f =
   try
     f ();
@@ -263,34 +277,161 @@ let mpeg_cmd =
 
 (* --- queue --- *)
 
+let parse_buffers buffers =
+  String.split_on_char ',' buffers
+  |> List.map (fun s ->
+         match float_of_string_opt (String.trim s) with
+         | Some b when b >= 0.0 -> b
+         | _ -> invalid_arg (Printf.sprintf "bad buffer size %S" s))
+
+let buffers_arg =
+  let doc = "Comma-separated normalized buffer sizes (units of mean frame size)." in
+  Arg.(
+    value & opt string "10,25,50,100,150,200,250" & info [ "buffers"; "b" ] ~docv:"LIST" ~doc)
+
 let queue_cmd =
-  let buffers_arg =
-    let doc = "Comma-separated normalized buffer sizes (units of mean frame size)." in
-    Arg.(
-      value & opt string "10,25,50,100,150,200,250" & info [ "buffers"; "b" ] ~docv:"LIST" ~doc)
-  in
-  let run path utilization buffers =
+  let run path utilization buffers csv =
     wrap (fun () ->
         let trace = Trace.load path in
         let sizes = trace.Trace.sizes in
-        let bs =
-          String.split_on_char ',' buffers
-          |> List.map (fun s ->
-                 match float_of_string_opt (String.trim s) with
-                 | Some b when b >= 0.0 -> b
-                 | _ -> invalid_arg (Printf.sprintf "bad buffer size %S" s))
-        in
+        let bs = parse_buffers buffers in
         let qp = Trace_sim.queue_path ~arrivals:sizes ~utilization in
         Format.printf "# b(normalized)  Pr(Q > b)  log10@.";
+        let curve =
+          List.map
+            (fun b ->
+              (b, Trace_sim.overflow_fraction ~queue_path:qp ~buffer:(b *. D.mean sizes)))
+            bs
+        in
         List.iter
-          (fun b ->
-            let p = Trace_sim.overflow_fraction ~queue_path:qp ~buffer:(b *. D.mean sizes) in
+          (fun (b, p) ->
             Format.printf "%8.0f  %.5g  %s@." b p
               (if p > 0.0 then Printf.sprintf "%.3f" (log10 p) else "-inf"))
-          bs)
+          curve;
+        match csv with None -> () | Some path -> write_overflow_csv path curve)
   in
   let doc = "Single-run overflow curve of a trace through a deterministic-service queue." in
-  Cmd.v (Cmd.info "queue" ~doc) Term.(const run $ trace_arg $ utilization_arg $ buffers_arg)
+  Cmd.v (Cmd.info "queue" ~doc)
+    Term.(const run $ trace_arg $ utilization_arg $ buffers_arg $ csv_arg)
+
+(* --- mux --- *)
+
+let mux_cmd =
+  let sources_arg =
+    let doc = "Number of multiplexed sources." in
+    Arg.(value & opt int 16 & info [ "sources" ] ~docv:"INT" ~doc)
+  in
+  let slots_arg =
+    let doc = "Simulation length in slots (frames)." in
+    Arg.(value & opt int 50_000 & info [ "slots" ] ~docv:"INT" ~doc)
+  in
+  let order_arg =
+    let doc =
+      "Streaming-source AR order: dependence is exact up to this lag, frozen-AR beyond; \
+       memory and per-slot cost are O(order) per source."
+    in
+    Arg.(value & opt int 256 & info [ "order" ] ~docv:"INT" ~doc)
+  in
+  let buffer_arg =
+    let doc =
+      "Finite shared buffer in units of the per-source mean frame size (omit for an \
+       unbounded buffer: pure delay, no loss)."
+    in
+    Arg.(value & opt (some float) None & info [ "buffer" ] ~docv:"FLOAT" ~doc)
+  in
+  let epsilon_arg =
+    let doc = "Admission-control overflow target Pr(Q > b) <= epsilon." in
+    Arg.(value & opt float 1e-6 & info [ "epsilon" ] ~docv:"FLOAT" ~doc)
+  in
+  let composite_arg =
+    let doc = "Use the Section-3.3 composite I/B/P model (GOP phases staggered per source)." in
+    Arg.(value & flag & info [ "composite" ] ~doc)
+  in
+  let priority_arg =
+    let doc = "Strict priority classes I > P > B (requires $(b,--composite))." in
+    Arg.(value & flag & info [ "priority" ] ~doc)
+  in
+  let run path utilization sources slots order buffer_norm epsilon composite priority
+      buffers csv seed max_lag =
+    wrap (fun () ->
+        if sources <= 0 then invalid_arg "sources must be positive";
+        if priority && not composite then invalid_arg "--priority requires --composite";
+        let trace = Trace.load path in
+        let rng = Rng.create ~seed in
+        let mk =
+          if composite then begin
+            let m = Mpeg.fit trace in
+            fun i ->
+              Ss_mux.Source.of_mpeg
+                ~name:(Printf.sprintf "src%02d" i)
+                ~order
+                ~phase:(i mod Gop.length m.Mpeg.gop)
+                ~priority m (Rng.split rng)
+          end
+          else begin
+            let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
+            fun i ->
+              Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order model
+                (Rng.split rng)
+          end
+        in
+        let srcs = Array.init sources mk in
+        let per_mean = srcs.(0).Ss_mux.Source.mean in
+        let service = float_of_int sources *. per_mean /. utilization in
+        let bs = parse_buffers buffers in
+        let thresholds = List.map (fun b -> b *. per_mean) bs in
+        let buffer_abs =
+          match buffer_norm with None -> infinity | Some b -> b *. per_mean
+        in
+        let cac_buffer =
+          if buffer_abs < infinity then buffer_abs
+          else List.fold_left Stdlib.max per_mean thresholds
+        in
+        let cac = Ss_mux.Admission.create ~service ~buffer:cac_buffer ~epsilon in
+        Format.printf "# admission control: service %.1f/slot, buffer %.1f, epsilon %g@."
+          service cac_buffer epsilon;
+        let admitted =
+          Array.of_list
+            (List.filter
+               (fun s ->
+                 match Ss_mux.Admission.try_admit cac (Ss_mux.Admission.descr_of_source s) with
+                 | Ss_mux.Admission.Admit p ->
+                   Format.printf "  admit  %s  (predicted Pr(Q>b) = %.3g)@."
+                     s.Ss_mux.Source.name p;
+                   true
+                 | Ss_mux.Admission.Reject reason ->
+                   Format.printf "  reject %s@." reason;
+                   false)
+               (Array.to_list srcs))
+        in
+        if Array.length admitted = 0 then
+          Format.printf "no sources admitted; nothing to simulate@."
+        else begin
+          let report = Ss_mux.Mux.run ~buffer:buffer_abs ~thresholds ~service ~slots admitted in
+          Format.printf "%a" Ss_mux.Mux.pp_report report;
+          let load = Ss_mux.Admission.admitted cac in
+          Format.printf "norros overlay (admitted aggregate):@.";
+          List.iter
+            (fun (b, p) ->
+              let pred = Ss_mux.Admission.predicted_overflow ~service ~buffer:b load in
+              Format.printf "  Pr(Q > %8.0f)  measured %.5g  norros %.5g@." b p pred)
+            report.Ss_mux.Mux.overflow;
+          match csv with
+          | None -> ()
+          | Some path ->
+            write_overflow_csv path
+              (List.map (fun (b, p) -> (b /. per_mean, p)) report.Ss_mux.Mux.overflow)
+        end)
+  in
+  let doc =
+    "Multiplex N streaming model sources through one finite shared buffer with \
+     effective-bandwidth admission control and online accounting."
+  in
+  Cmd.v (Cmd.info "mux" ~doc)
+    Term.(
+      const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
+      $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg $ buffers_arg $ csv_arg
+      $ seed_arg $ max_lag_arg)
 
 (* --- fastsim --- *)
 
@@ -365,5 +506,5 @@ let () =
        (Cmd.group info
           [
             synth_cmd; summary_cmd; hurst_cmd; acf_cmd; compare_cmd; fit_cmd; generate_cmd;
-            mpeg_cmd; queue_cmd; fastsim_cmd;
+            mpeg_cmd; queue_cmd; mux_cmd; fastsim_cmd;
           ]))

@@ -1,0 +1,87 @@
+module Norros = Ss_queueing.Norros
+
+type descr = { name : string; mean : float; sigma2 : float; hurst : float }
+type decision = Admit of float | Reject of string
+
+let descr_of_source (s : Source.t) =
+  { name = s.Source.name; mean = s.Source.mean; sigma2 = s.Source.sigma2; hurst = s.Source.hurst }
+
+let aggregate = function
+  | [] -> invalid_arg "Admission.aggregate: empty list"
+  | ds ->
+    List.fold_left
+      (fun acc d ->
+        {
+          acc with
+          mean = acc.mean +. d.mean;
+          sigma2 = acc.sigma2 +. d.sigma2;
+          hurst = Stdlib.max acc.hurst d.hurst;
+        })
+      { name = "aggregate"; mean = 0.0; sigma2 = 0.0; hurst = 0.0 }
+      ds
+
+let predicted_overflow ~service ~buffer = function
+  | [] ->
+    if service <= 0.0 then invalid_arg "Admission.predicted_overflow: service <= 0";
+    if buffer < 0.0 then invalid_arg "Admission.predicted_overflow: buffer < 0";
+    0.0
+  | ds ->
+    if service <= 0.0 then invalid_arg "Admission.predicted_overflow: service <= 0";
+    if buffer < 0.0 then invalid_arg "Admission.predicted_overflow: buffer < 0";
+    let a = aggregate ds in
+    if a.mean >= service then 1.0
+    else if a.sigma2 <= 0.0 then 0.0 (* deterministic aggregate below capacity *)
+    else
+      Norros.overflow ~mean_rate:a.mean ~service ~hurst:a.hurst ~sigma2:a.sigma2
+        ~buffer
+
+let effective_bandwidth ~buffer ~epsilon d =
+  if buffer <= 0.0 then invalid_arg "Admission.effective_bandwidth: buffer <= 0";
+  if epsilon <= 0.0 || epsilon >= 1.0 then
+    invalid_arg "Admission.effective_bandwidth: epsilon outside (0,1)";
+  if d.sigma2 <= 0.0 then invalid_arg "Admission.effective_bandwidth: sigma2 <= 0";
+  if d.hurst <= 0.0 || d.hurst >= 1.0 then
+    invalid_arg "Admission.effective_bandwidth: hurst outside (0,1)";
+  let h = d.hurst in
+  let k = Norros.kappa h in
+  (* Invert log_overflow = -(c-m)^{2H} b^{2-2H} / (2 k^2 sigma2) = ln eps. *)
+  let surplus =
+    (-.log epsilon *. 2.0 *. k *. k *. d.sigma2 /. (buffer ** (2.0 -. (2.0 *. h))))
+    ** (1.0 /. (2.0 *. h))
+  in
+  d.mean +. surplus
+
+type t = {
+  service : float;
+  buffer : float;
+  epsilon : float;
+  mutable load : descr list;  (* reverse admission order *)
+}
+
+let create ~service ~buffer ~epsilon =
+  if service <= 0.0 then invalid_arg "Admission.create: service <= 0";
+  if buffer <= 0.0 then invalid_arg "Admission.create: buffer <= 0";
+  if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Admission.create: epsilon outside (0,1)";
+  { service; buffer; epsilon; load = [] }
+
+let admitted t = List.rev t.load
+let admitted_count t = List.length t.load
+
+let decide t d =
+  if d.mean < 0.0 || d.sigma2 < 0.0 then
+    Reject (Printf.sprintf "%s: invalid descriptor (negative mean or variance)" d.name)
+  else begin
+    let p = predicted_overflow ~service:t.service ~buffer:t.buffer (d :: t.load) in
+    if p <= t.epsilon then Admit p
+    else
+      Reject
+        (Printf.sprintf "%s: predicted Pr(Q>b) = %.3g exceeds epsilon = %.3g" d.name p
+           t.epsilon)
+  end
+
+let try_admit t d =
+  match decide t d with
+  | Admit _ as a ->
+    t.load <- d :: t.load;
+    a
+  | Reject _ as r -> r

@@ -1,0 +1,69 @@
+(** Effective-bandwidth call admission control for the multiplexer.
+
+    The decision rule is the fractional-Brownian-storage overflow
+    approximation already used for Fig-16-style overlays
+    ({!Ss_queueing.Norros}): a new source is admitted iff the
+    predicted stationary overflow probability [Pr(Q > buffer)] of the
+    aggregate — current load plus the candidate — stays at or below
+    the target [epsilon]. Aggregation follows FBM superposition:
+    means and variance coefficients add; the Hurst parameter of the
+    aggregate is the maximum of the components (the largest H
+    dominates the tail, a conservative choice for heterogeneous
+    sources).
+
+    {!effective_bandwidth} is the closed-form inverse: the smallest
+    service rate at which a descriptor meets [(buffer, epsilon)],
+    Norros' [c = m + (kappa(H)^2 * (-2 ln eps) * sigma2 /
+    b^(2-2H))^(1/2H)] — what the paper's Section 1 calls the
+    bandwidth a VBR source effectively consumes. *)
+
+type descr = {
+  name : string;
+  mean : float;  (** per-slot mean arrival rate *)
+  sigma2 : float;  (** per-slot marginal variance (FBM coefficient) *)
+  hurst : float;
+}
+
+type decision =
+  | Admit of float  (** predicted aggregate overflow after admission *)
+  | Reject of string  (** human-readable reason *)
+
+val descr_of_source : Source.t -> descr
+(** Lift a streaming source's nominal parameters into a CAC
+    descriptor. *)
+
+val aggregate : descr list -> descr
+(** FBM superposition: sum of means and variances, max of Hurst
+    parameters. @raise Invalid_argument on an empty list. *)
+
+val predicted_overflow : service:float -> buffer:float -> descr list -> float
+(** Norros overflow probability of the aggregate ([0] for an empty
+    list, [1] when the aggregate mean reaches the service rate).
+    @raise Invalid_argument if [service <= 0] or [buffer < 0]. *)
+
+val effective_bandwidth : buffer:float -> epsilon:float -> descr -> float
+(** Minimal service rate under which the descriptor alone meets
+    [Pr(Q > buffer) <= epsilon].
+    @raise Invalid_argument if [buffer <= 0], [epsilon] outside
+    (0,1), [sigma2 <= 0] or [hurst] outside (0,1). *)
+
+type t
+(** Mutable admission controller: link parameters plus the set of
+    admitted descriptors. *)
+
+val create : service:float -> buffer:float -> epsilon:float -> t
+(** @raise Invalid_argument if [service <= 0], [buffer <= 0] or
+    [epsilon] outside (0,1). *)
+
+val admitted : t -> descr list
+(** Currently admitted descriptors, in admission order. *)
+
+val admitted_count : t -> int
+
+val decide : t -> descr -> decision
+(** Pure decision for a candidate against the current load; does not
+    mutate. *)
+
+val try_admit : t -> descr -> decision
+(** {!decide}, recording the candidate into the admitted set when the
+    answer is [Admit]. *)

@@ -1,0 +1,170 @@
+module Online = Ss_stats.Online_stats
+
+type source_report = {
+  name : string;
+  offered : float;
+  admitted : float;
+  lost : float;
+  loss_fraction : float;
+  mean_rate : float;
+  peak_rate : float;
+}
+
+type report = {
+  slots : int;
+  service : float;
+  buffer : float;
+  offered_utilization : float;
+  carried_utilization : float;
+  loss_fraction : float;
+  mean_queue : float;
+  max_queue : float;
+  queue_quantiles : (float * float) list;
+  delay_quantiles : (float * float) list;
+  overflow : (float * float) list;
+  per_source : source_report array;
+}
+
+let max_classes = 64
+
+let run ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ]) ?probe
+    ~service ~slots sources =
+  if slots <= 0 then invalid_arg "Mux.run: slots <= 0";
+  if service <= 0.0 then invalid_arg "Mux.run: service <= 0";
+  if buffer < 0.0 then invalid_arg "Mux.run: buffer < 0";
+  let n = Array.length sources in
+  if n = 0 then invalid_arg "Mux.run: no sources";
+  List.iter (fun b -> if b < 0.0 then invalid_arg "Mux.run: negative threshold") thresholds;
+  let works = Array.make n 0.0 in
+  let classes = Array.make n 0 in
+  let class_sums = Array.make max_classes 0.0 in
+  let class_scale = Array.make max_classes 1.0 in
+  let offered = Array.make n 0.0 in
+  let admitted = Array.make n 0.0 in
+  let lost = Array.make n 0.0 in
+  let peak = Array.make n 0.0 in
+  let queue_stats = Online.create () in
+  let q_quant = List.map (fun p -> (p, Online.P2.create ~p)) quantiles in
+  let d_quant = List.map (fun p -> (p, Online.P2.create ~p)) quantiles in
+  let thr = Array.of_list thresholds in
+  let thr_hits = Array.make (Array.length thr) 0 in
+  let q = ref 0.0 in
+  let served_total = ref 0.0 in
+  for t = 0 to slots - 1 do
+    let max_class = ref 0 in
+    for i = 0 to n - 1 do
+      let w, c = Source.next sources.(i) in
+      if w < 0.0 then
+        invalid_arg (Printf.sprintf "Mux.run: source %s yielded negative work" sources.(i).Source.name);
+      if c < 0 || c >= max_classes then
+        invalid_arg (Printf.sprintf "Mux.run: source %s yielded class %d" sources.(i).Source.name c);
+      works.(i) <- w;
+      classes.(i) <- c;
+      offered.(i) <- offered.(i) +. w;
+      if w > peak.(i) then peak.(i) <- w;
+      if c > !max_class then max_class := c;
+      class_sums.(c) <- class_sums.(c) +. w
+    done;
+    let admitted_total = ref 0.0 in
+    if buffer = infinity then begin
+      for i = 0 to n - 1 do
+        admitted_total := !admitted_total +. works.(i);
+        admitted.(i) <- admitted.(i) +. works.(i)
+      done;
+      for c = 0 to !max_class do
+        class_sums.(c) <- 0.0
+      done
+    end
+    else begin
+      (* Work served during the slot frees space for the slot's own
+         arrivals; classes are admitted in strict priority order and
+         a class that does not fit shares the remaining room
+         proportionally to offered work. *)
+      let room = ref (Stdlib.max 0.0 (buffer +. service -. !q)) in
+      for c = 0 to !max_class do
+        let s = class_sums.(c) in
+        let f =
+          if s <= !room then 1.0 else if s <= 0.0 then 0.0 else !room /. s
+        in
+        class_scale.(c) <- f;
+        room := Stdlib.max 0.0 (!room -. (s *. f));
+        class_sums.(c) <- 0.0
+      done;
+      for i = 0 to n - 1 do
+        let w = works.(i) in
+        let a = w *. class_scale.(classes.(i)) in
+        admitted_total := !admitted_total +. a;
+        admitted.(i) <- admitted.(i) +. a;
+        lost.(i) <- lost.(i) +. (w -. a)
+      done
+    end;
+    served_total := !served_total +. Stdlib.min service (!q +. !admitted_total);
+    q := Stdlib.max 0.0 (!q +. !admitted_total -. service);
+    Online.add queue_stats !q;
+    List.iter (fun (_, p2) -> Online.P2.add p2 !q) q_quant;
+    List.iter (fun (_, p2) -> Online.P2.add p2 (!q /. service)) d_quant;
+    Array.iteri (fun j b -> if !q > b then thr_hits.(j) <- thr_hits.(j) + 1) thr;
+    match probe with None -> () | Some f -> f t !q
+  done;
+  let fslots = float_of_int slots in
+  let total_offered = Array.fold_left ( +. ) 0.0 offered in
+  let total_lost = Array.fold_left ( +. ) 0.0 lost in
+  {
+    slots;
+    service;
+    buffer;
+    offered_utilization = total_offered /. fslots /. service;
+    carried_utilization = !served_total /. (service *. fslots);
+    loss_fraction = (if total_offered > 0.0 then total_lost /. total_offered else 0.0);
+    mean_queue = Online.mean queue_stats;
+    max_queue = Online.max queue_stats;
+    queue_quantiles = List.map (fun (p, p2) -> (p, Online.P2.quantile p2)) q_quant;
+    delay_quantiles = List.map (fun (p, p2) -> (p, Online.P2.quantile p2)) d_quant;
+    overflow =
+      List.mapi (fun j b -> (b, float_of_int thr_hits.(j) /. fslots)) thresholds;
+    per_source =
+      Array.init n (fun i ->
+          {
+            name = sources.(i).Source.name;
+            offered = offered.(i);
+            admitted = admitted.(i);
+            lost = lost.(i);
+            loss_fraction = (if offered.(i) > 0.0 then lost.(i) /. offered.(i) else 0.0);
+            mean_rate = offered.(i) /. fslots;
+            peak_rate = peak.(i);
+          });
+  }
+
+let pp_report ppf r =
+  let pct x = 100.0 *. x in
+  Format.fprintf ppf "slots             %d@." r.slots;
+  Format.fprintf ppf "service           %.1f work/slot@." r.service;
+  (if r.buffer = infinity then Format.fprintf ppf "buffer            unbounded@."
+   else Format.fprintf ppf "buffer            %.1f@." r.buffer);
+  Format.fprintf ppf "offered load      %.1f%% of service@." (pct r.offered_utilization);
+  Format.fprintf ppf "carried load      %.1f%% of service@." (pct r.carried_utilization);
+  Format.fprintf ppf "loss fraction     %.4g@." r.loss_fraction;
+  Format.fprintf ppf "mean queue        %.1f@." r.mean_queue;
+  Format.fprintf ppf "max queue         %.1f@." r.max_queue;
+  List.iter
+    (fun (p, q) -> Format.fprintf ppf "queue q(%.2f)      %.1f@." p q)
+    r.queue_quantiles;
+  List.iter
+    (fun (p, d) -> Format.fprintf ppf "delay q(%.2f)      %.2f slots@." p d)
+    r.delay_quantiles;
+  if r.overflow <> [] then begin
+    Format.fprintf ppf "overflow:@.";
+    List.iter
+      (fun (b, p) ->
+        Format.fprintf ppf "  Pr(Q > %8.0f)  %.5g  %s@." b p
+          (if p > 0.0 then Printf.sprintf "(log10 %.3f)" (log10 p) else ""))
+      r.overflow
+  end;
+  Format.fprintf ppf "per source:@.";
+  Format.fprintf ppf "  %-12s  %12s  %12s  %10s  %10s@." "name" "offered" "lost"
+    "loss-frac" "peak-rate";
+  Array.iter
+    (fun s ->
+      Format.fprintf ppf "  %-12s  %12.4g  %12.4g  %10.4g  %10.4g@." s.name s.offered
+        s.lost s.loss_fraction s.peak_rate)
+    r.per_source

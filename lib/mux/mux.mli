@@ -1,0 +1,71 @@
+(** Slotted shared-buffer statistical multiplexer (the paper's
+    Section-1 motivation, run as an engine).
+
+    Per slot, every source contributes one arrival; arrivals are
+    admitted into a shared buffer in strict priority-class order
+    (class 0 first). The admission room of a slot is
+    [buffer + service - q]: work served during the slot frees space
+    for that slot's arrivals. When a class does not fit, its sources
+    share the remaining room proportionally to their offered work
+    (fluid model) and the excess is counted as per-source loss. The
+    queue then follows the Lindley recursion
+    [q' = max 0 (q + admitted - service)] — with an infinite buffer
+    and a single class this reproduces
+    {!Ss_queueing.Trace_sim.queue_path} exactly (the equivalence is a
+    unit test).
+
+    All accounting is online ({!Ss_stats.Online_stats}): mean/max
+    queue, delay and queue quantiles (P²), per-threshold overflow
+    fractions, and per-source offered/admitted/lost totals — nothing
+    stores a path, so a run is O(sources + order) resident memory
+    regardless of [slots]. *)
+
+type source_report = {
+  name : string;
+  offered : float;  (** total work pulled from the source *)
+  admitted : float;  (** work accepted into the buffer *)
+  lost : float;  (** work dropped (buffer full) *)
+  loss_fraction : float;  (** lost / offered (0 when nothing offered) *)
+  mean_rate : float;  (** offered / slots *)
+  peak_rate : float;  (** largest single-slot arrival *)
+}
+
+type report = {
+  slots : int;
+  service : float;  (** per-slot service capacity *)
+  buffer : float;  (** shared buffer ([infinity] = unbounded) *)
+  offered_utilization : float;  (** aggregate offered rate / service *)
+  carried_utilization : float;  (** served work / (service * slots) *)
+  loss_fraction : float;  (** aggregate lost / offered *)
+  mean_queue : float;
+  max_queue : float;
+  queue_quantiles : (float * float) list;  (** (p, P² estimate of q) *)
+  delay_quantiles : (float * float) list;
+      (** (p, P² estimate of virtual delay q/service, in slots) *)
+  overflow : (float * float) list;  (** (threshold b, fraction of slots with q > b) *)
+  per_source : source_report array;
+}
+
+val run :
+  ?buffer:float ->
+  ?thresholds:float list ->
+  ?quantiles:float list ->
+  ?probe:(int -> float -> unit) ->
+  service:float ->
+  slots:int ->
+  Source.t array ->
+  report
+(** Drive the multiplexer for [slots] slots. [buffer] defaults to
+    [infinity] (pure delay system, no loss); [thresholds] (default
+    empty) are the queue levels whose exceedance fractions the report
+    records; [quantiles] (default [0.5; 0.9; 0.99]) are the P²
+    levels; [probe] (for tests/tracing) is called after every slot
+    with the slot index and the updated queue length.
+    @raise Invalid_argument if [slots <= 0], [service <= 0],
+    [buffer < 0], no sources, a quantile outside (0,1), a negative
+    threshold, a source yields negative work, or a source yields a
+    class outside [0, 63]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Multi-line text report: link summary, queue/delay statistics,
+    overflow curve, per-source accounting table. *)

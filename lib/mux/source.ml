@@ -1,0 +1,127 @@
+module Rng = Ss_stats.Rng
+module Quad = Ss_stats.Quadrature
+module Acf = Ss_fractal.Acf
+module Hosking = Ss_fractal.Hosking
+module Transform = Ss_fractal.Transform
+module Gop = Ss_video.Gop
+module Frame = Ss_video.Frame
+module Model = Ss_core.Model
+module Mpeg = Ss_core.Mpeg
+
+type t = {
+  name : string;
+  mean : float;
+  sigma2 : float;
+  hurst : float;
+  pull : unit -> float * int;
+}
+
+let make ~name ~mean ~sigma2 ~hurst pull =
+  if mean < 0.0 then invalid_arg "Source.make: mean < 0";
+  if sigma2 < 0.0 then invalid_arg "Source.make: sigma2 < 0";
+  if hurst <= 0.0 || hurst >= 1.0 then invalid_arg "Source.make: hurst outside (0,1)";
+  { name; mean; sigma2; hurst; pull }
+
+let next t = t.pull ()
+
+let of_array ?(name = "array") ?(hurst = 0.5) ?(cycle = false) xs =
+  if Array.length xs = 0 then invalid_arg "Source.of_array: empty array";
+  let n = Array.length xs in
+  let i = ref 0 in
+  let pull () =
+    if !i >= n then
+      if cycle then i := 0 else invalid_arg "Source.of_array: source exhausted";
+    let v = xs.(!i) in
+    incr i;
+    (v, 0)
+  in
+  make ~name ~mean:(Ss_stats.Descriptive.mean xs)
+    ~sigma2:(Ss_stats.Descriptive.variance xs) ~hurst pull
+
+(* One Hosking table per (background ACF, order) — N same-model
+   sources share the O(order^2) coefficients. *)
+let table_cache : (string * int, Hosking.Table.t) Hashtbl.t = Hashtbl.create 8
+
+let table_for ~acf ~order =
+  if order < 1 || order > 19_999 then
+    invalid_arg "Source.background_stream: order outside [1, 19999]";
+  let key = (acf.Acf.name, order) in
+  match Hashtbl.find_opt table_cache key with
+  | Some t -> t
+  | None ->
+    let t = Hosking.Table.make ~acf ~n:(order + 1) in
+    Hashtbl.add table_cache key t;
+    t
+
+let background_stream ~acf ~order rng =
+  let table = table_for ~acf ~order in
+  (* [hist] holds the last [min k order] background values in
+     chronological order; O(order) resident state. *)
+  let hist = Array.make order 0.0 in
+  let k = ref 0 in
+  fun () ->
+    let x =
+      if !k < order then begin
+        let m = Hosking.Table.cond_mean table hist !k in
+        let x = m +. (Hosking.Table.innovation_std table !k *. Rng.gaussian rng) in
+        hist.(!k) <- x;
+        incr k;
+        x
+      end
+      else begin
+        let m = Hosking.Table.cond_mean table hist order in
+        let x = m +. (Hosking.Table.innovation_std table order *. Rng.gaussian rng) in
+        Array.blit hist 1 hist 0 (order - 1);
+        hist.(order - 1) <- x;
+        x
+      end
+    in
+    x
+
+(* Per-slot marginal moments of a transform, by Gauss-Hermite
+   quadrature on the standard-normal background. *)
+let transform_moments h =
+  let m = Quad.gaussian_expectation ~n:128 (fun x -> Transform.apply1 h x) in
+  let m2 = Quad.gaussian_expectation ~n:128 (fun x -> let y = Transform.apply1 h x in y *. y) in
+  (m, Stdlib.max 0.0 (m2 -. (m *. m)))
+
+let of_model ?(name = "model") ?(order = 512) model rng =
+  let acf = Model.background_acf model in
+  let bg = background_stream ~acf ~order rng in
+  let h = model.Model.transform in
+  let _, sigma2 = transform_moments h in
+  let pull () = (Transform.apply1 h (bg ()), 0) in
+  make ~name ~mean:model.Model.mean ~sigma2 ~hurst:model.Model.hurst pull
+
+let of_mpeg ?(name = "mpeg") ?(order = 512) ?(phase = 0) ?(priority = false) m rng =
+  if phase < 0 then invalid_arg "Source.of_mpeg: phase < 0";
+  let gop = m.Mpeg.gop in
+  let bg = background_stream ~acf:m.Mpeg.background ~order rng in
+  let klass kind =
+    if not priority then 0
+    else match kind with Frame.I -> 0 | Frame.P -> 1 | Frame.B -> 2
+  in
+  let transform kind = Ss_video.Composite.transform m.Mpeg.composite kind in
+  (* GOP-pattern-averaged per-slot moments: the process is
+     cyclostationary, so average E[h_k] and E[h_k^2] over one
+     pattern. *)
+  let period = Gop.length gop in
+  let mean, sigma2 =
+    let sum_m = ref 0.0 and sum_m2 = ref 0.0 in
+    for i = 0 to period - 1 do
+      let h = transform (Gop.kind_at gop i) in
+      let mk, vk = transform_moments h in
+      sum_m := !sum_m +. mk;
+      sum_m2 := !sum_m2 +. vk +. (mk *. mk)
+    done;
+    let m1 = !sum_m /. float_of_int period in
+    (m1, Stdlib.max 0.0 ((!sum_m2 /. float_of_int period) -. (m1 *. m1)))
+  in
+  let t = ref phase in
+  let pull () =
+    let kind = Gop.kind_at gop !t in
+    incr t;
+    let w = Stdlib.max 0.0 (Transform.apply1 (transform kind) (bg ())) in
+    (w, klass kind)
+  in
+  make ~name ~mean ~sigma2 ~hurst:m.Mpeg.i_model.Model.hurst pull

@@ -1,0 +1,78 @@
+(** Pull-based streaming VBR traffic sources.
+
+    A source yields one arrival (work, e.g. bytes) per multiplexer
+    slot, on demand, together with a strict-priority class for that
+    slot (0 = highest; the composite MPEG source can put I frames in
+    a higher class than P/B frames). Sources built from fitted models
+    ({!of_model}, {!of_mpeg}) stream in O(order) resident memory: the
+    background Gaussian process runs Hosking's Durbin–Levinson
+    recursion exactly up to lag [order], then continues with the
+    frozen AR([order]) filter over a sliding window — the streaming
+    form of {!Ss_fractal.Hosking.generate_truncated}, so dependence
+    is exact up to lag [order] and AR-approximated beyond, with no
+    full-trace materialization. This is what lets [vbrsim mux
+    --sources N] multiplex many long heterogeneous sources without
+    O(N * slots) memory. *)
+
+type t = {
+  name : string;
+  mean : float;  (** nominal per-slot mean arrival (model bookkeeping) *)
+  sigma2 : float;  (** nominal per-slot marginal variance *)
+  hurst : float;  (** Hurst parameter of the underlying model *)
+  pull : unit -> float * int;  (** next slot's (work, priority class) *)
+}
+
+val make :
+  name:string -> mean:float -> sigma2:float -> hurst:float -> (unit -> float * int) -> t
+(** Wrap an arbitrary pull function.
+    @raise Invalid_argument if [mean < 0], [sigma2 < 0] or [hurst]
+    outside (0,1). *)
+
+val next : t -> float * int
+(** Pull the next slot's arrival. *)
+
+val of_array : ?name:string -> ?hurst:float -> ?cycle:bool -> float array -> t
+(** Replay a materialized arrival array (e.g. a loaded trace) slot by
+    slot, class 0. [mean]/[sigma2] are the array's sample moments;
+    [hurst] defaults to 0.5 (no a-priori LRD claim). With
+    [cycle:false] (default) pulling past the end raises
+    [Invalid_argument]; with [cycle:true] the array repeats.
+    @raise Invalid_argument on an empty array. *)
+
+val of_model :
+  ?name:string -> ?order:int -> Ss_core.Model.t -> Ss_stats.Rng.t -> t
+(** Stream the unified model's foreground process (marginal transform
+    of the streaming background), class 0. [order] (default 512) is
+    the exact-recursion depth / frozen AR order; resident memory and
+    per-slot cost are O(order). The Hosking table is cached per
+    (background ACF, order), so N same-model sources share one table.
+    [mean] is the model's foreground mean; [sigma2] the transform's
+    marginal variance by Gauss–Hermite quadrature.
+    @raise Invalid_argument if [order < 1] or [order > 19_999]. *)
+
+val of_mpeg :
+  ?name:string ->
+  ?order:int ->
+  ?phase:int ->
+  ?priority:bool ->
+  Ss_core.Mpeg.t ->
+  Ss_stats.Rng.t ->
+  t
+(** Stream the Section-3.3 composite I/B/P process: slot [t] applies
+    the transform of the frame kind at GOP position [phase + t]
+    (clamped at zero, as {!Ss_core.Mpeg.arrival_fn} does). [phase]
+    (default 0) staggers GOP alignment across sources. With
+    [priority:true], I frames are class 0, P class 1, B class 2;
+    otherwise every slot is class 0. [mean]/[sigma2] are the
+    GOP-pattern-averaged per-slot moments.
+    @raise Invalid_argument if [phase < 0] or [order] out of
+    range. *)
+
+val background_stream :
+  acf:Ss_fractal.Acf.t -> order:int -> Ss_stats.Rng.t -> unit -> float
+(** The underlying streaming standard-normal background generator
+    (exposed for tests and custom marginals): successive calls yield
+    the truncated-Hosking path, bit-identical to
+    [Ss_fractal.Hosking.generate_truncated ~acf ~max_order:order]
+    driven by the same generator state.
+    @raise Invalid_argument if [order < 1] or [order > 19_999]. *)

@@ -1,6 +1,6 @@
 module Rng = Ss_stats.Rng
 
-let superpose sources =
+let superpose ?(truncate = false) sources =
   match sources with
   | [] -> invalid_arg "Workload.superpose: no sources"
   | first :: _ ->
@@ -8,11 +8,21 @@ let superpose sources =
       (fun s -> if Array.length s = 0 then invalid_arg "Workload.superpose: empty source")
       sources;
     let n = List.fold_left (fun acc s -> Stdlib.min acc (Array.length s)) (Array.length first) sources in
+    if not truncate then
+      List.iter
+        (fun s ->
+          if Array.length s <> n then
+            invalid_arg
+              (Printf.sprintf
+                 "Workload.superpose: source lengths differ (%d vs %d); pass ~truncate:true \
+                  to sum over the common prefix"
+                 (Array.length s) n))
+        sources;
     Array.init n (fun i -> List.fold_left (fun acc s -> acc +. s.(i)) 0.0 sources)
 
 let superpose_gen gen ~sources rng =
   if sources <= 0 then invalid_arg "Workload.superpose_gen: sources <= 0";
-  superpose (List.init sources (fun _ -> gen (Rng.split rng)))
+  superpose ~truncate:true (List.init sources (fun _ -> gen (Rng.split rng)))
 
 let scale factor xs = Array.map (fun v -> factor *. v) xs
 

@@ -7,14 +7,18 @@
     gain (per-source overflow drops as sources are added at equal
     utilization) and its erosion under long-range dependence. *)
 
-val superpose : float array list -> float array
-(** Slot-wise sum, truncated to the shortest source.
-    @raise Invalid_argument on an empty list or an empty source. *)
+val superpose : ?truncate:bool -> float array list -> float array
+(** Slot-wise sum. All sources must have the same length; pass
+    [~truncate:true] to instead sum over the common prefix of
+    unequal-length sources (the pre-1.1 silent behaviour).
+    @raise Invalid_argument on an empty list, an empty source, or
+    (without [truncate]) a length mismatch. *)
 
 val superpose_gen :
   (Ss_stats.Rng.t -> float array) -> sources:int -> Ss_stats.Rng.t -> float array
 (** [superpose_gen gen ~sources rng] draws [sources] independent
-    paths (one split substream each) and superposes them.
+    paths (one split substream each) and superposes them (with
+    [~truncate:true], for generators of data-dependent length).
     @raise Invalid_argument if [sources <= 0]. *)
 
 val scale : float -> float array -> float array

@@ -1,0 +1,163 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;  (* sum of squared deviations from the mean *)
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let d = x -. t.mean in
+  t.mean <- t.mean +. (d /. float_of_int t.n);
+  t.m2 <- t.m2 +. (d *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+let check_nonempty t name = if t.n = 0 then invalid_arg ("Online_stats." ^ name ^ ": empty")
+
+let mean t =
+  check_nonempty t "mean";
+  t.mean
+
+let variance t =
+  check_nonempty t "variance";
+  t.m2 /. float_of_int t.n
+
+let sample_variance t =
+  if t.n < 2 then invalid_arg "Online_stats.sample_variance: fewer than two observations";
+  t.m2 /. float_of_int (t.n - 1)
+
+let std t = sqrt (variance t)
+
+let min t =
+  check_nonempty t "min";
+  t.min
+
+let max t =
+  check_nonempty t "max";
+  t.max
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let na = float_of_int a.n and nb = float_of_int b.n in
+    let n = na +. nb in
+    let d = b.mean -. a.mean in
+    {
+      n = a.n + b.n;
+      mean = a.mean +. (d *. nb /. n);
+      m2 = a.m2 +. b.m2 +. (d *. d *. na *. nb /. n);
+      min = Stdlib.min a.min b.min;
+      max = Stdlib.max a.max b.max;
+    }
+  end
+
+module P2 = struct
+  type nonrec t = {
+    p : float;
+    q : float array;  (* marker heights *)
+    pos : float array;  (* marker positions (1-based, as in the paper) *)
+    desired : float array;
+    incr : float array;  (* per-observation drift of the desired positions *)
+    mutable n : int;
+  }
+
+  let create ~p =
+    if not (p > 0.0 && p < 1.0) then invalid_arg "Online_stats.P2.create: p outside (0,1)";
+    {
+      p;
+      q = Array.make 5 0.0;
+      pos = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+      desired = [| 1.0; 1.0 +. (2.0 *. p); 1.0 +. (4.0 *. p); 3.0 +. (2.0 *. p); 5.0 |];
+      incr = [| 0.0; p /. 2.0; p; (1.0 +. p) /. 2.0; 1.0 |];
+      n = 0;
+    }
+
+  let p t = t.p
+  let count t = t.n
+
+  (* Piecewise-parabolic height adjustment of marker [i] in direction
+     [d] (+1 or -1); falls back to linear interpolation when the
+     parabola would leave the bracketing heights. *)
+  let adjust t i d =
+    let q = t.q and pos = t.pos in
+    let d_f = float_of_int d in
+    let np = pos.(i + 1) -. pos.(i) and nm = pos.(i) -. pos.(i - 1) in
+    let parabolic =
+      q.(i)
+      +. (d_f /. (pos.(i + 1) -. pos.(i - 1))
+         *. (((nm +. d_f) *. (q.(i + 1) -. q.(i)) /. np)
+            +. ((np -. d_f) *. (q.(i) -. q.(i - 1)) /. nm)))
+    in
+    let h =
+      if q.(i - 1) < parabolic && parabolic < q.(i + 1) then parabolic
+      else q.(i) +. (d_f *. (q.(i + d) -. q.(i)) /. (pos.(i + d) -. pos.(i)))
+    in
+    q.(i) <- h;
+    pos.(i) <- pos.(i) +. d_f
+
+  let add t x =
+    t.n <- t.n + 1;
+    if t.n <= 5 then begin
+      (* Insertion into the sorted prefix. *)
+      let i = ref (t.n - 1) in
+      t.q.(!i) <- x;
+      while !i > 0 && t.q.(!i - 1) > t.q.(!i) do
+        let tmp = t.q.(!i - 1) in
+        t.q.(!i - 1) <- t.q.(!i);
+        t.q.(!i) <- tmp;
+        decr i
+      done
+    end
+    else begin
+      let q = t.q and pos = t.pos in
+      let k =
+        if x < q.(0) then begin
+          q.(0) <- x;
+          0
+        end
+        else if x >= q.(4) then begin
+          q.(4) <- x;
+          3
+        end
+        else begin
+          let k = ref 0 in
+          while x >= q.(!k + 1) do
+            incr k
+          done;
+          !k
+        end
+      in
+      for i = k + 1 to 4 do
+        pos.(i) <- pos.(i) +. 1.0
+      done;
+      for i = 0 to 4 do
+        t.desired.(i) <- t.desired.(i) +. t.incr.(i)
+      done;
+      for i = 1 to 3 do
+        let d = t.desired.(i) -. pos.(i) in
+        if
+          (d >= 1.0 && pos.(i + 1) -. pos.(i) > 1.0)
+          || (d <= -1.0 && pos.(i - 1) -. pos.(i) < -1.0)
+        then adjust t i (if d >= 0.0 then 1 else -1)
+      done
+    end
+
+  let quantile t =
+    if t.n = 0 then invalid_arg "Online_stats.P2.quantile: empty";
+    if t.n > 5 then t.q.(2)
+    else begin
+      (* Exact type-7 quantile on the sorted prefix. *)
+      let n = t.n in
+      let h = t.p *. float_of_int (n - 1) in
+      let lo = int_of_float (floor h) in
+      let hi = Stdlib.min (lo + 1) (n - 1) in
+      let w = h -. float_of_int lo in
+      ((1.0 -. w) *. t.q.(lo)) +. (w *. t.q.(hi))
+    end
+end

@@ -1,0 +1,76 @@
+(** Streaming (single-pass, O(1)-memory) summary statistics.
+
+    The multiplexer engine ({!Ss_mux}) tracks per-source loss, queue
+    occupancy and delay over millions of slots without storing sample
+    paths; this module provides the accumulators it needs: Welford's
+    numerically stable mean/variance recursion and the P² dynamic
+    quantile estimator of Jain & Chlamtac (CACM 1985), which tracks a
+    quantile with five markers and no stored observations.
+
+    All accumulators are mutable and single-threaded. *)
+
+type t
+(** Welford accumulator: count, mean, variance, min, max. *)
+
+val create : unit -> t
+(** Fresh empty accumulator. *)
+
+val add : t -> float -> unit
+(** Feed one observation. *)
+
+val count : t -> int
+
+val mean : t -> float
+(** @raise Invalid_argument on an empty accumulator. *)
+
+val variance : t -> float
+(** Population (1/n) variance, matching {!Descriptive.variance}.
+    @raise Invalid_argument on an empty accumulator. *)
+
+val sample_variance : t -> float
+(** Unbiased (1/(n-1)) variance, matching
+    {!Descriptive.sample_variance}. @raise Invalid_argument with
+    fewer than two observations. *)
+
+val std : t -> float
+(** Square root of {!variance}. *)
+
+val min : t -> float
+(** @raise Invalid_argument on an empty accumulator. *)
+
+val max : t -> float
+(** @raise Invalid_argument on an empty accumulator. *)
+
+val merge : t -> t -> t
+(** Parallel (Chan et al.) combination of two accumulators; neither
+    input is mutated. Exact for count/min/max, numerically stable for
+    mean/variance. *)
+
+(** P² dynamic quantile estimation without stored samples.
+
+    Five markers track the running min, the p/2, p and (1+p)/2
+    quantiles and the max; marker heights are adjusted with a
+    piecewise-parabolic (hence "P squared") interpolation each time
+    the desired marker positions drift. The estimate converges to the
+    true quantile for i.i.d. input; accuracy on dependent input is
+    what the [test_mux] property tests quantify. *)
+module P2 : sig
+  type t
+
+  val create : p:float -> t
+  (** Track the [p]-quantile. @raise Invalid_argument if [p] outside
+      (0,1). *)
+
+  val p : t -> float
+  (** The tracked probability level. *)
+
+  val add : t -> float -> unit
+  (** Feed one observation. *)
+
+  val count : t -> int
+
+  val quantile : t -> float
+  (** Current estimate. With five or fewer observations this is the
+      exact (type-7 interpolated) empirical quantile.
+      @raise Invalid_argument on an empty estimator. *)
+end

@@ -507,8 +507,13 @@ let test_superpose_sums () =
   Alcotest.(check (list (float 1e-12))) "sums" [ 11.0; 22.0; 33.0 ] (Array.to_list s)
 
 let test_superpose_truncates () =
-  let s = Workload.superpose [ [| 1.0; 2.0 |]; [| 1.0; 1.0; 1.0 |] ] in
-  Alcotest.(check int) "shortest wins" 2 (Array.length s)
+  let s = Workload.superpose ~truncate:true [ [| 1.0; 2.0 |]; [| 1.0; 1.0; 1.0 |] ] in
+  Alcotest.(check int) "shortest wins" 2 (Array.length s);
+  Alcotest.(check (list (float 1e-12))) "prefix sums" [ 2.0; 3.0 ] (Array.to_list s)
+
+let test_superpose_length_mismatch_raises () =
+  raises_invalid "unequal lengths" (fun () ->
+      ignore (Workload.superpose [ [| 1.0; 2.0 |]; [| 1.0; 1.0; 1.0 |] ]))
 
 let test_superpose_gen_independent () =
   let gen rng = Array.init 1000 (fun _ -> Rng.gaussian rng) in
@@ -757,7 +762,8 @@ let () =
       ( "workload",
         [
           tc "superpose sums" test_superpose_sums;
-          tc "superpose truncates" test_superpose_truncates;
+          tc "superpose truncates (opt-in)" test_superpose_truncates;
+          tc "superpose length mismatch raises" test_superpose_length_mismatch_raises;
           tc "variance adds" test_superpose_gen_independent;
           tc "smooths peaks" test_superpose_smooths;
           tc "invalid" test_workload_invalid;

@@ -1,0 +1,470 @@
+(* Tests for the streaming multiplexer subsystem: Online_stats
+   (Welford + P2), streaming sources, the shared-buffer multiplexer
+   (including exact equivalence with Trace_sim), and Norros
+   effective-bandwidth admission control. *)
+
+module Rng = Ss_stats.Rng
+module D = Ss_stats.Descriptive
+module Online = Ss_stats.Online_stats
+module Acf = Ss_fractal.Acf
+module Hosking = Ss_fractal.Hosking
+module Trace_sim = Ss_queueing.Trace_sim
+module Lindley = Ss_queueing.Lindley
+module Source = Ss_mux.Source
+module Mux = Ss_mux.Mux
+module Admission = Ss_mux.Admission
+module Scene = Ss_video.Scene_source
+module Gop = Ss_video.Gop
+module Frame = Ss_video.Frame
+
+let close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+(* Small fitted model shared by the source/mux tests (lazy: only paid
+   when first needed). *)
+let small_model =
+  lazy
+    (let trace =
+       Scene.generate
+         { Scene.default with frames = 8192; gop = Gop.of_string "I" }
+         (Rng.create ~seed:11)
+     in
+     fst (Ss_core.Fit.fit ~max_lag:100 trace.Ss_video.Trace.sizes))
+
+let small_mpeg =
+  lazy
+    (let trace =
+       Scene.generate { Scene.default with frames = 6144 } (Rng.create ~seed:12)
+     in
+     Ss_core.Mpeg.fit ~i_max_lag:20 trace)
+
+(* ------------------------------------------------------------------ *)
+(* Online_stats: Welford accumulator                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_online_empty_raises () =
+  let t = Online.create () in
+  raises_invalid "mean of empty" (fun () -> Online.mean t);
+  raises_invalid "variance of empty" (fun () -> Online.variance t);
+  raises_invalid "min of empty" (fun () -> Online.min t);
+  Online.add t 1.0;
+  raises_invalid "sample variance of one" (fun () -> Online.sample_variance t)
+
+let test_online_matches_descriptive () =
+  let rng = Rng.create ~seed:21 in
+  let xs = Array.init 5000 (fun _ -> Rng.exponential rng ~rate:0.01) in
+  let t = Online.create () in
+  Array.iter (Online.add t) xs;
+  Alcotest.(check int) "count" 5000 (Online.count t);
+  close ~eps:1e-7 "mean" (D.mean xs) (Online.mean t);
+  close ~eps:1e-4 "variance" (D.variance xs) (Online.variance t);
+  close ~eps:1e-4 "sample variance" (D.sample_variance xs) (Online.sample_variance t);
+  close "min" (D.min xs) (Online.min t);
+  close "max" (D.max xs) (Online.max t)
+
+let prop_online_matches_descriptive =
+  QCheck.Test.make ~name:"online mean/variance match Descriptive" ~count:100
+    QCheck.(array_of_size Gen.(int_range 2 500) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let t = Online.create () in
+      Array.iter (Online.add t) xs;
+      let scale = 1.0 +. abs_float (D.mean xs) +. D.variance xs in
+      abs_float (Online.mean t -. D.mean xs) < 1e-9 *. scale
+      && abs_float (Online.variance t -. D.variance xs) < 1e-7 *. scale
+      && Online.min t = D.min xs
+      && Online.max t = D.max xs)
+
+let prop_online_merge =
+  QCheck.Test.make ~name:"merged accumulators = accumulator of concatenation" ~count:100
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 200) (float_range (-100.0) 100.0))
+        (array_of_size Gen.(int_range 1 200) (float_range (-100.0) 100.0)))
+    (fun (a, b) ->
+      let ta = Online.create () and tb = Online.create () and tall = Online.create () in
+      Array.iter (Online.add ta) a;
+      Array.iter (Online.add tb) b;
+      Array.iter (Online.add tall) (Array.append a b);
+      let m = Online.merge ta tb in
+      Online.count m = Online.count tall
+      && abs_float (Online.mean m -. Online.mean tall) < 1e-9
+      && abs_float (Online.variance m -. Online.variance tall) < 1e-6
+      && Online.min m = Online.min tall
+      && Online.max m = Online.max tall)
+
+(* ------------------------------------------------------------------ *)
+(* Online_stats: P2 quantile estimator                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_p2_invalid () =
+  raises_invalid "p = 0" (fun () -> Online.P2.create ~p:0.0);
+  raises_invalid "p = 1" (fun () -> Online.P2.create ~p:1.0);
+  raises_invalid "empty quantile" (fun () -> Online.P2.quantile (Online.P2.create ~p:0.5))
+
+let test_p2_small_n_exact () =
+  let t = Online.P2.create ~p:0.5 in
+  List.iter (Online.P2.add t) [ 3.0; 1.0; 2.0 ];
+  close "exact small-n median" 2.0 (Online.P2.quantile t);
+  let t9 = Online.P2.create ~p:0.9 in
+  List.iter (Online.P2.add t9) [ 10.0; 20.0 ];
+  (* type-7 0.9-quantile of {10,20} = 19 *)
+  close "exact small-n 0.9" 19.0 (Online.P2.quantile t9)
+
+let p2_vs_exact ~seed ~n ~p sample tolerance =
+  let rng = Rng.create ~seed in
+  let xs = Array.init n (fun _ -> sample rng) in
+  let t = Online.P2.create ~p in
+  Array.iter (Online.P2.add t) xs;
+  let exact = D.quantile xs p in
+  let err = abs_float (Online.P2.quantile t -. exact) in
+  if err > tolerance then
+    Alcotest.failf "P2(%g) off by %g (exact %g, est %g)" p err exact (Online.P2.quantile t)
+
+let test_p2_uniform () =
+  (* Uniform(0,1): quantile = p; generous i.i.d. tolerances. *)
+  List.iter
+    (fun p -> p2_vs_exact ~seed:31 ~n:20_000 ~p (fun rng -> Rng.float rng) 0.01)
+    [ 0.1; 0.5; 0.9; 0.99 ]
+
+let test_p2_exponential () =
+  List.iter
+    (fun (p, tol) ->
+      p2_vs_exact ~seed:32 ~n:20_000 ~p (fun rng -> Rng.exponential rng ~rate:1.0) tol)
+    [ (0.5, 0.05); (0.9, 0.1); (0.99, 0.5) ]
+
+let prop_p2_within_range =
+  QCheck.Test.make ~name:"P2 estimate stays within observed range" ~count:100
+    QCheck.(
+      pair (float_range 0.05 0.95)
+        (array_of_size Gen.(int_range 6 500) (float_range (-50.0) 50.0)))
+    (fun (p, xs) ->
+      let t = Online.P2.create ~p in
+      Array.iter (Online.P2.add t) xs;
+      let q = Online.P2.quantile t in
+      q >= D.min xs && q <= D.max xs)
+
+(* ------------------------------------------------------------------ *)
+(* Source                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_source_of_array () =
+  let s = Source.of_array [| 1.0; 2.0; 3.0 |] in
+  close "mean" 2.0 s.Source.mean;
+  Alcotest.(check (list (float 1e-12)))
+    "replays in order" [ 1.0; 2.0; 3.0 ]
+    (List.init 3 (fun _ -> fst (Source.next s)));
+  raises_invalid "exhausted" (fun () -> Source.next s);
+  let c = Source.of_array ~cycle:true [| 5.0; 6.0 |] in
+  Alcotest.(check (list (float 1e-12)))
+    "cycles" [ 5.0; 6.0; 5.0 ]
+    (List.init 3 (fun _ -> fst (Source.next c)))
+
+let test_source_invalid () =
+  raises_invalid "empty array" (fun () -> Source.of_array [||]);
+  raises_invalid "bad hurst" (fun () ->
+      Source.make ~name:"x" ~mean:1.0 ~sigma2:1.0 ~hurst:1.5 (fun () -> (0.0, 0)));
+  raises_invalid "bad order" (fun () ->
+      ignore
+        (Source.background_stream ~acf:(Acf.fgn ~h:0.9) ~order:0 (Rng.create ~seed:1)
+          : unit -> float))
+
+let test_background_stream_matches_truncated_hosking () =
+  (* The streaming generator is the truncated-Hosking path, slot by
+     slot: same RNG seed, bit-identical output. *)
+  let acf = Acf.fgn ~h:0.9 in
+  let order = 32 and n = 200 in
+  let reference =
+    Hosking.generate_truncated ~acf ~n ~max_order:order (Rng.create ~seed:42)
+  in
+  let stream = Source.background_stream ~acf ~order (Rng.create ~seed:42) in
+  Array.iteri (fun i x -> close ~eps:0.0 (Printf.sprintf "slot %d" i) x (stream ())) reference
+
+let test_source_of_model_streams () =
+  let m = Lazy.force small_model in
+  let s = Source.of_model ~order:64 m (Rng.create ~seed:5) in
+  close "mean bookkeeping" m.Ss_core.Model.mean s.Source.mean;
+  if s.Source.sigma2 <= 0.0 then Alcotest.fail "sigma2 must be positive";
+  for _ = 1 to 500 do
+    let w, c = Source.next s in
+    if w < 0.0 then Alcotest.fail "negative arrival";
+    Alcotest.(check int) "class 0" 0 c
+  done
+
+let test_source_of_mpeg_classes () =
+  let m = Lazy.force small_mpeg in
+  let gop = m.Ss_core.Mpeg.gop in
+  let phase = 3 in
+  let s = Source.of_mpeg ~order:32 ~phase ~priority:true m (Rng.create ~seed:6) in
+  for t = 0 to (2 * Gop.length gop) - 1 do
+    let _, c = Source.next s in
+    let expect =
+      match Gop.kind_at gop (phase + t) with Frame.I -> 0 | Frame.P -> 1 | Frame.B -> 2
+    in
+    Alcotest.(check int) (Printf.sprintf "class at slot %d" t) expect c
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Mux                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_mux_matches_trace_sim () =
+  (* Infinite buffer, one source: the streaming multiplexer IS the
+     Lindley recursion of Trace_sim.queue_path, exactly. *)
+  let rng = Rng.create ~seed:51 in
+  let arrivals = Array.init 5000 (fun _ -> Rng.exponential rng ~rate:0.001) in
+  let utilization = 0.8 in
+  let expected = Trace_sim.queue_path ~arrivals ~utilization in
+  let service =
+    Lindley.utilization_service ~mean_arrival:(D.mean arrivals) ~utilization
+  in
+  let got = Array.make (Array.length arrivals) nan in
+  let _report =
+    Mux.run
+      ~probe:(fun t q -> got.(t) <- q)
+      ~service ~slots:(Array.length arrivals)
+      [| Source.of_array arrivals |]
+  in
+  Array.iteri (fun i q -> close ~eps:0.0 (Printf.sprintf "slot %d" i) q got.(i)) expected
+
+let two_constant_sources ~w0 ~w1 ~c0 ~c1 =
+  [|
+    Source.make ~name:"hi" ~mean:w0 ~sigma2:0.0 ~hurst:0.5 (fun () -> (w0, c0));
+    Source.make ~name:"lo" ~mean:w1 ~sigma2:0.0 ~hurst:0.5 (fun () -> (w1, c1));
+  |]
+
+let test_mux_conservation () =
+  let rng = Rng.create ~seed:52 in
+  let mk () =
+    Source.make ~name:"exp" ~mean:1.0 ~sigma2:1.0 ~hurst:0.5 (fun () ->
+        (Rng.exponential rng ~rate:1.0, 0))
+  in
+  let r = Mux.run ~buffer:2.0 ~service:1.1 ~slots:2000 [| mk (); mk () |] in
+  (* offered = admitted + lost, per source and in aggregate *)
+  Array.iter
+    (fun s ->
+      close ~eps:1e-6 ("conservation " ^ s.Mux.name) s.Mux.offered
+        (s.Mux.admitted +. s.Mux.lost))
+    r.Mux.per_source;
+  if r.Mux.loss_fraction <= 0.0 then Alcotest.fail "overloaded finite buffer must lose work";
+  if r.Mux.carried_utilization > 1.0 +. 1e-9 then Alcotest.fail "carried load above capacity"
+
+let test_mux_buffer_bounds_queue () =
+  let rng = Rng.create ~seed:53 in
+  let src =
+    Source.make ~name:"exp" ~mean:1.0 ~sigma2:1.0 ~hurst:0.5 (fun () ->
+        (Rng.exponential rng ~rate:0.5, 0))
+  in
+  let buffer = 3.0 in
+  let r =
+    Mux.run ~buffer
+      ~probe:(fun t q ->
+        if q > buffer +. 1e-9 then Alcotest.failf "queue %g above buffer at slot %d" q t)
+      ~service:1.0 ~slots:2000 [| src |]
+  in
+  close ~eps:1e-9 "max queue bounded" (Stdlib.min r.Mux.max_queue buffer) r.Mux.max_queue
+
+let test_mux_no_loss_when_underloaded () =
+  let r =
+    Mux.run ~buffer:10.0 ~service:3.0 ~slots:100 (two_constant_sources ~w0:1.0 ~w1:1.0 ~c0:0 ~c1:0)
+  in
+  close "no loss" 0.0 r.Mux.loss_fraction;
+  close "offered utilization" (2.0 /. 3.0) r.Mux.offered_utilization;
+  close "carried = offered" r.Mux.offered_utilization r.Mux.carried_utilization
+
+let test_mux_priority_shields_high_class () =
+  (* Two constant sources at double the capacity: the low class bears
+     all the loss the high class avoids. *)
+  let r =
+    Mux.run ~buffer:0.5 ~service:1.0
+      ~slots:500
+      (two_constant_sources ~w0:1.0 ~w1:1.0 ~c0:0 ~c1:1)
+  in
+  let hi = r.Mux.per_source.(0) and lo = r.Mux.per_source.(1) in
+  close ~eps:1e-9 "high class lossless" 0.0 hi.Mux.loss_fraction;
+  if lo.Mux.loss_fraction < 0.4 then
+    Alcotest.failf "low class should bear the loss, got %g" lo.Mux.loss_fraction
+
+let test_mux_fifo_shares_loss () =
+  (* Same overload without classes: the fluid model splits loss
+     equally between identical sources. *)
+  let r =
+    Mux.run ~buffer:0.5 ~service:1.0 ~slots:500
+      (two_constant_sources ~w0:1.0 ~w1:1.0 ~c0:0 ~c1:0)
+  in
+  let a = r.Mux.per_source.(0) and b = r.Mux.per_source.(1) in
+  close ~eps:1e-9 "equal sharing" a.Mux.loss_fraction b.Mux.loss_fraction;
+  if a.Mux.loss_fraction <= 0.0 then Alcotest.fail "expected loss under overload"
+
+let test_mux_overflow_curve_monotone () =
+  let rng = Rng.create ~seed:54 in
+  let src =
+    Source.make ~name:"exp" ~mean:1.0 ~sigma2:1.0 ~hurst:0.5 (fun () ->
+        (Rng.exponential rng ~rate:1.0, 0))
+  in
+  let r =
+    Mux.run ~thresholds:[ 0.0; 1.0; 2.0; 4.0; 8.0 ] ~service:1.25 ~slots:20_000 [| src |]
+  in
+  let rec check = function
+    | (_, p1) :: ((_, p2) :: _ as rest) ->
+      if p2 > p1 +. 1e-12 then Alcotest.fail "overflow curve not decreasing";
+      check rest
+    | _ -> ()
+  in
+  check r.Mux.overflow;
+  (* threshold 0 exceedance = fraction of busy slots, must be positive here *)
+  if snd (List.hd r.Mux.overflow) <= 0.0 then Alcotest.fail "empty overflow statistics"
+
+let test_mux_queue_quantiles_ordered () =
+  let rng = Rng.create ~seed:55 in
+  let src =
+    Source.make ~name:"exp" ~mean:1.0 ~sigma2:1.0 ~hurst:0.5 (fun () ->
+        (Rng.exponential rng ~rate:1.0, 0))
+  in
+  let r = Mux.run ~quantiles:[ 0.5; 0.9; 0.99 ] ~service:1.25 ~slots:10_000 [| src |] in
+  (match r.Mux.queue_quantiles with
+  | [ (_, q50); (_, q90); (_, q99) ] ->
+    if not (q50 <= q90 && q90 <= q99) then
+      Alcotest.failf "queue quantiles not ordered: %g %g %g" q50 q90 q99
+  | _ -> Alcotest.fail "expected three quantiles");
+  (* delay quantiles are queue quantiles over service *)
+  List.iter2
+    (fun (_, q) (_, d) -> close ~eps:1e-6 "delay = queue/service" (q /. 1.25) d)
+    r.Mux.queue_quantiles r.Mux.delay_quantiles
+
+let test_mux_invalid () =
+  let src = Source.of_array ~cycle:true [| 1.0 |] in
+  raises_invalid "no sources" (fun () -> Mux.run ~service:1.0 ~slots:10 [||]);
+  raises_invalid "bad slots" (fun () -> Mux.run ~service:1.0 ~slots:0 [| src |]);
+  raises_invalid "bad service" (fun () -> Mux.run ~service:0.0 ~slots:10 [| src |]);
+  raises_invalid "negative buffer" (fun () ->
+      Mux.run ~buffer:(-1.0) ~service:1.0 ~slots:10 [| src |]);
+  raises_invalid "negative threshold" (fun () ->
+      Mux.run ~thresholds:[ -1.0 ] ~service:1.0 ~slots:10 [| src |]);
+  raises_invalid "negative work" (fun () ->
+      Mux.run ~service:1.0 ~slots:10
+        [| Source.make ~name:"bad" ~mean:0.0 ~sigma2:0.0 ~hurst:0.5 (fun () -> (-1.0, 0)) |]);
+  raises_invalid "bad class" (fun () ->
+      Mux.run ~service:1.0 ~slots:10
+        [| Source.make ~name:"bad" ~mean:0.0 ~sigma2:0.0 ~hurst:0.5 (fun () -> (1.0, 64)) |])
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* sigma2 comparable to mean^2: small enough to admit several sources,
+   large enough that light-load overflow stays representable (no
+   underflow to 0, which would break the monotonicity check). *)
+let descr mean = { Admission.name = "d"; mean; sigma2 = mean *. mean; hurst = 0.8 }
+
+let test_admission_aggregate () =
+  let a =
+    Admission.aggregate
+      [
+        { Admission.name = "a"; mean = 1.0; sigma2 = 2.0; hurst = 0.7 };
+        { Admission.name = "b"; mean = 3.0; sigma2 = 1.0; hurst = 0.9 };
+      ]
+  in
+  close "means add" 4.0 a.Admission.mean;
+  close "variances add" 3.0 a.Admission.sigma2;
+  close "hurst is max" 0.9 a.Admission.hurst;
+  raises_invalid "empty aggregate" (fun () -> ignore (Admission.aggregate []))
+
+let test_admission_effective_bandwidth_inverts () =
+  (* At service = effective_bandwidth, predicted overflow = epsilon. *)
+  let d = descr 10.0 in
+  List.iter
+    (fun epsilon ->
+      let c = Admission.effective_bandwidth ~buffer:50.0 ~epsilon d in
+      if c <= d.Admission.mean then Alcotest.fail "effective bandwidth must exceed mean";
+      let p = Admission.predicted_overflow ~service:c ~buffer:50.0 [ d ] in
+      close ~eps:(1e-6 *. epsilon) (Printf.sprintf "eps %g" epsilon) epsilon p)
+    [ 1e-3; 1e-6; 1e-9 ]
+
+let test_admission_overflow_monotone_in_load () =
+  let p k =
+    Admission.predicted_overflow ~service:100.0 ~buffer:200.0
+      (List.init k (fun _ -> descr 10.0))
+  in
+  if not (p 1 < p 3 && p 3 < p 6) then Alcotest.fail "overflow must grow with load";
+  close "saturated link" 1.0 (p 10)
+
+let test_admission_controller_gates () =
+  let t = Admission.create ~service:100.0 ~buffer:200.0 ~epsilon:1e-4 in
+  let rec admit_all k =
+    match Admission.try_admit t (descr 10.0) with
+    | Admission.Admit _ -> admit_all (k + 1)
+    | Admission.Reject _ -> k
+  in
+  let n = admit_all 0 in
+  Alcotest.(check int) "set size matches" n (Admission.admitted_count t);
+  if n = 0 then Alcotest.fail "link should accept at least one source";
+  if n > 9 then Alcotest.fail "CAC must refuse before the link saturates";
+  (* decide is pure: a further candidate is still rejected, count unchanged *)
+  (match Admission.decide t (descr 10.0) with
+  | Admission.Reject _ -> ()
+  | Admission.Admit _ -> Alcotest.fail "decide after reject must still reject");
+  Alcotest.(check int) "decide does not mutate" n (Admission.admitted_count t)
+
+let test_admission_invalid () =
+  raises_invalid "bad epsilon" (fun () ->
+      ignore (Admission.create ~service:1.0 ~buffer:1.0 ~epsilon:2.0));
+  raises_invalid "bad service" (fun () ->
+      ignore (Admission.create ~service:0.0 ~buffer:1.0 ~epsilon:0.5));
+  raises_invalid "bad eb epsilon" (fun () ->
+      ignore (Admission.effective_bandwidth ~buffer:1.0 ~epsilon:0.0 (descr 1.0)))
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_online_matches_descriptive; prop_online_merge; prop_p2_within_range ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_mux"
+    [
+      ( "online-stats",
+        [
+          tc "empty raises" test_online_empty_raises;
+          tc "matches Descriptive" test_online_matches_descriptive;
+          tc "P2 invalid" test_p2_invalid;
+          tc "P2 small-n exact" test_p2_small_n_exact;
+          tc "P2 uniform quantiles" test_p2_uniform;
+          tc "P2 exponential quantiles" test_p2_exponential;
+        ] );
+      ( "source",
+        [
+          tc "of_array replay/cycle" test_source_of_array;
+          tc "invalid" test_source_invalid;
+          tc "streaming = truncated Hosking" test_background_stream_matches_truncated_hosking;
+          tc "of_model streams" test_source_of_model_streams;
+          tc "of_mpeg priority classes" test_source_of_mpeg_classes;
+        ] );
+      ( "mux",
+        [
+          tc "single source = Trace_sim.queue_path" test_mux_matches_trace_sim;
+          tc "work conservation" test_mux_conservation;
+          tc "buffer bounds queue" test_mux_buffer_bounds_queue;
+          tc "underloaded: lossless" test_mux_no_loss_when_underloaded;
+          tc "priority shields high class" test_mux_priority_shields_high_class;
+          tc "fifo shares loss" test_mux_fifo_shares_loss;
+          tc "overflow curve monotone" test_mux_overflow_curve_monotone;
+          tc "quantiles ordered" test_mux_queue_quantiles_ordered;
+          tc "invalid" test_mux_invalid;
+        ] );
+      ( "admission",
+        [
+          tc "aggregate" test_admission_aggregate;
+          tc "effective bandwidth inverts" test_admission_effective_bandwidth_inverts;
+          tc "monotone in load" test_admission_overflow_monotone_in_load;
+          tc "controller gates" test_admission_controller_gates;
+          tc "invalid" test_admission_invalid;
+        ] );
+      ("properties", qcheck_cases);
+    ]
