@@ -40,6 +40,7 @@ module Generate = Ss_core.Generate
 module Mpeg = Ss_core.Mpeg
 module Report = Ss_core.Report
 module Defaults = Ss_core.Defaults
+module Pool = Ss_parallel.Pool
 
 let pf fmt = Printf.printf fmt
 let reps = Defaults.replications
@@ -59,6 +60,15 @@ let mpeg = lazy (Mpeg.fit (Lazy.force ibp))
 (* A fresh master stream per experiment so experiment order does not
    change results. *)
 let rng_for id = Rng.create ~seed:(Defaults.seed + Hashtbl.hash id)
+
+(* Shared domain pool, sized by SS_DOMAINS (1 or unset = fully
+   sequential; every estimate is bit-identical either way). *)
+let the_pool =
+  lazy
+    (let d = Pool.env_domains () in
+     if d <= 1 then None else Some (Pool.create ~domains:d))
+
+let pool () = Lazy.force the_pool
 
 let print_points ~header pts =
   pf "# %s\n" header;
@@ -289,7 +299,7 @@ let fig14 () =
       ~horizon:500 ~twist ()
   in
   let twists = List.init 10 (fun i -> 0.5 *. float_of_int (i + 1)) in
-  let points = Valley.sweep ~config ~twists ~replications:reps (rng_for "fig14") in
+  let points = Valley.sweep ?pool:(pool ()) ~config ~twists ~replications:reps (rng_for "fig14") in
   pf "# m*  p  normalized-variance  hits/%d\n" reps;
   List.iter
     (fun p ->
@@ -324,7 +334,7 @@ let fig15 () =
         let cfg =
           Is.make_config ~table ~arrival ~service ~buffer ~horizon:k ~twist ~full_start ()
         in
-        (Is.estimate cfg ~replications:reps (Rng.split rng)).Mc.p
+        (Is.estimate ?pool:(pool ()) cfg ~replications:reps (Rng.split rng)).Mc.p
       in
       let p_empty = run false and p_full = run true in
       let l p = if p > 0.0 then log10 p else nan in
@@ -343,7 +353,7 @@ let overflow_is model_ ~utilization ~buffer_norm ~rng =
   let buffer = buffer_norm *. mean in
   let twist = auto_twist ~arrival ~service ~buffer ~horizon in
   let cfg = Is.make_config ~table ~arrival ~service ~buffer ~horizon ~twist () in
-  Is.estimate cfg ~replications:reps rng
+  Is.estimate ?pool:(pool ()) cfg ~replications:reps rng
 
 let fig16 () =
   pf "# fig16: overflow probability vs normalized buffer size, model vs trace\n";
@@ -522,8 +532,8 @@ let abl_hurst () =
         DH.generate (DH.plan ~acf:(Acf.fgn ~h) ~n:32_768)
           (rng_for (Printf.sprintf "abl-hurst-%g" h))
       in
-      let vt = (Hurst.variance_time x).Hurst.h in
-      let rs = (Hurst.rs x).Hurst.h in
+      let vt = (Hurst.variance_time ?pool:(pool ()) x).Hurst.h in
+      let rs = (Hurst.rs ?pool:(pool ()) x).Hurst.h in
       let pg = (Hurst.periodogram x).Hurst.h in
       let wh = (Ss_fractal.Whittle.estimate x).Ss_fractal.Whittle.h in
       pf "%6.2f  %8.3f  %8.3f  %8.3f  %8.3f\n" h vt rs pg wh)
@@ -707,26 +717,41 @@ let mux_gain () =
   let mean = m.Model.mean in
   pf "# per-source utilization %.1f; total buffer = N * b * mean; %d slots, AR order %d\n"
     u slots order;
-  let rng = rng_for "mux-gain" in
+  let ns = [| 1; 2; 4; 8; 16 |] in
+  (* One substream per N-cell, split in cell order on the caller, and
+     each cell buffers its own output: the grid is bit-identical
+     whether the cells run sequentially or as pool jobs, at any
+     domain count. *)
+  let subs = Rng.split_n (rng_for "mux-gain") (Array.length ns) in
+  let cell idx =
+    let n = ns.(idx) in
+    let rng = subs.(idx) in
+    let buf = Buffer.create 512 in
+    let srcs =
+      Array.init n (fun i ->
+          Ss_mux.Source.of_model ~name:(Printf.sprintf "s%d" i) ~order m (Rng.split rng))
+    in
+    let service = float_of_int n *. mean /. u in
+    let bs = [ 25.0; 50.0; 100.0 ] in
+    let thresholds = List.map (fun b -> b *. mean *. float_of_int n) bs in
+    let report = Ss_mux.Mux.run ~thresholds ~service ~slots srcs in
+    let load = Array.to_list (Array.map Ss_mux.Admission.descr_of_source srcs) in
+    List.iter2
+      (fun b (thr, p) ->
+        let norros = Ss_mux.Admission.predicted_overflow ~service ~buffer:thr load in
+        let l x = if x > 0.0 then log10 x else nan in
+        Printf.bprintf buf "%3d  %8.0f  %9.3f  %9.3f\n" n b (l p) (l norros))
+      bs report.Ss_mux.Mux.overflow;
+    Buffer.contents buf
+  in
   pf "# N  b(per-source)  log10 Pr(Q>B) sim  log10 norros\n";
-  List.iter
-    (fun n ->
-      let srcs =
-        Array.init n (fun i ->
-            Ss_mux.Source.of_model ~name:(Printf.sprintf "s%d" i) ~order m (Rng.split rng))
-      in
-      let service = float_of_int n *. mean /. u in
-      let bs = [ 25.0; 50.0; 100.0 ] in
-      let thresholds = List.map (fun b -> b *. mean *. float_of_int n) bs in
-      let report = Ss_mux.Mux.run ~thresholds ~service ~slots srcs in
-      let load = Array.to_list (Array.map Ss_mux.Admission.descr_of_source srcs) in
-      List.iter2
-        (fun b (thr, p) ->
-          let norros = Ss_mux.Admission.predicted_overflow ~service ~buffer:thr load in
-          let l x = if x > 0.0 then log10 x else nan in
-          pf "%3d  %8.0f  %9.3f  %9.3f\n" n b (l p) (l norros))
-        bs report.Ss_mux.Mux.overflow)
-    [ 1; 2; 4; 8; 16 ];
+  let outputs =
+    match pool () with
+    | Some p when Pool.size p > 1 ->
+      Pool.run p (Array.init (Array.length ns) (fun i () -> cell i))
+    | _ -> Array.init (Array.length ns) cell
+  in
+  Array.iter print_string outputs;
   pf "# log overflow scales ~linearly in N (Norros: log p proportional to -N):\n";
   pf "# the same per-source buffer and utilization buy ever-rarer losses as\n";
   pf "# sources are added - the statistical multiplexing gain of Section 1.\n"
@@ -804,7 +829,7 @@ let abl_ibp_queue () =
       let buffer = b *. mean in
       let twist = auto_twist ~arrival ~service ~buffer ~horizon in
       let cfg = Is.make_config ~table ~arrival ~service ~buffer ~horizon ~twist () in
-      let e = Is.estimate cfg ~replications:reps (Rng.split rng) in
+      let e = Is.estimate ?pool:(pool ()) cfg ~replications:reps (Rng.split rng) in
       let e_intra =
         overflow_is intra_m ~utilization:0.6 ~buffer_norm:b ~rng:(Rng.split rng)
       in
@@ -857,7 +882,7 @@ let abl_twist () =
     let cfg =
       Is.make_config ~table ~arrival ~service ~buffer ~horizon ~twist:0.0 ~profile ()
     in
-    let e = Is.estimate cfg ~replications:reps (rng_for ("abl-twist-" ^ name)) in
+    let e = Is.estimate ?pool:(pool ()) cfg ~replications:reps (rng_for ("abl-twist-" ^ name)) in
     pf "%-22s  p=%.4g  nvar=%8.3g  hits=%d/%d\n" name e.Mc.p e.Mc.normalized_variance
       e.Mc.hits reps
   in
@@ -901,6 +926,109 @@ let abl_batch () =
   pf "# under LRD the batch correlation stays positive at every batch size,\n";
   pf "# so the nominal interval understates the true error - hence the paper's\n";
   pf "# reliance on independent replications for the synthetic curves.\n"
+
+(* ------------------------------------------------------------------ *)
+(* perf-parallel: domain-pool scaling                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the three pool-accelerated hot paths at 1/2/4 domains, checks
+   every result is bit-identical to the 1-domain run, and writes the
+   machine-readable BENCH_parallel.json artifact. All runs use the
+   pooled code path (a 1-domain pool runs on the caller), so the
+   identity check exercises the determinism contract, not just the
+   sequential fallback. *)
+let perf_parallel () =
+  pf "# perf-parallel: domain-pool scaling (table build, IS replications, mux slot loop)\n";
+  let cores = Domain.recommended_domain_count () in
+  pf "# recommended_domain_count = %d (speedup > 1 needs > 1 core)\n" cores;
+  let domain_counts = [ 1; 2; 4 ] in
+  let results = ref [] in
+  let t1 = Hashtbl.create 8 in
+  let record name d secs identical =
+    if d = 1 then Hashtbl.replace t1 name secs;
+    let speedup = Hashtbl.find t1 name /. secs in
+    results := (name, d, secs, identical, speedup) :: !results;
+    pf "%-22s  domains=%d  %8.4f s  speedup %5.2fx  %s\n" name d secs speedup
+      (if identical then "bit-identical" else "MISMATCH")
+  in
+  let with_domains d f =
+    let p = Pool.create ~domains:d in
+    Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+  in
+  (* 1. Hosking table construction: parallel Durbin-Levinson inner
+     products. *)
+  let acf = Acf.fgn ~h:0.9 in
+  let table_sig t =
+    let x = Hosking.generate t (Rng.create ~seed:97) in
+    Array.fold_left (fun h v -> Hashtbl.hash (h, Int64.bits_of_float v)) 0 x
+  in
+  let table_ref = ref 0 in
+  List.iter
+    (fun d ->
+      with_domains d (fun p ->
+          let t, secs =
+            time_it (fun () -> Hosking.Table.make_pooled ~pool:p ~par_cutoff:256 ~acf ~n:4096 ())
+          in
+          let sg = table_sig t in
+          if d = 1 then table_ref := sg;
+          record "hosking-table-4096" d secs (sg = !table_ref)))
+    domain_counts;
+  (* 2. Importance-sampling replication fan-out. *)
+  let is_table = Hosking.Table.make ~acf ~n:1024 in
+  let is_cfg =
+    Is.make_config ~table:is_table ~arrival:(fun _ x -> x) ~service:0.5 ~buffer:8.0
+      ~horizon:1024 ~twist:1.0 ()
+  in
+  let p_ref = ref nan in
+  List.iter
+    (fun d ->
+      with_domains d (fun p ->
+          let e, secs =
+            time_it (fun () ->
+                Is.estimate ~pool:p is_cfg ~replications:400
+                  (Rng.create ~seed:(Defaults.seed + 17)))
+          in
+          if d = 1 then p_ref := e.Mc.p;
+          record "is-replications-400" d secs
+            (Int64.bits_of_float e.Mc.p = Int64.bits_of_float !p_ref)))
+    domain_counts;
+  (* 3. Mux slot loop: block prefetch across sources. *)
+  let m = model () in
+  let mux_run p =
+    let rng = Rng.create ~seed:(Defaults.seed + 23) in
+    let srcs =
+      Array.init 8 (fun i ->
+          Ss_mux.Source.of_model ~name:(Printf.sprintf "p%d" i) ~order:128 m (Rng.split rng))
+    in
+    Ss_mux.Mux.run ~pool:p ~service:(8.0 *. m.Model.mean /. 0.7) ~slots:8192 srcs
+  in
+  let mux_ref = ref nan in
+  List.iter
+    (fun d ->
+      with_domains d (fun p ->
+          let r, secs = time_it (fun () -> mux_run p) in
+          if d = 1 then mux_ref := r.Ss_mux.Mux.mean_queue;
+          record "mux-8src-8192slots" d secs
+            (Int64.bits_of_float r.Ss_mux.Mux.mean_queue = Int64.bits_of_float !mux_ref)))
+    domain_counts;
+  let rs = List.rev !results in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"recommended_domain_count\": %d,\n" cores;
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  let last = List.length rs - 1 in
+  List.iteri
+    (fun i (name, d, secs, identical, speedup) ->
+      Printf.bprintf buf
+        "    {\"name\": \"%s\", \"domains\": %d, \"seconds\": %.6f, \"speedup_vs_1\": %.3f, \"bit_identical_vs_1\": %b}%s\n"
+        name d secs speedup identical
+        (if i = last then "" else ","))
+    rs;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "# wrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -1011,6 +1139,7 @@ let experiments =
     ("abl-codec", abl_codec);
     ("abl-twist", abl_twist);
     ("abl-iter", abl_iter);
+    ("perf-parallel", perf_parallel);
   ]
 
 let run_one (id, f) =

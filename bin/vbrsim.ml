@@ -17,6 +17,7 @@ module Trace_sim = Ss_queueing.Trace_sim
 module Is = Ss_fastsim.Is_estimator
 module Valley = Ss_fastsim.Valley
 module Model = Ss_core.Model
+module Pool = Ss_parallel.Pool
 module Fit = Ss_core.Fit
 module Generate = Ss_core.Generate
 module Mpeg = Ss_core.Mpeg
@@ -53,6 +54,13 @@ let utilization_arg =
 let replications_arg =
   let doc = "Independent replications per estimate." in
   Arg.(value & opt int 300 & info [ "replications"; "n" ] ~docv:"INT" ~doc)
+
+let domains_arg =
+  let doc =
+    "Domains (cores) for the parallel execution layer; estimates are bit-identical for any \
+     value. Defaults to $(b,SS_DOMAINS) or 1 (sequential)."
+  in
+  Arg.(value & opt int (Pool.env_domains ()) & info [ "domains" ] ~docv:"INT" ~doc)
 
 let csv_arg =
   let doc =
@@ -127,12 +135,13 @@ let summary_cmd =
 (* --- hurst --- *)
 
 let hurst_cmd =
-  let run path =
+  let run path domains =
     wrap (fun () ->
+        Pool.with_pool ~domains @@ fun pool ->
         let trace = Trace.load path in
         let sizes = trace.Trace.sizes in
-        let vt = Hurst.variance_time sizes in
-        let rs = Hurst.rs sizes in
+        let vt = Hurst.variance_time ?pool sizes in
+        let rs = Hurst.rs ?pool sizes in
         let pg = Hurst.periodogram sizes in
         Format.printf "variance-time  H = %.3f  (fit r2 %.3f)@." vt.Hurst.h
           vt.Hurst.fit.Ss_stats.Regression.r2;
@@ -143,7 +152,7 @@ let hurst_cmd =
           (Fit.hurst_round ((vt.Hurst.h +. rs.Hurst.h) /. 2.0)))
   in
   let doc = "Estimate the Hurst parameter (variance-time, R/S, periodogram)." in
-  Cmd.v (Cmd.info "hurst" ~doc) Term.(const run $ trace_arg)
+  Cmd.v (Cmd.info "hurst" ~doc) Term.(const run $ trace_arg $ domains_arg)
 
 (* --- acf --- *)
 
@@ -352,9 +361,10 @@ let mux_cmd =
     Arg.(value & flag & info [ "priority" ] ~doc)
   in
   let run path utilization sources slots order buffer_norm epsilon composite priority
-      buffers csv seed max_lag =
+      buffers csv seed max_lag domains =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
+        Pool.with_pool ~domains @@ fun pool ->
         if priority && not composite then invalid_arg "--priority requires --composite";
         let trace = Trace.load path in
         let rng = Rng.create ~seed in
@@ -407,7 +417,9 @@ let mux_cmd =
         if Array.length admitted = 0 then
           Format.printf "no sources admitted; nothing to simulate@."
         else begin
-          let report = Ss_mux.Mux.run ~buffer:buffer_abs ~thresholds ~service ~slots admitted in
+          let report =
+            Ss_mux.Mux.run ?pool ~buffer:buffer_abs ~thresholds ~service ~slots admitted
+          in
           Format.printf "%a" Ss_mux.Mux.pp_report report;
           let load = Ss_mux.Admission.admitted cac in
           Format.printf "norros overlay (admitted aggregate):@.";
@@ -431,7 +443,7 @@ let mux_cmd =
     Term.(
       const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
       $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg $ buffers_arg $ csv_arg
-      $ seed_arg $ max_lag_arg)
+      $ seed_arg $ max_lag_arg $ domains_arg)
 
 (* --- fastsim --- *)
 
@@ -448,8 +460,9 @@ let fastsim_cmd =
     let doc = "Background twisted mean m*; 'sweep' prints the Fig-14 valley instead." in
     Arg.(value & opt (some string) None & info [ "twist"; "m" ] ~docv:"FLOAT|sweep" ~doc)
   in
-  let run path utilization buffer_norm horizon twist replications seed max_lag =
+  let run path utilization buffer_norm horizon twist replications seed max_lag domains =
     wrap (fun () ->
+        Pool.with_pool ~domains @@ fun pool ->
         let trace = Trace.load path in
         let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
         let mean = model.Model.mean in
@@ -467,7 +480,7 @@ let fastsim_cmd =
         match twist with
         | Some "sweep" ->
           let twists = List.init 10 (fun i -> 0.5 *. float_of_int (i + 1)) in
-          let points = Valley.sweep ~config ~twists ~replications rng in
+          let points = Valley.sweep ?pool ~config ~twists ~replications rng in
           Format.printf "# m*  p  normalized-variance  hits@.";
           List.iter
             (fun p ->
@@ -485,7 +498,7 @@ let fastsim_cmd =
               | Some v -> v
               | None -> invalid_arg (Printf.sprintf "bad twist %S" s))
           in
-          let e = Is.estimate (config ~twist) ~replications rng in
+          let e = Is.estimate ?pool (config ~twist) ~replications rng in
           Format.printf "uti=%.2f b=%.0f (normalized) k=%d m*=%.2f@." utilization buffer_norm
             horizon twist;
           Format.printf "%a@." Report.pp_estimate e)
@@ -494,7 +507,7 @@ let fastsim_cmd =
   Cmd.v (Cmd.info "fastsim" ~doc)
     Term.(
       const run $ trace_arg $ utilization_arg $ buffer_arg $ horizon_arg $ twist_arg
-      $ replications_arg $ seed_arg $ max_lag_arg)
+      $ replications_arg $ seed_arg $ max_lag_arg $ domains_arg)
 
 let () =
   let doc =

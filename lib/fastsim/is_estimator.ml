@@ -77,20 +77,17 @@ let replicate cfg rng =
       { hit = true; weight = Likelihood.ratio lik; stop_step = cfg.horizon }
     else { hit = false; weight = 0.0; stop_step = cfg.horizon }
 
-let estimate cfg ~replications rng =
+let estimate ?pool cfg ~replications rng =
   if replications <= 0 then invalid_arg "Is_estimator.estimate: replications <= 0";
   let samples =
-    Array.init replications (fun _ ->
-        let sub = Rng.split rng in
-        (replicate cfg sub).weight)
+    Ss_parallel.Fanout.map ?pool ~rng ~n:replications (fun sub _ -> (replicate cfg sub).weight)
   in
   Mc.estimate_of_samples samples
 
-let mean_stop_step cfg ~replications rng =
+let mean_stop_step ?pool cfg ~replications rng =
   if replications <= 0 then invalid_arg "Is_estimator.mean_stop_step: replications <= 0";
-  let total = ref 0 in
-  for _ = 1 to replications do
-    let sub = Rng.split rng in
-    total := !total + (replicate cfg sub).stop_step
-  done;
-  float_of_int !total /. float_of_int replications
+  let total =
+    Ss_parallel.Fanout.fold ?pool ~rng ~n:replications ~f:( + ) ~init:0 (fun sub _ ->
+        (replicate cfg sub).stop_step)
+  in
+  float_of_int total /. float_of_int replications

@@ -72,13 +72,22 @@ val replicate : config -> Ss_stats.Rng.t -> replication
 (** Run one replication on the given substream. *)
 
 val estimate :
-  config -> replications:int -> Ss_stats.Rng.t -> Ss_queueing.Mc.estimate
+  ?pool:Ss_parallel.Pool.t ->
+  config ->
+  replications:int ->
+  Ss_stats.Rng.t ->
+  Ss_queueing.Mc.estimate
 (** Run [replications] independent replications (each on a split
     substream) and fold into the shared estimate record. [hits]
     counts overflowing replications; [normalized_variance] is the
-    Fig-14 figure of merit. @raise Invalid_argument if
-    [replications <= 0]. *)
+    Fig-14 figure of merit. With [pool] the replications run across
+    domains ({!Ss_parallel.Fanout}); substream assignment and fold
+    order are fixed, so the estimate is bit-identical for any pool
+    size, including the default sequential path.
+    @raise Invalid_argument if [replications <= 0]. *)
 
-val mean_stop_step : config -> replications:int -> Ss_stats.Rng.t -> float
+val mean_stop_step :
+  ?pool:Ss_parallel.Pool.t -> config -> replications:int -> Ss_stats.Rng.t -> float
 (** Average first-passage step — a diagnostic of how aggressively a
-    twist pushes paths across the buffer. *)
+    twist pushes paths across the buffer. Same parallel/determinism
+    contract as {!estimate}. *)

@@ -6,16 +6,16 @@ type point = {
   estimate : Mc.estimate;
 }
 
-let eval ~config ~replications rng twist =
+let eval ?pool ~config ~replications rng twist =
   let cfg = config ~twist in
-  { twist; estimate = Is_estimator.estimate cfg ~replications rng }
+  { twist; estimate = Is_estimator.estimate ?pool cfg ~replications rng }
 
-let sweep ~config ~twists ~replications rng =
+let sweep ?pool ~config ~twists ~replications rng =
   if twists = [] then invalid_arg "Valley.sweep: no candidate twists";
   List.map
     (fun twist ->
       let sub = Rng.split rng in
-      eval ~config ~replications sub twist)
+      eval ?pool ~config ~replications sub twist)
     twists
 
 let best points =
@@ -28,12 +28,12 @@ let best points =
       else acc)
     (List.hd candidates) (List.tl candidates)
 
-let refine ~config ~lo ~hi ~replications ?(iterations = 12) rng =
+let refine ?pool ~config ~lo ~hi ~replications ?(iterations = 12) rng =
   if hi <= lo then invalid_arg "Valley.refine: hi <= lo";
   if iterations < 1 then invalid_arg "Valley.refine: iterations < 1";
   let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
   let objective twist =
-    let p = eval ~config ~replications (Rng.split rng) twist in
+    let p = eval ?pool ~config ~replications (Rng.split rng) twist in
     (p, p.estimate.Mc.normalized_variance)
   in
   let rec go a b (c, pc, fc) (d, pd, fd) n =
@@ -59,16 +59,16 @@ let refine ~config ~lo ~hi ~replications ?(iterations = 12) rng =
   let pd, fd = objective d in
   go lo hi (c, pc, fc) (d, pd, fd) iterations
 
-let auto ~config ?(lo = 0.25) ?(hi = 6.0) ?(coarse = 8) ~replications rng =
+let auto ?pool ~config ?(lo = 0.25) ?(hi = 6.0) ?(coarse = 8) ~replications rng =
   if coarse < 2 then invalid_arg "Valley.auto: coarse < 2";
   let step = (hi -. lo) /. float_of_int (coarse - 1) in
   let twists = List.init coarse (fun i -> lo +. (step *. float_of_int i)) in
-  let points = sweep ~config ~twists ~replications rng in
+  let points = sweep ?pool ~config ~twists ~replications rng in
   let coarse_best = best points in
   let bracket_lo = Stdlib.max lo (coarse_best.twist -. step) in
   let bracket_hi = Stdlib.min hi (coarse_best.twist +. step) in
   let refined =
-    refine ~config ~lo:bracket_lo ~hi:bracket_hi ~replications ~iterations:8 rng
+    refine ?pool ~config ~lo:bracket_lo ~hi:bracket_hi ~replications ~iterations:8 rng
   in
   if
     refined.estimate.Mc.hits > 0

@@ -13,6 +13,7 @@ type point = {
 }
 
 val sweep :
+  ?pool:Ss_parallel.Pool.t ->
   config:(twist:float -> Is_estimator.config) ->
   twists:float list ->
   replications:int ->
@@ -20,7 +21,9 @@ val sweep :
   point list
 (** Evaluate the normalized variance at each candidate twist. Each
     point uses an independent substream so the valley shape is not
-    distorted by shared noise. @raise Invalid_argument on an empty
+    distorted by shared noise. [pool] parallelizes each point's
+    replications without changing any result (see
+    {!Is_estimator.estimate}). @raise Invalid_argument on an empty
     candidate list. *)
 
 val best : point list -> point
@@ -29,6 +32,7 @@ val best : point list -> point
     has hits. @raise Invalid_argument on empty input. *)
 
 val refine :
+  ?pool:Ss_parallel.Pool.t ->
   config:(twist:float -> Is_estimator.config) ->
   lo:float ->
   hi:float ->
@@ -42,6 +46,7 @@ val refine :
     paper itself picks the twist by eye from the sweep. *)
 
 val auto :
+  ?pool:Ss_parallel.Pool.t ->
   config:(twist:float -> Is_estimator.config) ->
   ?lo:float ->
   ?hi:float ->

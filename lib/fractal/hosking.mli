@@ -19,10 +19,23 @@ module Table : sig
   type t
 
   val make : acf:Acf.t -> n:int -> t
-  (** Precompute coefficients for paths of length [n].
+  (** Precompute coefficients for paths of length [n], sequentially
+      ([make_pooled] without a pool).
       @raise Invalid_argument if [n <= 0 || n > 20_000] (the table is
       quadratic in memory) or if the recursion detects an invalid
       (non positive-definite) autocorrelation. *)
+
+  val make_pooled :
+    ?pool:Ss_parallel.Pool.t -> ?par_cutoff:int -> acf:Acf.t -> n:int -> unit -> t
+  (** Like {!make}, but with [pool] the O(k) inner products of each
+      Durbin–Levinson step run across domains once [k >= par_cutoff]
+      (default 4096; the k-recursion itself stays sequential).
+      Partial sums use fixed chunk boundaries combined in order, so
+      the table is bit-identical for every pool size; the
+      [pool = None] path keeps the historical strictly-sequential
+      summation, which may differ from the pooled one in the last
+      ulp. @raise Invalid_argument additionally if
+      [par_cutoff < 2]. *)
 
   val length : t -> int
   (** Maximum path length. *)
@@ -62,9 +75,10 @@ val generate_into : Table.t -> Ss_stats.Rng.t -> float array -> unit
 val generate_stream : acf:Acf.t -> n:int -> Ss_stats.Rng.t -> float array
 (** One-shot sampling without a precomputed table: runs the
     Durbin–Levinson recursion on the fly in O(n) memory and O(n^2)
-    time. Produces the same distribution as {!generate}; use for a
-    single long path when the quadratic table would not fit.
-    @raise Invalid_argument if [n <= 0]. *)
+    time, reusing one pair of coefficient buffers across steps (no
+    per-step allocation). Produces the same distribution as
+    {!generate}; use for a single long path when the quadratic table
+    would not fit. @raise Invalid_argument if [n <= 0]. *)
 
 val generate_truncated : acf:Acf.t -> n:int -> max_order:int -> Ss_stats.Rng.t -> float array
 (** Approximate fast path: exact Hosking up to lag [max_order], then

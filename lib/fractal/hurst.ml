@@ -18,15 +18,27 @@ let log_grid ~lo ~hi ~levels =
   |> List.sort_uniq compare
   |> List.filter (fun m -> m >= lo && m <= hi)
 
-let variance_time ?(min_m = 10) ?max_m ?(levels = 20) x =
+(* Each grid cell is an independent pure computation, so with a pool
+   the cells become jobs; results are gathered in grid order, which
+   keeps the estimate identical for any domain count (including the
+   sequential pool-less path). *)
+let grid_cells ?pool grid f =
+  let cells = Array.of_list grid in
+  let results =
+    match pool with
+    | None -> Array.map f cells
+    | Some p -> Ss_parallel.Pool.map p f cells
+  in
+  List.filter_map Fun.id (Array.to_list results)
+
+let variance_time ?pool ?(min_m = 10) ?max_m ?(levels = 20) x =
   let n = Array.length x in
   if n < 10 * min_m then invalid_arg "Hurst.variance_time: series too short";
   let max_m = match max_m with Some m -> m | None -> n / 10 in
   if max_m <= min_m then invalid_arg "Hurst.variance_time: max_m <= min_m";
   let grid = log_grid ~lo:min_m ~hi:max_m ~levels in
   let points =
-    List.filter_map
-      (fun m ->
+    grid_cells ?pool grid (fun m ->
         let agg = T.aggregate x ~m in
         if Array.length agg < 2 then None
         else begin
@@ -34,7 +46,6 @@ let variance_time ?(min_m = 10) ?max_m ?(levels = 20) x =
           if v <= 0.0 then None
           else Some (log10 (float_of_int m), log10 v)
         end)
-      grid
   in
   let fit = Reg.ols points in
   let beta = -.fit.Reg.slope in
@@ -70,25 +81,27 @@ let rs_statistic x ~t0 ~len =
     Some ((!wmax -. !wmin) /. sqrt var)
   end
 
-let rs ?(min_n = 8) ?(levels = 20) ?(blocks = 10) x =
+let rs ?pool ?(min_n = 8) ?(levels = 20) ?(blocks = 10) x =
   let total = Array.length x in
   if total < 4 * min_n then invalid_arg "Hurst.rs: series too short";
   let grid = log_grid ~lo:min_n ~hi:total ~levels in
   let points =
-    List.concat_map
-      (fun len ->
+    grid_cells ?pool grid (fun len ->
         (* Non-overlapping starting points t_i = i * total/blocks with
            (t_i - 1) + len <= total, as in the paper. *)
         let stride = Stdlib.max 1 (total / blocks) in
         let rec starts t acc =
           if t + len > total then List.rev acc else starts (t + stride) (t :: acc)
         in
-        starts 0 []
-        |> List.filter_map (fun t0 ->
-               match rs_statistic x ~t0 ~len with
-               | Some r when r > 0.0 -> Some (log10 (float_of_int len), log10 r)
-               | _ -> None))
-      grid
+        let pts =
+          starts 0 []
+          |> List.filter_map (fun t0 ->
+                 match rs_statistic x ~t0 ~len with
+                 | Some r when r > 0.0 -> Some (log10 (float_of_int len), log10 r)
+                 | _ -> None)
+        in
+        Some pts)
+    |> List.concat
   in
   if List.length points < 2 then invalid_arg "Hurst.rs: degenerate input";
   let fit = Reg.ols points in

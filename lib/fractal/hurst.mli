@@ -14,22 +14,27 @@ type estimate = {
 }
 
 val variance_time :
-  ?min_m:int -> ?max_m:int -> ?levels:int -> float array -> estimate
+  ?pool:Ss_parallel.Pool.t -> ?min_m:int -> ?max_m:int -> ?levels:int -> float array -> estimate
 (** [variance_time x] computes [log10 var(X^(m))] against [log10 m]
     for [levels] (default 20) aggregation sizes log-spaced between
     [min_m] (default 10 — the paper ignores small [m]) and [max_m]
     (default [n/10]); the slope [-beta] gives [H = 1 - beta/2].
+    With [pool] the aggregation-size grid cells run as independent
+    domain jobs; results are gathered in grid order, so the estimate
+    is identical for any domain count.
     @raise Invalid_argument if the series is shorter than
     [10 * min_m] or parameters are inconsistent. *)
 
 val rs :
-  ?min_n:int -> ?levels:int -> ?blocks:int -> float array -> estimate
+  ?pool:Ss_parallel.Pool.t -> ?min_n:int -> ?levels:int -> ?blocks:int -> float array -> estimate
 (** [rs x] is the rescaled-adjusted-range analysis: for each block
     size [n] (log-spaced from [min_n], default 8, up to the series
     length) and each of [blocks] (default 10) non-overlapping
     starting points, compute R(t,n)/S(t,n) per paper Eq (8) and plot
     [log10 (R/S)] against [log10 n]; the slope estimates H directly
-    (Eq 9). Blocks with zero sample variance are skipped.
+    (Eq 9). Blocks with zero sample variance are skipped. [pool]
+    runs the block-size grid cells as domain jobs without changing
+    the estimate.
     @raise Invalid_argument on degenerate input. *)
 
 val periodogram : ?low_fraction:float -> float array -> estimate

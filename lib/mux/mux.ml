@@ -27,7 +27,12 @@ type report = {
 
 let max_classes = 64
 
-let run ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ]) ?probe
+(* Number of slots a pooled run advances every source by before the
+   sequential Lindley/admission loop consumes them; amortizes the
+   per-batch pool synchronization over prefetch_slots * N pulls. *)
+let prefetch_slots = 256
+
+let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ]) ?probe
     ~service ~slots sources =
   if slots <= 0 then invalid_arg "Mux.run: slots <= 0";
   if service <= 0.0 then invalid_arg "Mux.run: service <= 0";
@@ -35,6 +40,36 @@ let run ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ]
   let n = Array.length sources in
   if n = 0 then invalid_arg "Mux.run: no sources";
   List.iter (fun b -> if b < 0.0 then invalid_arg "Mux.run: negative threshold") thresholds;
+  (* Source pulls are independent of the queue state, so with a pool
+     they are advanced a block of slots at a time, each source on one
+     domain (a source's internal state is only ever touched by the
+     task that owns it). Every source still sees exactly one pull per
+     slot in slot order, so the run is bit-identical with and without
+     a pool — the Lindley recursion below stays sequential either
+     way. *)
+  let pull =
+    match pool with
+    | None -> fun _t i -> Source.next sources.(i)
+    | Some p ->
+      let wbuf = Array.make (prefetch_slots * n) 0.0 in
+      let cbuf = Array.make (prefetch_slots * n) 0 in
+      let base = ref 0 in
+      let filled = ref 0 in
+      fun t i ->
+        if t >= !base + !filled then begin
+          base := t;
+          let bs = Stdlib.min prefetch_slots (slots - t) in
+          filled := bs;
+          Ss_parallel.Pool.parallel_for p ~chunk:1 ~lo:0 ~hi:(n - 1) (fun i ->
+              for s = 0 to bs - 1 do
+                let w, c = Source.next sources.(i) in
+                wbuf.((s * n) + i) <- w;
+                cbuf.((s * n) + i) <- c
+              done)
+        end;
+        let off = ((t - !base) * n) + i in
+        (wbuf.(off), cbuf.(off))
+  in
   let works = Array.make n 0.0 in
   let classes = Array.make n 0 in
   let class_sums = Array.make max_classes 0.0 in
@@ -53,7 +88,7 @@ let run ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ]
   for t = 0 to slots - 1 do
     let max_class = ref 0 in
     for i = 0 to n - 1 do
-      let w, c = Source.next sources.(i) in
+      let w, c = pull t i in
       if w < 0.0 then
         invalid_arg (Printf.sprintf "Mux.run: source %s yielded negative work" sources.(i).Source.name);
       if c < 0 || c >= max_classes then

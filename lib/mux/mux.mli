@@ -47,6 +47,7 @@ type report = {
 }
 
 val run :
+  ?pool:Ss_parallel.Pool.t ->
   ?buffer:float ->
   ?thresholds:float list ->
   ?quantiles:float list ->
@@ -60,7 +61,12 @@ val run :
     empty) are the queue levels whose exceedance fractions the report
     records; [quantiles] (default [0.5; 0.9; 0.99]) are the P²
     levels; [probe] (for tests/tracing) is called after every slot
-    with the slot index and the updated queue length.
+    with the slot index and the updated queue length. With [pool] the
+    sources are advanced in per-slot blocks across domains (each
+    source owned by one task) ahead of the sequential Lindley
+    recursion; every source still sees one pull per slot in slot
+    order, so the report is bit-identical with and without a pool, at
+    any domain count.
     @raise Invalid_argument if [slots <= 0], [service <= 0],
     [buffer < 0], no sources, a quantile outside (0,1), a negative
     threshold, a source yields negative work, or a source yields a

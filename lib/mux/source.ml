@@ -39,19 +39,55 @@ let of_array ?(name = "array") ?(hurst = 0.5) ?(cycle = false) xs =
     ~sigma2:(Ss_stats.Descriptive.variance xs) ~hurst pull
 
 (* One Hosking table per (background ACF, order) — N same-model
-   sources share the O(order^2) coefficients. *)
+   sources share the O(order^2) coefficients.
+
+   The key is a structural fingerprint of the ACF — its values
+   sampled on a fixed lag grid — not the ACF's display name: two
+   distinct models that happen to share a name must not collide. The
+   table is fully determined by [r] on lags 0..order, so equal
+   fingerprints that still differed beyond the grid could at worst
+   share bit-identical-by-construction coefficients of a different
+   model; 64 sampled lags spread across the whole range make that a
+   measure-zero concern for the smooth ACF families used here. *)
+let fingerprint ~acf ~order =
+  let samples = 64 in
+  let buf = Buffer.create (samples * 8) in
+  for i = 0 to samples - 1 do
+    let k = i * order / (samples - 1) in
+    Buffer.add_int64_le buf (Int64.bits_of_float (acf.Acf.r k))
+  done;
+  Digest.string (Buffer.contents buf)
+
 let table_cache : (string * int, Hosking.Table.t) Hashtbl.t = Hashtbl.create 8
+let table_cache_mutex = Mutex.create ()
 
 let table_for ~acf ~order =
   if order < 1 || order > 19_999 then
     invalid_arg "Source.background_stream: order outside [1, 19999]";
-  let key = (acf.Acf.name, order) in
-  match Hashtbl.find_opt table_cache key with
+  let key = (fingerprint ~acf ~order, order) in
+  let lookup () =
+    Mutex.lock table_cache_mutex;
+    let found = Hashtbl.find_opt table_cache key in
+    Mutex.unlock table_cache_mutex;
+    found
+  in
+  match lookup () with
   | Some t -> t
   | None ->
+    (* Build outside the lock: construction is O(order^2) and the
+       table is deterministic, so if two domains race here they build
+       identical coefficients and the first insert wins. *)
     let t = Hosking.Table.make ~acf ~n:(order + 1) in
-    Hashtbl.add table_cache key t;
-    t
+    Mutex.lock table_cache_mutex;
+    let winner =
+      match Hashtbl.find_opt table_cache key with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.add table_cache key t;
+        t
+    in
+    Mutex.unlock table_cache_mutex;
+    winner
 
 let background_stream ~acf ~order rng =
   let table = table_for ~acf ~order in

@@ -1,0 +1,18 @@
+module Rng = Ss_stats.Rng
+
+let map ?pool ~rng ~n f =
+  if n < 0 then invalid_arg "Fanout.map: n < 0";
+  if n = 0 then [||]
+  else begin
+    let subs = Rng.split_n rng n in
+    match pool with
+    | None ->
+      let out = Array.make n (f subs.(0) 0) in
+      for i = 1 to n - 1 do
+        out.(i) <- f subs.(i) i
+      done;
+      out
+    | Some p -> Pool.run p (Array.init n (fun i () -> f subs.(i) i))
+  end
+
+let fold ?pool ~rng ~n ~f ~init g = Array.fold_left f init (map ?pool ~rng ~n g)

@@ -1,0 +1,33 @@
+(** Deterministic parallel fan-out of replicated stochastic work.
+
+    The combinator fixes the two places where parallelism could leak
+    into results: randomness and reduction order. Substreams are
+    derived by calling {!Ss_stats.Rng.split} [n] times {e on the
+    calling domain, in item order} — so the parent generator advances
+    exactly as the sequential code would — and item [i] always
+    receives substream [i]. Results are then combined in item order
+    on the calling domain. Consequently an estimate computed through
+    [Fanout] is bit-identical for any pool size, including the
+    [pool = None] sequential path: the domain count is a pure
+    wall-clock knob.
+
+    This is the engine behind [Mc.overflow_probability],
+    [Is_estimator.estimate] and the bench sweep cells. *)
+
+val map : ?pool:Pool.t -> rng:Ss_stats.Rng.t -> n:int -> (Ss_stats.Rng.t -> int -> 'a) -> 'a array
+(** [map ?pool ~rng ~n f] splits [n] substreams off [rng] (advancing
+    it), runs [f sub_i i] for each item across the pool (or
+    sequentially when [pool] is [None]) and returns results in item
+    order. [f] must use only its own substream.
+    @raise Invalid_argument if [n < 0]. *)
+
+val fold :
+  ?pool:Pool.t ->
+  rng:Ss_stats.Rng.t ->
+  n:int ->
+  f:('acc -> 'a -> 'acc) ->
+  init:'acc ->
+  (Ss_stats.Rng.t -> int -> 'a) ->
+  'acc
+(** [fold] is {!map} followed by a sequential fold in item order on
+    the calling domain; deterministic for non-associative [f]. *)

@@ -17,13 +17,12 @@ let estimate_of_samples samples =
   let normalized_variance = if p > 0.0 then variance /. (p *. p) else infinity in
   { p; variance; normalized_variance; replications = n; hits }
 
-let overflow_probability ~gen ~service ~buffer ?(initial_workload = 0.0) ~horizon
+let overflow_probability ?pool ~gen ~service ~buffer ?(initial_workload = 0.0) ~horizon
     ~replications rng =
   if horizon <= 0 then invalid_arg "Mc.overflow_probability: horizon <= 0";
   if replications <= 0 then invalid_arg "Mc.overflow_probability: replications <= 0";
   let samples =
-    Array.init replications (fun _ ->
-        let sub = Rng.split rng in
+    Ss_parallel.Fanout.map ?pool ~rng ~n:replications (fun sub _ ->
         let arrivals = gen sub in
         if Array.length arrivals < horizon then
           invalid_arg "Mc.overflow_probability: generated path shorter than horizon";

@@ -27,6 +27,7 @@ val estimate_of_samples : float array -> estimate
     samples. @raise Invalid_argument on empty input. *)
 
 val overflow_probability :
+  ?pool:Ss_parallel.Pool.t ->
   gen:(Ss_stats.Rng.t -> float array) ->
   service:float ->
   buffer:float ->
@@ -40,9 +41,13 @@ val overflow_probability :
     (each generator call receives a split substream and must return
     at least [horizon] slots of arrivals) and estimates
     [Pr(initial_workload + sup_{i<=horizon} W_i > buffer)]
-    ([initial_workload] defaults to 0). @raise Invalid_argument on
-    nonpositive horizon or replications, or if a generated path is
-    shorter than the horizon. *)
+    ([initial_workload] defaults to 0). With [pool] the replications
+    fan out across domains via {!Ss_parallel.Fanout}; the estimate is
+    bit-identical for any pool size, including none. [gen] must then
+    be safe to call from several domains at once (pure up to its
+    substream argument — every generator in this repository is).
+    @raise Invalid_argument on nonpositive horizon or replications,
+    or if a generated path is shorter than the horizon. *)
 
 val confidence_interval : estimate -> z:float -> float * float
 (** Normal-approximation CI for [p] at the given z-value (e.g. 1.96

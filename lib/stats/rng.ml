@@ -72,6 +72,17 @@ let split t =
   let s3 = if all_zero s0 s1 s2 s3 then 1L else s3 in
   { s0; s1; s2; s3; gauss_cache = 0.0; gauss_full = false }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: n < 0";
+  (* Explicit loop: callers rely on substream i being the i-th split
+     of the parent stream, so the order must not depend on array
+     initialization internals. *)
+  let out = Array.make n t in
+  for i = 0 to n - 1 do
+    out.(i) <- split t
+  done;
+  out
+
 let float t =
   (* 53 high bits -> uniform in [0,1). *)
   let bits = Int64.shift_right_logical (bits64 t) 11 in

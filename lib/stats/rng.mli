@@ -30,6 +30,13 @@ val split : t -> t
     [t]'s stream, and advances [t]. Used to give each simulation
     replication its own substream. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] successive {!split}s of [t] in index order:
+    element [i] is the [i]-th child stream. Advancing the parent this
+    way on one domain before fanning work out is what makes parallel
+    replication estimates independent of the domain count.
+    @raise Invalid_argument if [n < 0]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output word. *)
 
