@@ -360,13 +360,93 @@ let mux_cmd =
     let doc = "Strict priority classes I > P > B (requires $(b,--composite))." in
     Arg.(value & flag & info [ "priority" ] ~doc)
   in
+  let is_arg =
+    let doc =
+      "Importance-sampled overflow estimation instead of a plain simulation run: replicated \
+       first-passage of the shared queue above $(b,--buffer), background processes twisted \
+       by $(b,--twist). Unified-model sources only; admission control is bypassed."
+    in
+    Arg.(value & flag & info [ "is" ] ~doc)
+  in
+  let twist_arg =
+    let doc =
+      "With $(b,--is): per-source background twisted mean m*; 'sweep' prints the \
+       normalized-variance valley, 'auto' runs the coarse-sweep + golden-section search."
+    in
+    Arg.(value & opt (some string) None & info [ "twist"; "m" ] ~docv:"FLOAT|sweep|auto" ~doc)
+  in
+  let horizon_arg =
+    let doc = "With $(b,--is): replication horizon in slots (default: 10 * buffer)." in
+    Arg.(value & opt (some int) None & info [ "horizon"; "k" ] ~docv:"INT" ~doc)
+  in
+  let run_is ~pool ~trace ~utilization ~sources ~order ~buffer_norm ~buffers ~twist ~horizon
+      ~replications ~seed ~max_lag =
+    let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
+    let per_mean = model.Model.mean in
+    let service = float_of_int sources *. per_mean /. utilization in
+    let b_norm =
+      match buffer_norm with
+      | Some b -> b
+      | None -> List.fold_left Stdlib.max 0.0 (parse_buffers buffers)
+    in
+    if b_norm <= 0.0 then invalid_arg "--is needs a positive --buffer";
+    let buffer = b_norm *. per_mean in
+    let slots =
+      match horizon with
+      | Some k -> k
+      | None -> Stdlib.max 100 (int_of_float (10.0 *. b_norm))
+    in
+    let config ~twist =
+      Ss_mux.Mux_is.make_config ~model ~sources ~order ~service ~buffer ~slots ~twist ()
+    in
+    let rng = Rng.create ~seed in
+    let print_estimate twist e =
+      Format.printf "uti=%.2f N=%d b=%.0f (per-source mean units) k=%d m*=%.3f@." utilization
+        sources b_norm slots twist;
+      Format.printf "%a@." Report.pp_estimate e
+    in
+    match twist with
+    | Some "sweep" ->
+      let twists = List.init 10 (fun i -> 0.5 *. float_of_int (i + 1)) in
+      let points = Ss_mux.Mux_is.sweep ?pool ~config ~twists ~replications rng in
+      Format.printf "# m*  p  normalized-variance  hits@.";
+      List.iter
+        (fun p ->
+          Format.printf "%4.1f  %.4g  %.4g  %d@." p.Valley.twist p.Valley.estimate.Mc.p
+            p.Valley.estimate.Mc.normalized_variance p.Valley.estimate.Mc.hits)
+        points;
+      let best = Valley.best points in
+      Format.printf "# best m* = %.1f@." best.Valley.twist
+    | Some "auto" ->
+      let best = Ss_mux.Mux_is.auto ?pool ~config ~replications rng in
+      print_estimate best.Valley.twist best.Valley.estimate
+    | twist_opt ->
+      let twist =
+        match twist_opt with
+        | None -> 0.0
+        | Some s -> (
+          match float_of_string_opt s with
+          | Some v -> v
+          | None -> invalid_arg (Printf.sprintf "bad twist %S" s))
+      in
+      print_estimate twist (Ss_mux.Mux_is.estimate ?pool (config ~twist) ~replications rng)
+  in
   let run path utilization sources slots order buffer_norm epsilon composite priority
-      buffers csv seed max_lag domains =
+      buffers csv seed max_lag domains is_mode twist horizon replications =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
         Pool.with_pool ~domains @@ fun pool ->
         if priority && not composite then invalid_arg "--priority requires --composite";
         let trace = Trace.load path in
+        if is_mode then begin
+          if composite then
+            invalid_arg "--is supports unified-model sources only (omit --composite)";
+          run_is ~pool ~trace ~utilization ~sources ~order ~buffer_norm ~buffers ~twist
+            ~horizon ~replications ~seed ~max_lag
+        end
+        else begin
+        if twist <> None || horizon <> None then
+          invalid_arg "--twist/--horizon require --is";
         let rng = Rng.create ~seed in
         let mk =
           if composite then begin
@@ -433,17 +513,20 @@ let mux_cmd =
           | Some path ->
             write_overflow_csv path
               (List.map (fun (b, p) -> (b /. per_mean, p)) report.Ss_mux.Mux.overflow)
+        end
         end)
   in
   let doc =
     "Multiplex N streaming model sources through one finite shared buffer with \
-     effective-bandwidth admission control and online accounting."
+     effective-bandwidth admission control and online accounting; with $(b,--is), \
+     importance-sampled estimation of rare shared-buffer overflow."
   in
   Cmd.v (Cmd.info "mux" ~doc)
     Term.(
       const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
       $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg $ buffers_arg $ csv_arg
-      $ seed_arg $ max_lag_arg $ domains_arg)
+      $ seed_arg $ max_lag_arg $ domains_arg $ is_arg $ twist_arg $ horizon_arg
+      $ replications_arg)
 
 (* --- fastsim --- *)
 

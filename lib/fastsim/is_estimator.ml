@@ -42,6 +42,7 @@ let make_config ~table ~arrival ~service ~buffer ~horizon ~twist ?profile
 type replication = {
   hit : bool;
   weight : float;
+  log_weight : float;
   stop_step : int;
 }
 
@@ -63,8 +64,10 @@ let replicate cfg rng =
     let x_twisted = xs.(!k) +. Twist.shift cfg.profile !k in
     let y = cfg.arrival !k x_twisted in
     w := !w +. y -. cfg.service;
-    if cfg.initial_workload +. !w > cfg.buffer then
-      result := Some { hit = true; weight = Likelihood.ratio lik; stop_step = !k + 1 };
+    if cfg.initial_workload +. !w > cfg.buffer then begin
+      let lw = Likelihood.log_ratio lik in
+      result := Some { hit = true; weight = exp lw; log_weight = lw; stop_step = !k + 1 }
+    end;
     incr k
   done;
   match !result with
@@ -74,15 +77,17 @@ let replicate cfg rng =
        buffer the queue is still above b at time k when q0 + W_k > b
        (q0 = b, i.e. W_k > 0). *)
     if cfg.full_start && !w > 0.0 then
-      { hit = true; weight = Likelihood.ratio lik; stop_step = cfg.horizon }
-    else { hit = false; weight = 0.0; stop_step = cfg.horizon }
+      let lw = Likelihood.log_ratio lik in
+      { hit = true; weight = exp lw; log_weight = lw; stop_step = cfg.horizon }
+    else { hit = false; weight = 0.0; log_weight = neg_infinity; stop_step = cfg.horizon }
 
 let estimate ?pool cfg ~replications rng =
   if replications <= 0 then invalid_arg "Is_estimator.estimate: replications <= 0";
   let samples =
-    Ss_parallel.Fanout.map ?pool ~rng ~n:replications (fun sub _ -> (replicate cfg sub).weight)
+    Ss_parallel.Fanout.map ?pool ~rng ~n:replications (fun sub _ ->
+        (replicate cfg sub).log_weight)
   in
-  Mc.estimate_of_samples samples
+  Mc.estimate_of_log_samples samples
 
 let mean_stop_step ?pool cfg ~replications rng =
   if replications <= 0 then invalid_arg "Is_estimator.mean_stop_step: replications <= 0";

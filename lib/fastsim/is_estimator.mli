@@ -64,7 +64,10 @@ val make_config :
 
 type replication = {
   hit : bool;  (** overflow occurred *)
-  weight : float;  (** [I * L]: likelihood ratio if hit, else 0 *)
+  weight : float;
+      (** [I * L]: likelihood ratio if hit, else 0. May underflow to 0
+          for deep buffers; arithmetic should use [log_weight]. *)
+  log_weight : float;  (** [log (I * L)]: [neg_infinity] unless hit *)
   stop_step : int;  (** 1-based step of first passage, or horizon *)
 }
 
@@ -78,9 +81,12 @@ val estimate :
   Ss_stats.Rng.t ->
   Ss_queueing.Mc.estimate
 (** Run [replications] independent replications (each on a split
-    substream) and fold into the shared estimate record. [hits]
-    counts overflowing replications; [normalized_variance] is the
-    Fig-14 figure of merit. With [pool] the replications run across
+    substream) and fold into the shared estimate record via
+    {!Ss_queueing.Mc.estimate_of_log_samples} — weights are combined
+    in the log domain, so the figure of merit survives likelihood
+    ratios that underflow [exp]. [hits] counts overflowing
+    replications; [normalized_variance] is the Fig-14 figure of
+    merit. With [pool] the replications run across
     domains ({!Ss_parallel.Fanout}); substream assignment and fold
     order are fixed, so the estimate is bit-identical for any pool
     size, including the default sequential path.

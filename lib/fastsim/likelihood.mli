@@ -33,6 +33,9 @@ val plan : table:Ss_fractal.Hosking.Table.t -> profile:Twist.t -> plan
 
 val plan_table : plan -> Ss_fractal.Hosking.Table.t
 
+val plan_profile : plan -> Twist.t
+(** The twist profile the plan was built for. *)
+
 type t
 (** Mutable per-replication accumulator. *)
 
@@ -61,3 +64,39 @@ val ratio : t -> float
 
 val steps : t -> int
 (** Number of steps fed since the last reset. *)
+
+(** {2 Streaming accumulator}
+
+    {!t} indexes the plan's delta table directly and therefore only
+    supports horizons up to the table length. The streaming variant
+    below follows the truncated-Hosking recursion used by
+    [Ss_mux.Source.background_stream]: rows are exact up to
+    [order = Table.length - 1], after which the AR(order) filter is
+    frozen, so [delta_k] and [v_k] for [k >= order] come from the
+    clamped row. Memory stays O(order) for any horizon. For constant
+    profiles the tail delta is a single cached value; for general
+    profiles a ring buffer of the last [order] shifts feeds one
+    conditional-mean evaluation per step. For [k < Table.length] the
+    streaming accumulator agrees exactly with {!t} on the same
+    innovations. *)
+
+type stream
+(** Mutable per-replication streaming accumulator. *)
+
+val stream_of_plan : plan -> stream
+(** A fresh streaming accumulator (O(order)). *)
+
+val stream : table:Ss_fractal.Hosking.Table.t -> profile:Twist.t -> stream
+
+val stream_reset : stream -> unit
+
+val stream_step : stream -> k:int -> innovation:float -> unit
+(** Record step [k]'s innovation under the truncated recursion. Steps
+    must be fed in order 0, 1, 2, ... between resets; any [k] is
+    accepted (there is no table-length ceiling).
+    @raise Invalid_argument on out-of-order steps. *)
+
+val stream_log_ratio : stream -> float
+(** Accumulated [log L] up to the last step fed. *)
+
+val stream_steps : stream -> int

@@ -6,16 +6,17 @@ type point = {
   estimate : Mc.estimate;
 }
 
-let eval ?pool ~config ~replications rng twist =
-  let cfg = config ~twist in
-  { twist; estimate = Is_estimator.estimate ?pool cfg ~replications rng }
+(* Estimator-agnostic cores: the [eval] callback maps a candidate
+   twist and a substream to an estimate. The single-queue wrappers
+   below close [eval] over an Is_estimator config; Ss_mux.Mux_is
+   reuses the same cores for the multiplexer estimator. *)
 
-let sweep ?pool ~config ~twists ~replications rng =
+let sweep_by ~eval ~twists rng =
   if twists = [] then invalid_arg "Valley.sweep: no candidate twists";
   List.map
     (fun twist ->
       let sub = Rng.split rng in
-      eval ?pool ~config ~replications sub twist)
+      { twist; estimate = eval ~twist sub })
     twists
 
 let best points =
@@ -28,12 +29,12 @@ let best points =
       else acc)
     (List.hd candidates) (List.tl candidates)
 
-let refine ?pool ~config ~lo ~hi ~replications ?(iterations = 12) rng =
+let refine_by ~eval ~lo ~hi ?(iterations = 12) rng =
   if hi <= lo then invalid_arg "Valley.refine: hi <= lo";
   if iterations < 1 then invalid_arg "Valley.refine: iterations < 1";
   let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
   let objective twist =
-    let p = eval ?pool ~config ~replications (Rng.split rng) twist in
+    let p = { twist; estimate = eval ~twist (Rng.split rng) } in
     (p, p.estimate.Mc.normalized_variance)
   in
   let rec go a b (c, pc, fc) (d, pd, fd) n =
@@ -59,19 +60,31 @@ let refine ?pool ~config ~lo ~hi ~replications ?(iterations = 12) rng =
   let pd, fd = objective d in
   go lo hi (c, pc, fc) (d, pd, fd) iterations
 
-let auto ?pool ~config ?(lo = 0.25) ?(hi = 6.0) ?(coarse = 8) ~replications rng =
+let auto_by ~eval ?(lo = 0.25) ?(hi = 6.0) ?(coarse = 8) rng =
   if coarse < 2 then invalid_arg "Valley.auto: coarse < 2";
   let step = (hi -. lo) /. float_of_int (coarse - 1) in
   let twists = List.init coarse (fun i -> lo +. (step *. float_of_int i)) in
-  let points = sweep ?pool ~config ~twists ~replications rng in
+  let points = sweep_by ~eval ~twists rng in
   let coarse_best = best points in
   let bracket_lo = Stdlib.max lo (coarse_best.twist -. step) in
   let bracket_hi = Stdlib.min hi (coarse_best.twist +. step) in
-  let refined =
-    refine ?pool ~config ~lo:bracket_lo ~hi:bracket_hi ~replications ~iterations:8 rng
-  in
+  let refined = refine_by ~eval ~lo:bracket_lo ~hi:bracket_hi ~iterations:8 rng in
   if
     refined.estimate.Mc.hits > 0
     && refined.estimate.Mc.normalized_variance < coarse_best.estimate.Mc.normalized_variance
   then refined
   else coarse_best
+
+(* Single-queue wrappers over Is_estimator, the original public API. *)
+
+let eval_of ?pool ~config ~replications ~twist rng =
+  Is_estimator.estimate ?pool (config ~twist) ~replications rng
+
+let sweep ?pool ~config ~twists ~replications rng =
+  sweep_by ~eval:(eval_of ?pool ~config ~replications) ~twists rng
+
+let refine ?pool ~config ~lo ~hi ~replications ?iterations rng =
+  refine_by ~eval:(eval_of ?pool ~config ~replications) ~lo ~hi ?iterations rng
+
+let auto ?pool ~config ?lo ?hi ?coarse ~replications rng =
+  auto_by ~eval:(eval_of ?pool ~config ~replications) ?lo ?hi ?coarse rng

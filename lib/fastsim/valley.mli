@@ -12,6 +12,36 @@ type point = {
   estimate : Ss_queueing.Mc.estimate;
 }
 
+(** {2 Estimator-agnostic cores}
+
+    The search itself does not care which estimator it is tuning:
+    [eval ~twist sub] must run the estimator at the candidate twist on
+    the given substream. The [sweep]/[refine]/[auto] functions below
+    close these over {!Is_estimator}; [Ss_mux.Mux_is] closes them over
+    the multiplexer estimator. *)
+
+val sweep_by :
+  eval:(twist:float -> Ss_stats.Rng.t -> Ss_queueing.Mc.estimate) ->
+  twists:float list ->
+  Ss_stats.Rng.t ->
+  point list
+
+val refine_by :
+  eval:(twist:float -> Ss_stats.Rng.t -> Ss_queueing.Mc.estimate) ->
+  lo:float ->
+  hi:float ->
+  ?iterations:int ->
+  Ss_stats.Rng.t ->
+  point
+
+val auto_by :
+  eval:(twist:float -> Ss_stats.Rng.t -> Ss_queueing.Mc.estimate) ->
+  ?lo:float ->
+  ?hi:float ->
+  ?coarse:int ->
+  Ss_stats.Rng.t ->
+  point
+
 val sweep :
   ?pool:Ss_parallel.Pool.t ->
   config:(twist:float -> Is_estimator.config) ->

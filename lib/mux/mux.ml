@@ -119,7 +119,7 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
       for c = 0 to !max_class do
         let s = class_sums.(c) in
         let f =
-          if s <= !room then 1.0 else if s <= 0.0 then 0.0 else !room /. s
+          if s <= 0.0 then 0.0 else if s <= !room then 1.0 else !room /. s
         in
         class_scale.(c) <- f;
         room := Stdlib.max 0.0 (!room -. (s *. f));

@@ -1,0 +1,124 @@
+module Rng = Ss_stats.Rng
+module Mc = Ss_queueing.Mc
+module Model = Ss_core.Model
+module Twist = Ss_fastsim.Twist
+module Likelihood = Ss_fastsim.Likelihood
+module Valley = Ss_fastsim.Valley
+
+type config = {
+  model : Model.t;
+  sources : int;
+  order : int;
+  service : float;
+  buffer : float;
+  slots : int;
+  twist : float;
+  profile : Twist.t;
+  scales : float array;
+  plans : Likelihood.plan array;
+}
+
+let scaled_profile profile scale =
+  if scale = 1.0 then profile
+  else
+    match Twist.constant_value profile with
+    | Some m -> Twist.constant (scale *. m)
+    | None -> Twist.of_fun (fun k -> scale *. Twist.shift profile k)
+
+let make_config ~model ~sources ?(order = 256) ~service ~buffer ~slots ~twist ?profile ?scales ()
+    =
+  if sources <= 0 then invalid_arg "Mux_is.make_config: sources <= 0";
+  if service <= 0.0 then invalid_arg "Mux_is.make_config: service <= 0";
+  if buffer < 0.0 then invalid_arg "Mux_is.make_config: buffer < 0";
+  if slots <= 0 then invalid_arg "Mux_is.make_config: slots <= 0";
+  let profile = match profile with Some p -> p | None -> Twist.constant twist in
+  let scales =
+    match scales with
+    | None -> Array.make sources 1.0
+    | Some s ->
+      if Array.length s <> sources then
+        invalid_arg "Mux_is.make_config: scales length <> sources";
+      Array.iter
+        (fun v ->
+          if Float.is_nan v || v < 0.0 then invalid_arg "Mux_is.make_config: negative scale")
+        s;
+      Array.copy s
+  in
+  let table = Source.table_for ~acf:(Model.background_acf model) ~order in
+  (* One likelihood plan per distinct scale; identical scales share. *)
+  let plan_cache = Hashtbl.create 4 in
+  let plans =
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt plan_cache s with
+        | Some p -> p
+        | None ->
+          let p = Likelihood.plan ~table ~profile:(scaled_profile profile s) in
+          Hashtbl.add plan_cache s p;
+          p)
+      scales
+  in
+  { model; sources; order; service; buffer; slots; twist; profile; scales; plans }
+
+type replication = {
+  hit : bool;
+  log_weight : float;
+  stop_slot : int;
+}
+
+exception Crossed of int
+
+let replicate cfg rng =
+  let n = cfg.sources in
+  let liks = Array.map Likelihood.stream_of_plan cfg.plans in
+  (* Substreams are split in source-index order on the replication's
+     own substream, so the replication is a pure function of [rng]
+     regardless of how replications are distributed over domains. *)
+  let srcs =
+    Array.init n (fun i ->
+        let sub = Rng.split rng in
+        let lik = liks.(i) in
+        Source.of_model_twisted
+          ~name:(Printf.sprintf "is%d" i)
+          ~order:cfg.order
+          ~shift:(Twist.shift (Likelihood.plan_profile cfg.plans.(i)))
+          ~probe:(fun ~k ~innovation -> Likelihood.stream_step lik ~k ~innovation)
+          cfg.model sub)
+  in
+  match
+    Mux.run ~quantiles:[] ~service:cfg.service ~slots:cfg.slots
+      ~probe:(fun t q -> if q > cfg.buffer then raise (Crossed t))
+      srcs
+  with
+  | (_ : Mux.report) -> { hit = false; log_weight = neg_infinity; stop_slot = cfg.slots }
+  | exception Crossed t ->
+    (* Likelihood ratio of the joint (independent-sources) path at the
+       stopping time: the product of per-source ratios, each cut off
+       at the innovations actually drawn. *)
+    let lw = Array.fold_left (fun acc l -> acc +. Likelihood.stream_log_ratio l) 0.0 liks in
+    { hit = true; log_weight = lw; stop_slot = t + 1 }
+
+let estimate ?pool cfg ~replications rng =
+  if replications <= 0 then invalid_arg "Mux_is.estimate: replications <= 0";
+  let samples =
+    Ss_parallel.Fanout.map ?pool ~rng ~n:replications (fun sub _ ->
+        (replicate cfg sub).log_weight)
+  in
+  Mc.estimate_of_log_samples samples
+
+let mean_stop_slot ?pool cfg ~replications rng =
+  if replications <= 0 then invalid_arg "Mux_is.mean_stop_slot: replications <= 0";
+  let total =
+    Ss_parallel.Fanout.fold ?pool ~rng ~n:replications ~f:( + ) ~init:0 (fun sub _ ->
+        (replicate cfg sub).stop_slot)
+  in
+  float_of_int total /. float_of_int replications
+
+let eval_of ?pool ~config ~replications ~twist rng =
+  estimate ?pool (config ~twist) ~replications rng
+
+let sweep ?pool ~config ~twists ~replications rng =
+  Valley.sweep_by ~eval:(eval_of ?pool ~config ~replications) ~twists rng
+
+let auto ?pool ~config ?lo ?hi ?coarse ~replications rng =
+  Valley.auto_by ~eval:(eval_of ?pool ~config ~replications) ?lo ?hi ?coarse rng

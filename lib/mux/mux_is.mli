@@ -1,0 +1,116 @@
+(** Importance-sampling estimation of shared-buffer overflow in the
+    multiplexer — the paper's Section-5 fast-simulation method lifted
+    from the single queue to [N] superposed model sources.
+
+    Each replication drives a fresh set of [N] streaming model
+    sources ({!Source.of_model_twisted}) whose background Gaussian
+    processes are generated under a mean-shifted law: one {!Twist.t}
+    profile shared across sources, scaled per-source (all scales 1 by
+    default — the aggregate drift is then [N] times the per-source
+    shift's foreground effect). Histories store untwisted values, so
+    each source's exact log likelihood ratio is accumulated by a
+    streaming {!Ss_fastsim.Likelihood} accumulator fed from the
+    source's innovation probe — the O(order)-memory truncated-Hosking
+    generalization, matching the recursion the sources themselves
+    run. Because the sources are independent, the joint ratio is the
+    product (log: sum) of per-source ratios.
+
+    The overflow event is the first passage of the {!Mux.run} shared
+    queue (pure-delay, Lindley recursion from empty) above the
+    [buffer] threshold within [slots] slots. A replication stops at
+    first passage; the likelihood ratio evaluated at the stopping
+    time keeps the estimator [1/N sum I_n L_n] unbiased (optional
+    stopping), and weights are combined in the log domain
+    ({!Ss_queueing.Mc.estimate_of_log_samples}) so deep-buffer runs
+    never underflow the figure of merit.
+
+    With [twist = 0] every weight is 1 and the estimator is exactly
+    plain Monte Carlo on the same event. *)
+
+type config = {
+  model : Ss_core.Model.t;  (** unified model, one per source *)
+  sources : int;  (** N, > 0 *)
+  order : int;  (** truncated-Hosking exact depth / frozen AR order *)
+  service : float;  (** aggregate service per slot, > 0 *)
+  buffer : float;  (** overflow threshold on the shared queue, >= 0 *)
+  slots : int;  (** horizon (slots per replication), > 0 *)
+  twist : float;  (** per-source background mean shift (0 = plain MC) *)
+  profile : Ss_fastsim.Twist.t;
+      (** the actual shared per-slot shift; [Twist.constant twist]
+          unless supplied explicitly *)
+  scales : float array;
+      (** per-source multipliers on the shared profile (length N) *)
+  plans : Ss_fastsim.Likelihood.plan array;
+      (** per-source likelihood plans (shared across replications;
+          sources with equal scales share one plan) *)
+}
+
+val make_config :
+  model:Ss_core.Model.t ->
+  sources:int ->
+  ?order:int ->
+  service:float ->
+  buffer:float ->
+  slots:int ->
+  twist:float ->
+  ?profile:Ss_fastsim.Twist.t ->
+  ?scales:float array ->
+  unit ->
+  config
+(** Validate and precompute. [order] defaults to 256. When [profile]
+    is given it overrides the constant [twist] (which then only
+    labels the config); [scales] defaults to all ones.
+    @raise Invalid_argument on violated constraints (see field
+    docs). *)
+
+type replication = {
+  hit : bool;  (** the shared queue crossed [buffer] within [slots] *)
+  log_weight : float;  (** [log (I * L)]: [neg_infinity] unless hit *)
+  stop_slot : int;  (** 1-based first-passage slot, or [slots] *)
+}
+
+val replicate : config -> Ss_stats.Rng.t -> replication
+(** Run one replication on the given substream: per-source substreams
+    are split off in source-index order, so the result is a pure
+    function of the substream. Stops the {!Mux.run} drive at first
+    passage. *)
+
+val estimate :
+  ?pool:Ss_parallel.Pool.t ->
+  config ->
+  replications:int ->
+  Ss_stats.Rng.t ->
+  Ss_queueing.Mc.estimate
+(** Fan [replications] replications out over the pool with the
+    {!Ss_parallel.Fanout} substream discipline and fold the log
+    weights with {!Ss_queueing.Mc.estimate_of_log_samples}. The
+    estimate is bit-identical for any pool size, including none.
+    @raise Invalid_argument if [replications <= 0]. *)
+
+val mean_stop_slot :
+  ?pool:Ss_parallel.Pool.t -> config -> replications:int -> Ss_stats.Rng.t -> float
+(** Average first-passage slot — a diagnostic of how aggressively the
+    twist pushes the aggregate across the buffer. *)
+
+val sweep :
+  ?pool:Ss_parallel.Pool.t ->
+  config:(twist:float -> config) ->
+  twists:float list ->
+  replications:int ->
+  Ss_stats.Rng.t ->
+  Ss_fastsim.Valley.point list
+(** Normalized-variance valley sweep over candidate twists, mirroring
+    {!Ss_fastsim.Valley.sweep} (same estimator-agnostic core, same
+    substream discipline). *)
+
+val auto :
+  ?pool:Ss_parallel.Pool.t ->
+  config:(twist:float -> config) ->
+  ?lo:float ->
+  ?hi:float ->
+  ?coarse:int ->
+  replications:int ->
+  Ss_stats.Rng.t ->
+  Ss_fastsim.Valley.point
+(** Coarse sweep + golden-section refinement of the twist, mirroring
+    {!Ss_fastsim.Valley.auto}. *)

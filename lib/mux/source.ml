@@ -63,7 +63,7 @@ let table_cache_mutex = Mutex.create ()
 
 let table_for ~acf ~order =
   if order < 1 || order > 19_999 then
-    invalid_arg "Source.background_stream: order outside [1, 19999]";
+    invalid_arg "Source.table_for: order outside [1, 19999]";
   let key = (fingerprint ~acf ~order, order) in
   let lookup () =
     Mutex.lock table_cache_mutex;
@@ -89,30 +89,39 @@ let table_for ~acf ~order =
     Mutex.unlock table_cache_mutex;
     winner
 
-let background_stream ~acf ~order rng =
+(* Shared truncated-Hosking core. [shift]/[probe] hook in the
+   importance sampler: the *untwisted* value is kept in [hist] (so
+   conditional means stay those of the original law), the per-step
+   innovation is reported to [probe] for likelihood accumulation, and
+   [shift k] is added only to the emitted value. With both hooks
+   absent the arithmetic is exactly that of the original
+   [background_stream] (the innovation is merely let-bound), so the
+   plain path stays bit-identical. *)
+let background_stream_gen ~acf ~order ~shift ~probe rng =
   let table = table_for ~acf ~order in
   (* [hist] holds the last [min k order] background values in
      chronological order; O(order) resident state. *)
   let hist = Array.make order 0.0 in
   let k = ref 0 in
   fun () ->
-    let x =
-      if !k < order then begin
-        let m = Hosking.Table.cond_mean table hist !k in
-        let x = m +. (Hosking.Table.innovation_std table !k *. Rng.gaussian rng) in
-        hist.(!k) <- x;
-        incr k;
-        x
-      end
-      else begin
-        let m = Hosking.Table.cond_mean table hist order in
-        let x = m +. (Hosking.Table.innovation_std table order *. Rng.gaussian rng) in
-        Array.blit hist 1 hist 0 (order - 1);
-        hist.(order - 1) <- x;
-        x
-      end
-    in
-    x
+    let kk = if !k < order then !k else order in
+    let m = Hosking.Table.cond_mean table hist kk in
+    let innovation = Hosking.Table.innovation_std table kk *. Rng.gaussian rng in
+    let x = m +. innovation in
+    if !k < order then hist.(!k) <- x
+    else begin
+      Array.blit hist 1 hist 0 (order - 1);
+      hist.(order - 1) <- x
+    end;
+    (match probe with None -> () | Some f -> f ~k:!k ~innovation);
+    let out = match shift with None -> x | Some s -> x +. s !k in
+    incr k;
+    out
+
+let background_stream ~acf ~order rng = background_stream_gen ~acf ~order ~shift:None ~probe:None rng
+
+let background_stream_twisted ~acf ~order ~shift ?probe rng =
+  background_stream_gen ~acf ~order ~shift:(Some shift) ~probe rng
 
 (* Per-slot marginal moments of a transform, by Gauss-Hermite
    quadrature on the standard-normal background. *)
@@ -121,13 +130,22 @@ let transform_moments h =
   let m2 = Quad.gaussian_expectation ~n:128 (fun x -> let y = Transform.apply1 h x in y *. y) in
   (m, Stdlib.max 0.0 (m2 -. (m *. m)))
 
-let of_model ?(name = "model") ?(order = 512) model rng =
+let of_model_gen ~name ~order ~shift ~probe model rng =
   let acf = Model.background_acf model in
-  let bg = background_stream ~acf ~order rng in
+  let bg = background_stream_gen ~acf ~order ~shift ~probe rng in
   let h = model.Model.transform in
   let _, sigma2 = transform_moments h in
-  let pull () = (Transform.apply1 h (bg ()), 0) in
+  (* Clamp at zero like [of_mpeg]: histogram-inverse transforms can
+     dip slightly negative in the far tail, and Mux.run rejects
+     negative work. *)
+  let pull () = (Stdlib.max 0.0 (Transform.apply1 h (bg ())), 0) in
   make ~name ~mean:model.Model.mean ~sigma2 ~hurst:model.Model.hurst pull
+
+let of_model ?(name = "model") ?(order = 512) model rng =
+  of_model_gen ~name ~order ~shift:None ~probe:None model rng
+
+let of_model_twisted ?(name = "model-is") ?(order = 512) ~shift ?probe model rng =
+  of_model_gen ~name ~order ~shift:(Some shift) ~probe model rng
 
 let of_mpeg ?(name = "mpeg") ?(order = 512) ?(phase = 0) ?(priority = false) m rng =
   if phase < 0 then invalid_arg "Source.of_mpeg: phase < 0";

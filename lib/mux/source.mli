@@ -47,8 +47,32 @@ val of_model :
     per-slot cost are O(order). The Hosking table is cached per
     (background ACF, order), so N same-model sources share one table.
     [mean] is the model's foreground mean; [sigma2] the transform's
-    marginal variance by Gauss–Hermite quadrature.
+    marginal variance by Gauss–Hermite quadrature. The foreground
+    value is clamped at zero (histogram-inverse transforms can dip
+    slightly negative in the far tail; {!Mux.run} rejects negative
+    work).
     @raise Invalid_argument if [order < 1] or [order > 19_999]. *)
+
+val of_model_twisted :
+  ?name:string ->
+  ?order:int ->
+  shift:(int -> float) ->
+  ?probe:(k:int -> innovation:float -> unit) ->
+  Ss_core.Model.t ->
+  Ss_stats.Rng.t ->
+  t
+(** Importance-sampling variant of {!of_model}: the background
+    Gaussian process is generated under the mean-shifted law
+    [X'_k = X_k + shift k]. The history kept for the conditional
+    means stores the *untwisted* values and the innovations drawn are
+    those of the untwisted recursion — exactly the sampling scheme of
+    [Ss_fastsim.Is_estimator.replicate] — so a
+    [Ss_fastsim.Likelihood] streaming accumulator fed from [probe]
+    (called once per slot with the global slot index [k] and the
+    innovation, before the shifted value is emitted) reconstructs the
+    exact log likelihood ratio of the path. With [shift = fun _ ->
+    0.0] the emitted arrivals are bit-identical to {!of_model} on the
+    same generator state. *)
 
 val of_mpeg :
   ?name:string ->
@@ -75,4 +99,22 @@ val background_stream :
     the truncated-Hosking path, bit-identical to
     [Ss_fractal.Hosking.generate_truncated ~acf ~max_order:order]
     driven by the same generator state.
+    @raise Invalid_argument if [order < 1] or [order > 19_999]. *)
+
+val background_stream_twisted :
+  acf:Ss_fractal.Acf.t ->
+  order:int ->
+  shift:(int -> float) ->
+  ?probe:(k:int -> innovation:float -> unit) ->
+  Ss_stats.Rng.t ->
+  unit ->
+  float
+(** {!background_stream} under the mean-shifted law, with the same
+    untwisted-history / innovation-probe contract as
+    {!of_model_twisted}. *)
+
+val table_for : acf:Ss_fractal.Acf.t -> order:int -> Ss_fractal.Hosking.Table.t
+(** The cached Hosking table backing model sources at this (ACF,
+    order) pair — the table a streaming likelihood accumulator must
+    be planned against.
     @raise Invalid_argument if [order < 1] or [order > 19_999]. *)

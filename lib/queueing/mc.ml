@@ -17,6 +17,42 @@ let estimate_of_samples samples =
   let normalized_variance = if p > 0.0 then variance /. (p *. p) else infinity in
   { p; variance; normalized_variance; replications = n; hits }
 
+let estimate_of_log_samples log_samples =
+  let n = Array.length log_samples in
+  if n = 0 then invalid_arg "Mc.estimate_of_log_samples: no samples";
+  Array.iter
+    (fun lw -> if Float.is_nan lw then invalid_arg "Mc.estimate_of_log_samples: NaN sample")
+    log_samples;
+  let fn = float_of_int n in
+  let hits = Array.fold_left (fun a lw -> if lw > neg_infinity then a + 1 else a) 0 log_samples in
+  if hits = 0 then
+    { p = 0.0; variance = 0.0; normalized_variance = infinity; replications = n; hits }
+  else begin
+    (* Log-sum-exp against the largest log weight: s1 and s2 are the
+       first and second moments of the weights rescaled by exp(-m),
+       so the normalized variance below never touches exp(m) at all
+       and survives log weights far below the double underflow
+       threshold. *)
+    let m = Array.fold_left Stdlib.max neg_infinity log_samples in
+    let s1 = ref 0.0 and s2 = ref 0.0 in
+    Array.iter
+      (fun lw ->
+        if lw > neg_infinity then begin
+          let w = exp (lw -. m) in
+          s1 := !s1 +. w;
+          s2 := !s2 +. (w *. w)
+        end)
+      log_samples;
+    let p = exp (m +. log (!s1 /. fn)) in
+    let scaled_var = if n > 1 then (!s2 -. (!s1 *. !s1 /. fn)) /. (fn -. 1.0) else 0.0 in
+    let scaled_var = Stdlib.max 0.0 scaled_var in
+    let variance = exp (2.0 *. m) *. scaled_var in
+    let normalized_variance =
+      if !s1 > 0.0 then scaled_var /. (!s1 /. fn) /. (!s1 /. fn) else infinity
+    in
+    { p; variance; normalized_variance; replications = n; hits }
+  end
+
 let overflow_probability ?pool ~gen ~service ~buffer ?(initial_workload = 0.0) ~horizon
     ~replications rng =
   if horizon <= 0 then invalid_arg "Mc.overflow_probability: horizon <= 0";

@@ -26,6 +26,19 @@ val estimate_of_samples : float array -> estimate
     values for plain MC, [I*L] for IS). [hits] counts nonzero
     samples. @raise Invalid_argument on empty input. *)
 
+val estimate_of_log_samples : float array -> estimate
+(** Like {!estimate_of_samples}, but each sample is given as its
+    natural logarithm, with [neg_infinity] encoding a zero sample (a
+    replication that missed the event). All moments are accumulated
+    by log-sum-exp against the largest log weight, so the
+    [normalized_variance] figure of merit stays finite and exact even
+    when every individual weight [exp lw] would underflow to 0 — the
+    regime deep-buffer / long-horizon importance sampling lives in.
+    [p] and [variance] are reported in the linear domain and may
+    themselves underflow when the estimated probability is below
+    ~1e-308; [hits] counts samples above [neg_infinity].
+    @raise Invalid_argument on empty input or a NaN sample. *)
+
 val overflow_probability :
   ?pool:Ss_parallel.Pool.t ->
   gen:(Ss_stats.Rng.t -> float array) ->

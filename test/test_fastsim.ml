@@ -109,10 +109,124 @@ let test_likelihood_expectation_is_one () =
   close ~eps:0.05 "E[L] = 1" 1.0 (!sum /. float_of_int reps)
 
 (* ------------------------------------------------------------------ *)
+(* Likelihood: streaming (truncated-Hosking) accumulator               *)
+(* ------------------------------------------------------------------ *)
+
+let test_likelihood_stream_matches_plan_prefix () =
+  (* Within the table length the streaming accumulator follows the
+     exact recursion, so it must agree with the table-indexed one on
+     identical innovations — for both constant and general profiles. *)
+  let n = 40 in
+  let table = fgn_table ~h:0.8 n in
+  List.iter
+    (fun profile ->
+      let plan = Likelihood.plan ~table ~profile in
+      let lik = Likelihood.of_plan plan in
+      let s = Likelihood.stream_of_plan plan in
+      let rng = Rng.create ~seed:9 in
+      for k = 0 to n - 1 do
+        let innovation = Rng.gaussian rng in
+        Likelihood.step lik ~k ~innovation;
+        Likelihood.stream_step s ~k ~innovation
+      done;
+      close ~eps:1e-12 "prefix log L" (Likelihood.log_ratio lik) (Likelihood.stream_log_ratio s);
+      Alcotest.(check int) "steps" n (Likelihood.stream_steps s))
+    [ Twist.constant 0.9; Twist.ramp ~until:25 ~peak:1.2 ]
+
+let test_likelihood_stream_constant_equals_fn_profile () =
+  (* A Fn profile that happens to be constant must accumulate exactly
+     the same log ratio as the cached-row-sum constant fast path,
+     including past the table length where both use the frozen row. *)
+  let order = 12 in
+  let table = fgn_table ~h:0.8 (order + 1) in
+  let m0 = 0.6 in
+  let fast = Likelihood.stream ~table ~profile:(Twist.constant m0) in
+  let general = Likelihood.stream ~table ~profile:(Twist.of_fun (fun _ -> m0)) in
+  let rng = Rng.create ~seed:10 in
+  for k = 0 to 199 do
+    let innovation = Rng.gaussian rng in
+    Likelihood.stream_step fast ~k ~innovation;
+    Likelihood.stream_step general ~k ~innovation
+  done;
+  close ~eps:1e-10 "fast = general" (Likelihood.stream_log_ratio fast)
+    (Likelihood.stream_log_ratio general)
+
+let test_likelihood_stream_expectation_is_one () =
+  (* E_X'[L] = 1 for the truncated process far beyond the table
+     length: generate with the frozen AR(order) recursion (the
+     streaming-source scheme) and average the ratio. *)
+  let order = 8 in
+  let table = fgn_table ~h:0.8 (order + 1) in
+  let twist = 0.5 in
+  let plan = Likelihood.plan ~table ~profile:(Twist.constant twist) in
+  let horizon = 120 in
+  let rng = Rng.create ~seed:11 in
+  let reps = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to reps do
+    let s = Likelihood.stream_of_plan plan in
+    let hist = Array.make order 0.0 in
+    for k = 0 to horizon - 1 do
+      let kk = Stdlib.min k order in
+      let m = Hosking.Table.cond_mean table hist kk in
+      let innovation = Hosking.Table.innovation_std table kk *. Rng.gaussian rng in
+      let x = m +. innovation in
+      if k < order then hist.(k) <- x
+      else begin
+        Array.blit hist 1 hist 0 (order - 1);
+        hist.(order - 1) <- x
+      end;
+      Likelihood.stream_step s ~k ~innovation
+    done;
+    sum := !sum +. exp (Likelihood.stream_log_ratio s)
+  done;
+  close ~eps:0.05 "E[L] = 1 (streaming)" 1.0 (!sum /. float_of_int reps)
+
+let test_likelihood_stream_reset_and_order () =
+  let table = fgn_table 5 in
+  let s = Likelihood.stream ~table ~profile:(Twist.constant 1.0) in
+  raises_invalid "must start at 0" (fun () -> Likelihood.stream_step s ~k:3 ~innovation:0.0);
+  Likelihood.stream_step s ~k:0 ~innovation:0.4;
+  (* No table-length ceiling: steps past the table clamp to the frozen
+     row instead of raising. *)
+  for k = 1 to 19 do
+    Likelihood.stream_step s ~k ~innovation:0.0
+  done;
+  Alcotest.(check int) "steps" 20 (Likelihood.stream_steps s);
+  Likelihood.stream_reset s;
+  Alcotest.(check int) "steps after reset" 0 (Likelihood.stream_steps s);
+  close "log L cleared" 0.0 (Likelihood.stream_log_ratio s)
+
+(* ------------------------------------------------------------------ *)
 (* Is_estimator                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let identity_arrival _i x = x
+
+let test_is_log_weight_consistent () =
+  (* replicate's linear weight is exp of its log weight; misses carry
+     log weight -inf. *)
+  let table = fgn_table 100 in
+  let cfg =
+    Is.make_config ~table ~arrival:identity_arrival ~service:0.4 ~buffer:5.0 ~horizon:100
+      ~twist:0.8 ()
+  in
+  let rng = Rng.create ~seed:12 in
+  let hits = ref 0 and misses = ref 0 in
+  for _ = 1 to 200 do
+    let r = Is.replicate cfg (Rng.split rng) in
+    if r.Is.hit then begin
+      incr hits;
+      close ~eps:1e-12 "weight = exp log_weight" (exp r.Is.log_weight) r.Is.weight
+    end
+    else begin
+      incr misses;
+      Alcotest.(check bool) "miss log weight" true (r.Is.log_weight = neg_infinity);
+      close "miss weight" 0.0 r.Is.weight
+    end
+  done;
+  if !hits = 0 || !misses = 0 then
+    Alcotest.failf "degenerate split: %d hits, %d misses" !hits !misses
 
 let test_is_zero_twist_equals_plain_mc () =
   (* With twist 0 the weights are exactly the indicator. *)
@@ -410,10 +524,15 @@ let () =
           tc "reset" test_likelihood_reset;
           tc "order enforced" test_likelihood_order_enforced;
           tc "E[L] = 1" test_likelihood_expectation_is_one;
+          tc "stream = plan prefix" test_likelihood_stream_matches_plan_prefix;
+          tc "stream constant = fn" test_likelihood_stream_constant_equals_fn_profile;
+          tc "stream E[L] = 1" test_likelihood_stream_expectation_is_one;
+          tc "stream reset and order" test_likelihood_stream_reset_and_order;
         ] );
       ( "is-estimator",
         [
           tc "zero twist = plain MC" test_is_zero_twist_equals_plain_mc;
+          tc "log weight consistent" test_is_log_weight_consistent;
           tc "unbiased across twists" test_is_unbiased_across_twists;
           tc "variance reduction" test_is_variance_reduction;
           tc "rare event magnitude" test_is_rare_event_magnitude;

@@ -10,9 +10,12 @@ module Acf = Ss_fractal.Acf
 module Hosking = Ss_fractal.Hosking
 module Trace_sim = Ss_queueing.Trace_sim
 module Lindley = Ss_queueing.Lindley
+module Mc = Ss_queueing.Mc
 module Source = Ss_mux.Source
 module Mux = Ss_mux.Mux
+module Mux_is = Ss_mux.Mux_is
 module Admission = Ss_mux.Admission
+module Pool = Ss_parallel.Pool
 module Scene = Ss_video.Scene_source
 module Gop = Ss_video.Gop
 module Frame = Ss_video.Frame
@@ -196,6 +199,62 @@ let test_source_of_model_streams () =
     Alcotest.(check int) "class 0" 0 c
   done
 
+let test_source_of_model_clamps_negatives () =
+  (* Regression: a marginal whose inverse CDF dips below zero (plain
+     normal) used to emit negative work, which Mux.run rejects with
+     Invalid_argument mid-simulation. of_model must clamp at zero. *)
+  let transform = Ss_fractal.Transform.make (Ss_stats.Dist.normal ~mean:0.5 ~std:2.0) in
+  let m =
+    {
+      Ss_core.Model.transform;
+      dependence = Ss_core.Model.Lrd_only 0.8;
+      background = Acf.fgn ~h:0.8;
+      hurst = 0.8;
+      attenuation = Ss_fractal.Transform.attenuation transform;
+      mean = 0.5;
+    }
+  in
+  let s = Source.of_model ~order:32 m (Rng.create ~seed:7) in
+  let saw_zero = ref false in
+  for _ = 1 to 2000 do
+    let w, _ = Source.next s in
+    if w < 0.0 then Alcotest.fail "negative work escaped the clamp";
+    if w = 0.0 then saw_zero := true
+  done;
+  if not !saw_zero then Alcotest.fail "marginal never dipped negative; test is vacuous";
+  let s2 = Source.of_model ~order:32 m (Rng.create ~seed:7) in
+  let (_ : Mux.report) = Mux.run ~service:1.0 ~slots:2000 [| s2 |] in
+  ()
+
+let test_source_table_for_error_prefix () =
+  match Source.table_for ~acf:Acf.white_noise ~order:0 with
+  | exception Invalid_argument msg ->
+    let prefix = "Source.table_for" in
+    let n = String.length prefix in
+    if String.length msg < n || String.sub msg 0 n <> prefix then
+      Alcotest.failf "wrong error prefix: %s" msg
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_source_twisted_zero_shift_identity () =
+  (* With a zero shift the twisted generator performs the same float
+     operations as the plain one: bit-identical output, and the probe
+     reports every innovation. *)
+  let m = Lazy.force small_model in
+  let plain = Source.of_model ~order:48 m (Rng.create ~seed:8) in
+  let probed = ref 0 in
+  let twisted =
+    Source.of_model_twisted ~order:48
+      ~shift:(fun _ -> 0.0)
+      ~probe:(fun ~k:_ ~innovation:_ -> incr probed)
+      m (Rng.create ~seed:8)
+  in
+  for t = 0 to 299 do
+    let w, _ = Source.next plain in
+    let w', _ = Source.next twisted in
+    if w <> w' then Alcotest.failf "slot %d: %h <> %h" t w w'
+  done;
+  Alcotest.(check int) "probe saw every innovation" 300 !probed
+
 let test_source_of_mpeg_classes () =
   let m = Lazy.force small_mpeg in
   let gop = m.Ss_core.Mpeg.gop in
@@ -337,6 +396,35 @@ let test_mux_queue_quantiles_ordered () =
     (fun (_, q) (_, d) -> close ~eps:1e-6 "delay = queue/service" (q /. 1.25) d)
     r.Mux.queue_quantiles r.Mux.delay_quantiles
 
+let test_mux_p2_quantiles_vs_exact_on_lrd_stream () =
+  (* The P2 estimates reported by Mux.run must track the exact sorted
+     quantiles of the very queue-length stream they were fed — here a
+     long-range-dependent one collected through the probe. *)
+  let bg = Source.background_stream ~acf:(Acf.fgn ~h:0.75) ~order:64 (Rng.create ~seed:77) in
+  let src =
+    Source.make ~name:"lrd" ~mean:1.0 ~sigma2:1.0 ~hurst:0.75 (fun () ->
+        (Stdlib.max 0.0 (1.0 +. bg ()), 0))
+  in
+  let slots = 30_000 in
+  let qs = Array.make slots 0.0 in
+  let r =
+    Mux.run
+      ~quantiles:[ 0.5; 0.9; 0.99 ]
+      ~service:1.5 ~slots
+      ~probe:(fun t q -> qs.(t) <- q)
+      [| src |]
+  in
+  List.iter
+    (fun (p, est) ->
+      let exact = D.quantile qs p in
+      (* P2 is an approximation and LRD streams converge slowly: the
+         tail quantile gets a wider band than the median. *)
+      let tol = if p > 0.95 then 0.25 else 0.15 in
+      let scale = Stdlib.max 1.0 exact in
+      if abs_float (est -. exact) /. scale > tol then
+        Alcotest.failf "P2 q(%.2f) = %g vs exact %g" p est exact)
+    r.Mux.queue_quantiles
+
 let test_mux_invalid () =
   let src = Source.of_array ~cycle:true [| 1.0 |] in
   raises_invalid "no sources" (fun () -> Mux.run ~service:1.0 ~slots:10 [||]);
@@ -352,6 +440,107 @@ let test_mux_invalid () =
   raises_invalid "bad class" (fun () ->
       Mux.run ~service:1.0 ~slots:10
         [| Source.make ~name:"bad" ~mean:0.0 ~sigma2:0.0 ~hurst:0.5 (fun () -> (1.0, 64)) |])
+
+(* ------------------------------------------------------------------ *)
+(* Mux_is: importance-sampled shared-buffer overflow                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Small shared configuration: 2 sources at per-source utilization
+   0.75, a buffer of 8 per-source means — an event common enough for
+   plain MC to resolve, so IS and MC can be compared directly. *)
+let mux_is_small ?(twist = 0.0) ?profile ?scales () =
+  let m = Lazy.force small_model in
+  let n = 2 in
+  let mean = m.Ss_core.Model.mean in
+  Mux_is.make_config ~model:m ~sources:n ~order:24
+    ~service:(float_of_int n *. mean /. 0.75)
+    ~buffer:(8.0 *. mean) ~slots:150 ~twist ?profile ?scales ()
+
+let test_mux_is_zero_twist_is_plain_mc () =
+  (* At zero twist every hit carries log weight 0, so the estimate is
+     exactly the plain Monte Carlo hit fraction. *)
+  let e = Mux_is.estimate (mux_is_small ()) ~replications:200 (Rng.create ~seed:91) in
+  Alcotest.(check int) "replications" 200 e.Mc.replications;
+  if e.Mc.hits = 0 then Alcotest.fail "event too rare for the zero-twist check";
+  close ~eps:1e-12 "p = hits/reps" (float_of_int e.Mc.hits /. 200.0) e.Mc.p
+
+let test_mux_is_replicate_contract () =
+  let cfg = mux_is_small ~twist:0.4 () in
+  let rng = Rng.create ~seed:92 in
+  let saw_hit = ref false and saw_miss = ref false in
+  for _ = 1 to 100 do
+    let r = Mux_is.replicate cfg (Rng.split rng) in
+    if r.Mux_is.stop_slot < 1 || r.Mux_is.stop_slot > cfg.Mux_is.slots then
+      Alcotest.failf "stop slot %d outside [1, %d]" r.Mux_is.stop_slot cfg.Mux_is.slots;
+    if r.Mux_is.hit then begin
+      saw_hit := true;
+      if not (Float.is_finite r.Mux_is.log_weight) then
+        Alcotest.fail "hit must carry a finite log weight"
+    end
+    else begin
+      saw_miss := true;
+      Alcotest.(check bool) "miss log weight" true (r.Mux_is.log_weight = neg_infinity);
+      Alcotest.(check int) "miss runs full horizon" cfg.Mux_is.slots r.Mux_is.stop_slot
+    end
+  done;
+  if not (!saw_hit && !saw_miss) then Alcotest.fail "degenerate hit/miss split"
+
+let test_mux_is_agrees_with_plain_mc () =
+  (* Joint 3-sigma agreement between the twisted estimator and plain
+     MC at a larger budget, on an event both can resolve. *)
+  let mc = Mux_is.estimate (mux_is_small ()) ~replications:1600 (Rng.create ~seed:93) in
+  let is_ = Mux_is.estimate (mux_is_small ~twist:0.3 ()) ~replications:400 (Rng.create ~seed:94) in
+  let band e = 3.0 *. sqrt (e.Mc.variance /. float_of_int e.Mc.replications) in
+  let sep = abs_float (mc.Mc.p -. is_.Mc.p) in
+  let tol = band mc +. band is_ in
+  if sep > tol then Alcotest.failf "IS %g vs MC %g exceeds joint band %g" is_.Mc.p mc.Mc.p tol
+
+let test_mux_is_pool_bit_identical () =
+  (* The Fanout substream discipline makes the estimate a pure
+     function of the root RNG: any pool size gives the same bits. *)
+  let cfg = mux_is_small ~twist:0.4 () in
+  let seq = Mux_is.estimate cfg ~replications:64 (Rng.create ~seed:95) in
+  let pool = Pool.create ~domains:3 in
+  let par =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> Mux_is.estimate ~pool cfg ~replications:64 (Rng.create ~seed:95))
+  in
+  let same a b = Int64.bits_of_float a = Int64.bits_of_float b in
+  Alcotest.(check bool) "p bits" true (same seq.Mc.p par.Mc.p);
+  Alcotest.(check bool) "variance bits" true (same seq.Mc.variance par.Mc.variance);
+  Alcotest.(check int) "hits" seq.Mc.hits par.Mc.hits
+
+let test_mux_is_mean_stop_slot () =
+  (* Twisting toward overflow shortens first passage on average. *)
+  let reps = 200 in
+  let plain = Mux_is.mean_stop_slot (mux_is_small ()) ~replications:reps (Rng.create ~seed:96) in
+  let pushed =
+    Mux_is.mean_stop_slot (mux_is_small ~twist:0.8 ()) ~replications:reps (Rng.create ~seed:96)
+  in
+  if not (pushed < plain) then
+    Alcotest.failf "twist did not shorten first passage: %g vs %g" pushed plain
+
+let test_mux_is_invalid () =
+  let m = Lazy.force small_model in
+  let mk ?(sources = 2) ?(order = 8) ?(service = 3.0) ?(buffer = 5.0) ?(slots = 50)
+      ?(twist = 0.0) ?scales () =
+    let (_ : Mux_is.config) =
+      Mux_is.make_config ~model:m ~sources ~order ~service ~buffer ~slots ~twist ?scales ()
+    in
+    ()
+  in
+  raises_invalid "sources" (fun () -> mk ~sources:0 ());
+  raises_invalid "order" (fun () -> mk ~order:0 ());
+  raises_invalid "service" (fun () -> mk ~service:0.0 ());
+  raises_invalid "buffer" (fun () -> mk ~buffer:(-1.0) ());
+  raises_invalid "slots" (fun () -> mk ~slots:0 ());
+  raises_invalid "scales length" (fun () -> mk ~scales:[| 1.0 |] ());
+  raises_invalid "bad replications" (fun () ->
+      let (_ : Mc.estimate) =
+        Mux_is.estimate (mux_is_small ()) ~replications:0 (Rng.create ~seed:1)
+      in
+      ())
 
 (* ------------------------------------------------------------------ *)
 (* Admission                                                            *)
@@ -444,6 +633,9 @@ let () =
           tc "invalid" test_source_invalid;
           tc "streaming = truncated Hosking" test_background_stream_matches_truncated_hosking;
           tc "of_model streams" test_source_of_model_streams;
+          tc "of_model clamps negatives" test_source_of_model_clamps_negatives;
+          tc "table_for error prefix" test_source_table_for_error_prefix;
+          tc "twisted zero shift = plain" test_source_twisted_zero_shift_identity;
           tc "of_mpeg priority classes" test_source_of_mpeg_classes;
         ] );
       ( "mux",
@@ -456,7 +648,17 @@ let () =
           tc "fifo shares loss" test_mux_fifo_shares_loss;
           tc "overflow curve monotone" test_mux_overflow_curve_monotone;
           tc "quantiles ordered" test_mux_queue_quantiles_ordered;
+          tc "P2 vs exact on LRD stream" test_mux_p2_quantiles_vs_exact_on_lrd_stream;
           tc "invalid" test_mux_invalid;
+        ] );
+      ( "mux-is",
+        [
+          tc "zero twist = plain MC" test_mux_is_zero_twist_is_plain_mc;
+          tc "replicate contract" test_mux_is_replicate_contract;
+          tc "agrees with plain MC" test_mux_is_agrees_with_plain_mc;
+          tc "pool bit-identical" test_mux_is_pool_bit_identical;
+          tc "twist shortens first passage" test_mux_is_mean_stop_slot;
+          tc "invalid" test_mux_is_invalid;
         ] );
       ( "admission",
         [

@@ -124,6 +124,43 @@ let test_mc_zero_hits () =
   close "p = 0" 0.0 e.Mc.p;
   Alcotest.(check bool) "nvar infinite" true (e.Mc.normalized_variance = infinity)
 
+let test_mc_log_samples_match_linear () =
+  (* On samples exp can represent, the log-domain estimator agrees
+     with the linear one to rounding. *)
+  let samples = [| 0.25; 0.0; 1.5; 0.0; 1e-12; 0.75; 0.0; 2.0 |] in
+  let logs = Array.map (fun s -> if s = 0.0 then neg_infinity else log s) samples in
+  let e = Mc.estimate_of_samples samples in
+  let el = Mc.estimate_of_log_samples logs in
+  close ~eps:1e-12 "p" e.Mc.p el.Mc.p;
+  close ~eps:1e-9 "variance" e.Mc.variance el.Mc.variance;
+  close ~eps:1e-9 "normalized variance" e.Mc.normalized_variance el.Mc.normalized_variance;
+  Alcotest.(check int) "hits" e.Mc.hits el.Mc.hits;
+  Alcotest.(check int) "replications" e.Mc.replications el.Mc.replications
+
+let test_mc_log_samples_survive_underflow () =
+  (* Log weights around -800: every individual exp underflows to 0,
+     yet the scaled moments keep the figure of merit finite and
+     correct. The weights are w0*{1,2,4}, so nvar is invariant to
+     w0. *)
+  let shifted w0 = Array.map (fun x -> w0 +. log x) [| 1.0; 2.0; 4.0 |] in
+  let small = Mc.estimate_of_log_samples (shifted (-800.0)) in
+  let ref_e = Mc.estimate_of_samples [| 1.0; 2.0; 4.0 |] in
+  Alcotest.(check int) "hits" 3 small.Mc.hits;
+  close ~eps:1e-9 "nvar invariant to scale" ref_e.Mc.normalized_variance
+    small.Mc.normalized_variance;
+  Alcotest.(check bool) "nvar finite" true (Float.is_finite small.Mc.normalized_variance);
+  (* p underflows the double range here; it must come back as 0, not
+     NaN. *)
+  Alcotest.(check bool) "p is a number" false (Float.is_nan small.Mc.p)
+
+let test_mc_log_samples_zero_hits_and_invalid () =
+  let e = Mc.estimate_of_log_samples (Array.make 5 neg_infinity) in
+  close "p = 0" 0.0 e.Mc.p;
+  Alcotest.(check int) "hits" 0 e.Mc.hits;
+  Alcotest.(check bool) "nvar infinite" true (e.Mc.normalized_variance = infinity);
+  raises_invalid "empty" (fun () -> Mc.estimate_of_log_samples [||]);
+  raises_invalid "NaN sample" (fun () -> Mc.estimate_of_log_samples [| 0.0; nan |])
+
 let test_mc_confidence_interval () =
   let e = Mc.estimate_of_samples (Array.append (Array.make 50 1.0) (Array.make 50 0.0)) in
   let lo, hi = Mc.confidence_interval e ~z:1.96 in
@@ -224,6 +261,9 @@ let () =
           tc "monotone in buffer" test_mc_monotone_in_buffer;
           tc "estimate record" test_mc_estimate_of_samples;
           tc "zero hits" test_mc_zero_hits;
+          tc "log samples = linear" test_mc_log_samples_match_linear;
+          tc "log samples survive underflow" test_mc_log_samples_survive_underflow;
+          tc "log samples edge cases" test_mc_log_samples_zero_hits_and_invalid;
           tc "initial workload shift" test_mc_initial_workload_shifts;
           tc "confidence interval" test_mc_confidence_interval;
           tc "invalid" test_mc_invalid;
