@@ -69,10 +69,16 @@ let csv_arg =
   in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
-let write_overflow_csv path rows =
+let write_overflow_csv ?(class_delays = []) path rows =
   let oc = open_out path in
   output_string oc "# buffer,overflow\n";
   List.iter (fun (b, p) -> Printf.fprintf oc "%g,%g\n" b p) rows;
+  if class_delays <> [] then begin
+    output_string oc "# class,quantile,delay_slots\n";
+    List.iter
+      (fun (c, qs) -> List.iter (fun (p, d) -> Printf.fprintf oc "%d,%g,%g\n" c p d) qs)
+      class_delays
+  end;
   close_out oc;
   Format.printf "wrote overflow curve to %s@." path
 
@@ -379,6 +385,27 @@ let mux_cmd =
     let doc = "With $(b,--is): replication horizon in slots (default: 10 * buffer)." in
     Arg.(value & opt (some int) None & info [ "horizon"; "k" ] ~docv:"INT" ~doc)
   in
+  let faults_arg =
+    let doc =
+      "Fault-injection spec: semicolon-separated $(i,target:events) groups with target \
+       $(b,*) or a source index, events drift@START+RAMPxFACTOR, burst@RATE+LENxAMP, \
+       stall@START+LEN, dropout@RATE+LEN, corrupt@RATE, mean=V, sigma2=V, hurst=V. \
+       Example: '0:drift@10000+1000x4.0;*:corrupt@0.001'."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let police_arg =
+    let doc =
+      "Measurement-based policing of admitted sources: windowed mean/variance and a \
+       streaming variance-time Hurst estimate per source, with \
+       renegotiate/demote/throttle/evict sanctions on non-conformance."
+    in
+    Arg.(value & flag & info [ "police" ] ~doc)
+  in
+  let police_window_arg =
+    let doc = "Policing measurement window in slots." in
+    Arg.(value & opt int 512 & info [ "police-window" ] ~docv:"INT" ~doc)
+  in
   let run_is ~pool ~trace ~utilization ~sources ~order ~buffer_norm ~buffers ~twist ~horizon
       ~replications ~seed ~max_lag =
     let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
@@ -432,7 +459,8 @@ let mux_cmd =
       print_estimate twist (Ss_mux.Mux_is.estimate ?pool (config ~twist) ~replications rng)
   in
   let run path utilization sources slots order buffer_norm epsilon composite priority
-      buffers csv seed max_lag domains is_mode twist horizon replications =
+      buffers csv seed max_lag domains is_mode twist horizon replications faults police
+      police_window =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
         Pool.with_pool ~domains @@ fun pool ->
@@ -441,6 +469,8 @@ let mux_cmd =
         if is_mode then begin
           if composite then
             invalid_arg "--is supports unified-model sources only (omit --composite)";
+          if faults <> None || police then
+            invalid_arg "--faults/--police are incompatible with --is";
           run_is ~pool ~trace ~utilization ~sources ~order ~buffer_norm ~buffers ~twist
             ~horizon ~replications ~seed ~max_lag
         end
@@ -466,6 +496,14 @@ let mux_cmd =
           end
         in
         let srcs = Array.init sources mk in
+        let srcs =
+          (* Zero-fault runs never enter the wrapper, so they stay
+             bit-identical to the pre-fault-injection code path. *)
+          match faults with
+          | None -> srcs
+          | Some spec ->
+            Ss_mux.Fault.wrap_all ~rng:(Rng.split rng) (Ss_mux.Fault.parse spec) srcs
+        in
         let per_mean = srcs.(0).Ss_mux.Source.mean in
         let service = float_of_int sources *. per_mean /. utilization in
         let bs = parse_buffers buffers in
@@ -497,10 +535,31 @@ let mux_cmd =
         if Array.length admitted = 0 then
           Format.printf "no sources admitted; nothing to simulate@."
         else begin
+          let policer =
+            if police then
+              Some
+                (Ss_mux.Police.create
+                   ~config:{ Ss_mux.Police.default with window = police_window }
+                   ~cac
+                   (Array.map Ss_mux.Admission.descr_of_source admitted))
+            else None
+          in
           let report =
-            Ss_mux.Mux.run ?pool ~buffer:buffer_abs ~thresholds ~service ~slots admitted
+            Ss_mux.Mux.run ?pool ?police:policer ~buffer:buffer_abs ~thresholds ~service
+              ~slots admitted
           in
           Format.printf "%a" Ss_mux.Mux.pp_report report;
+          (match policer with
+          | None -> ()
+          | Some p ->
+            let incidents = Ss_mux.Police.incidents p in
+            if incidents = [] then Format.printf "police: no incidents@."
+            else begin
+              Format.printf "police incidents (%d):@." (List.length incidents);
+              List.iter
+                (fun inc -> Format.printf "  %a@." Ss_mux.Police.pp_incident inc)
+                incidents
+            end);
           let load = Ss_mux.Admission.admitted cac in
           Format.printf "norros overlay (admitted aggregate):@.";
           List.iter
@@ -512,6 +571,7 @@ let mux_cmd =
           | None -> ()
           | Some path ->
             write_overflow_csv path
+              ~class_delays:report.Ss_mux.Mux.class_delay_quantiles
               (List.map (fun (b, p) -> (b /. per_mean, p)) report.Ss_mux.Mux.overflow)
         end
         end)
@@ -526,7 +586,7 @@ let mux_cmd =
       const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
       $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg $ buffers_arg $ csv_arg
       $ seed_arg $ max_lag_arg $ domains_arg $ is_arg $ twist_arg $ horizon_arg
-      $ replications_arg)
+      $ replications_arg $ faults_arg $ police_arg $ police_window_arg)
 
 (* --- fastsim --- *)
 

@@ -6,8 +6,11 @@ type decision = Admit of float | Reject of string
 let descr_of_source (s : Source.t) =
   { name = s.Source.name; mean = s.Source.mean; sigma2 = s.Source.sigma2; hurst = s.Source.hurst }
 
+(* Empty load aggregates to the zero descriptor (H = 1/2: an empty
+   superposition carries no LRD claim), consistent with
+   [predicted_overflow [] = 0]. *)
 let aggregate = function
-  | [] -> invalid_arg "Admission.aggregate: empty list"
+  | [] -> { name = "aggregate"; mean = 0.0; sigma2 = 0.0; hurst = 0.5 }
   | ds ->
     List.fold_left
       (fun acc d ->
@@ -67,17 +70,28 @@ let create ~service ~buffer ~epsilon =
 let admitted t = List.rev t.load
 let admitted_count t = List.length t.load
 
+(* A malformed descriptor must be a typed [Reject], never a later
+   [Invalid_argument] deep in [Norros.overflow] — CAC faces untrusted
+   (possibly measured) descriptors. *)
+let validate d =
+  if Float.is_nan d.mean || d.mean < 0.0 then
+    Some (Printf.sprintf "%s: invalid descriptor (mean = %g)" d.name d.mean)
+  else if Float.is_nan d.sigma2 || d.sigma2 < 0.0 then
+    Some (Printf.sprintf "%s: invalid descriptor (sigma2 = %g)" d.name d.sigma2)
+  else if Float.is_nan d.hurst || d.hurst <= 0.0 || d.hurst >= 1.0 then
+    Some (Printf.sprintf "%s: invalid descriptor (hurst = %g outside (0,1))" d.name d.hurst)
+  else None
+
 let decide t d =
-  if d.mean < 0.0 || d.sigma2 < 0.0 then
-    Reject (Printf.sprintf "%s: invalid descriptor (negative mean or variance)" d.name)
-  else begin
+  match validate d with
+  | Some reason -> Reject reason
+  | None ->
     let p = predicted_overflow ~service:t.service ~buffer:t.buffer (d :: t.load) in
     if p <= t.epsilon then Admit p
     else
       Reject
         (Printf.sprintf "%s: predicted Pr(Q>b) = %.3g exceeds epsilon = %.3g" d.name p
            t.epsilon)
-  end
 
 let try_admit t d =
   match decide t d with
@@ -85,3 +99,32 @@ let try_admit t d =
     t.load <- d :: t.load;
     a
   | Reject _ as r -> r
+
+(* Remove the first (most recently admitted) entry named [name];
+   returns [None] if absent. *)
+let remove_name load name =
+  let rec go acc = function
+    | [] -> None
+    | d :: rest when d.name = name -> Some (d, List.rev_append acc rest)
+    | d :: rest -> go (d :: acc) rest
+  in
+  go [] load
+
+let evict t ~name =
+  match remove_name t.load name with
+  | None -> false
+  | Some (_, rest) ->
+    t.load <- rest;
+    true
+
+let renegotiate t ~name d =
+  match remove_name t.load name with
+  | None -> try_admit t d
+  | Some (old, rest) -> (
+    t.load <- rest;
+    match try_admit t d with
+    | Admit _ as a -> a
+    | Reject _ as r ->
+      (* Keep the old contract when the measured one doesn't fit. *)
+      t.load <- old :: t.load;
+      r)

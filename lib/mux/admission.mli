@@ -34,12 +34,20 @@ val descr_of_source : Source.t -> descr
 
 val aggregate : descr list -> descr
 (** FBM superposition: sum of means and variances, max of Hurst
-    parameters. @raise Invalid_argument on an empty list. *)
+    parameters. The empty list aggregates to the zero descriptor
+    (mean 0, sigma2 0, H 0.5 — no LRD claim), consistent with
+    [predicted_overflow [] = 0]. *)
 
 val predicted_overflow : service:float -> buffer:float -> descr list -> float
 (** Norros overflow probability of the aggregate ([0] for an empty
     list, [1] when the aggregate mean reaches the service rate).
     @raise Invalid_argument if [service <= 0] or [buffer < 0]. *)
+
+val validate : descr -> string option
+(** [None] when the descriptor is well-formed (finite nonnegative
+    mean and sigma2, Hurst in (0,1)); otherwise a human-readable
+    reason naming the offending field. {!decide} rejects with this
+    reason instead of propagating an [Invalid_argument]. *)
 
 val effective_bandwidth : buffer:float -> epsilon:float -> descr -> float
 (** Minimal service rate under which the descriptor alone meets
@@ -62,8 +70,23 @@ val admitted_count : t -> int
 
 val decide : t -> descr -> decision
 (** Pure decision for a candidate against the current load; does not
-    mutate. *)
+    mutate. A malformed descriptor (NaN or negative mean/sigma2,
+    NaN or out-of-range Hurst) is a [Reject] with the offending field
+    in the reason — never an [Invalid_argument] from deeper layers:
+    CAC faces untrusted, possibly measured, descriptors. *)
 
 val try_admit : t -> descr -> decision
 (** {!decide}, recording the candidate into the admitted set when the
     answer is [Admit]. *)
+
+val renegotiate : t -> name:string -> descr -> decision
+(** Replace the admitted descriptor named [name] with [d]: the
+    decision is taken with the old contract removed from the load,
+    and on [Reject] the old contract is restored unchanged. If no
+    admitted descriptor carries [name] this is plain {!try_admit}.
+    Used by {!Police} when a source's measured model drifts from its
+    declared one. *)
+
+val evict : t -> name:string -> bool
+(** Remove the (most recently admitted) descriptor named [name] from
+    the load; [false] if absent. *)

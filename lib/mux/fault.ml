@@ -1,0 +1,223 @@
+module Rng = Ss_stats.Rng
+
+type event =
+  | Drift of { start : int; ramp : int; factor : float }
+  | Burst of { rate : float; mean_len : float; amplitude : float }
+  | Stall of { start : int; len : int }
+  | Dropout of { rate : float; mean_len : float }
+  | Corrupt of { rate : float }
+  | Misdeclare of { mean : float option; sigma2 : float option; hurst : float option }
+
+let check_prob name p =
+  if Float.is_nan p || p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Fault: %s rate %g outside [0,1]" name p)
+
+let check_pos name x =
+  if Float.is_nan x || x <= 0.0 then invalid_arg (Printf.sprintf "Fault: %s %g <= 0" name x)
+
+let check_scale name x =
+  if Float.is_nan x || x < 0.0 || x = infinity then
+    invalid_arg (Printf.sprintf "Fault: %s %g not a finite nonnegative scale" name x)
+
+let validate = function
+  | Drift { start; ramp; factor } ->
+    if start < 0 then invalid_arg "Fault: drift start < 0";
+    if ramp < 0 then invalid_arg "Fault: drift ramp < 0";
+    check_scale "drift factor" factor
+  | Burst { rate; mean_len; amplitude } ->
+    check_prob "burst" rate;
+    check_pos "burst mean length" mean_len;
+    check_scale "burst amplitude" amplitude
+  | Stall { start; len } ->
+    if start < 0 then invalid_arg "Fault: stall start < 0";
+    if len < 0 then invalid_arg "Fault: stall len < 0"
+  | Dropout { rate; mean_len } ->
+    check_prob "dropout" rate;
+    check_pos "dropout mean length" mean_len
+  | Corrupt { rate } -> check_prob "corrupt" rate
+  | Misdeclare { mean; sigma2; hurst } -> (
+    (match mean with
+    | Some m when Float.is_nan m || m < 0.0 -> invalid_arg "Fault: misdeclared mean < 0"
+    | _ -> ());
+    (match sigma2 with
+    | Some s when Float.is_nan s || s < 0.0 -> invalid_arg "Fault: misdeclared sigma2 < 0"
+    | _ -> ());
+    match hurst with
+    | Some h when Float.is_nan h || h <= 0.0 || h >= 1.0 ->
+      invalid_arg "Fault: misdeclared hurst outside (0,1)"
+    | _ -> ())
+
+(* Geometric-ish episode process: each quiet slot starts an episode
+   with probability [rate]; episode lengths are rounded exponentials
+   of mean [mean_len] (min 1). Returns a per-slot "inside an episode"
+   predicate. Draws exactly one uniform on quiet slots and one more
+   on episode starts, so the schedule is a pure function of the
+   substream. *)
+let episodes rng ~rate ~mean_len =
+  let remaining = ref 0 in
+  fun () ->
+    if !remaining > 0 then begin
+      decr remaining;
+      true
+    end
+    else if Rng.float rng < rate then begin
+      let len =
+        Stdlib.max 1 (int_of_float (Float.round (-.mean_len *. log1p (-.Rng.float rng))))
+      in
+      remaining := len - 1;
+      true
+    end
+    else false
+
+let compile rng event =
+  validate event;
+  match event with
+  | Drift { start; ramp; factor } ->
+    fun t w ->
+      if t < start then w
+      else
+        let progress =
+          if ramp <= 0 then 1.0
+          else Stdlib.min 1.0 (float_of_int (t - start + 1) /. float_of_int ramp)
+        in
+        w *. (1.0 +. ((factor -. 1.0) *. progress))
+  | Burst { rate; mean_len; amplitude } ->
+    let inside = episodes rng ~rate ~mean_len in
+    fun _t w -> if inside () then w *. amplitude else w
+  | Stall { start; len } -> fun t w -> if t >= start && t < start + len then 0.0 else w
+  | Dropout { rate; mean_len } ->
+    let inside = episodes rng ~rate ~mean_len in
+    fun _t w -> if inside () then 0.0 else w
+  | Corrupt { rate } ->
+    fun _t w ->
+      if Rng.float rng < rate then (if Rng.bool rng then Float.nan else -1.0 -. w) else w
+  | Misdeclare _ -> fun _t w -> w
+
+let misdeclared spec (src : Source.t) =
+  List.fold_left
+    (fun (m, s, h) -> function
+      | Misdeclare { mean; sigma2; hurst } ->
+        ( Option.value mean ~default:m,
+          Option.value sigma2 ~default:s,
+          Option.value hurst ~default:h )
+      | _ -> (m, s, h))
+    (src.Source.mean, src.Source.sigma2, src.Source.hurst)
+    spec
+
+let wrap ?name ~rng spec (src : Source.t) =
+  match spec with
+  | [] -> src
+  | _ ->
+    List.iter validate spec;
+    (* One substream per event, split in spec order on the caller, so
+       each stochastic schedule is a fixed function of (seed, source
+       index, event index) — the Fanout discipline. *)
+    let transforms = List.map (fun ev -> compile (Rng.split rng) ev) spec in
+    let t = ref 0 in
+    let pull () =
+      let w, c = src.Source.pull () in
+      let slot = !t in
+      incr t;
+      (List.fold_left (fun w f -> f slot w) w transforms, c)
+    in
+    let mean, sigma2, hurst = misdeclared spec src in
+    let name = match name with Some n -> n | None -> src.Source.name ^ "!" in
+    Source.make ~name ~mean ~sigma2 ~hurst pull
+
+let wrap_all ~rng specs sources =
+  let n = Array.length sources in
+  List.iter
+    (fun (target, _) ->
+      match target with
+      | Some i when i < 0 || i >= n ->
+        invalid_arg (Printf.sprintf "Fault.wrap_all: target %d outside [0,%d)" i n)
+      | _ -> ())
+    specs;
+  let spec_for i =
+    List.concat_map
+      (fun (target, evs) ->
+        match target with Some j when j <> i -> [] | _ -> evs)
+      specs
+  in
+  (* Always split one substream per source, in index order, whether
+     or not that source carries faults: the schedule of source [i] is
+     then independent of which other sources are targeted. *)
+  let subs = Rng.split_n rng n in
+  Array.mapi (fun i src -> wrap ~rng:subs.(i) (spec_for i) src) sources
+
+(* --- spec parsing ------------------------------------------------- *)
+
+let parse_event s =
+  let s = String.trim s in
+  let attempts =
+    [
+      (fun () ->
+        Scanf.sscanf s "drift@%d+%dx%f%!" (fun start ramp factor ->
+            Drift { start; ramp; factor }));
+      (fun () ->
+        Scanf.sscanf s "burst@%f+%fx%f%!" (fun rate mean_len amplitude ->
+            Burst { rate; mean_len; amplitude }));
+      (fun () -> Scanf.sscanf s "stall@%d+%d%!" (fun start len -> Stall { start; len }));
+      (fun () ->
+        Scanf.sscanf s "dropout@%f+%f%!" (fun rate mean_len -> Dropout { rate; mean_len }));
+      (fun () -> Scanf.sscanf s "corrupt@%f%!" (fun rate -> Corrupt { rate }));
+      (fun () ->
+        Scanf.sscanf s "mean=%f%!" (fun m ->
+            Misdeclare { mean = Some m; sigma2 = None; hurst = None }));
+      (fun () ->
+        Scanf.sscanf s "sigma2=%f%!" (fun v ->
+            Misdeclare { mean = None; sigma2 = Some v; hurst = None }));
+      (fun () ->
+        Scanf.sscanf s "hurst=%f%!" (fun h ->
+            Misdeclare { mean = None; sigma2 = None; hurst = Some h }));
+    ]
+  in
+  let rec first = function
+    | [] -> invalid_arg (Printf.sprintf "Fault.parse: unrecognized event %S" s)
+    | f :: rest -> (
+      match f () with
+      | ev ->
+        validate ev;
+        ev
+      | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> first rest)
+  in
+  first attempts
+
+let parse_group s =
+  match String.index_opt s ':' with
+  | None -> invalid_arg (Printf.sprintf "Fault.parse: group %S lacks 'target:'" s)
+  | Some i ->
+    let target = String.trim (String.sub s 0 i) in
+    let events = String.sub s (i + 1) (String.length s - i - 1) in
+    let target =
+      if target = "*" then None
+      else
+        match int_of_string_opt target with
+        | Some j when j >= 0 -> Some j
+        | _ -> invalid_arg (Printf.sprintf "Fault.parse: bad target %S" target)
+    in
+    let events =
+      String.split_on_char ',' events
+      |> List.filter (fun s -> String.trim s <> "")
+      |> List.map parse_event
+    in
+    if events = [] then invalid_arg (Printf.sprintf "Fault.parse: group %S has no events" s);
+    (target, events)
+
+let parse s =
+  let groups =
+    String.split_on_char ';' s |> List.filter (fun s -> String.trim s <> "")
+  in
+  if groups = [] then invalid_arg "Fault.parse: empty spec";
+  List.map parse_group groups
+
+let pp_event ppf = function
+  | Drift { start; ramp; factor } -> Fmt.pf ppf "drift@%d+%dx%g" start ramp factor
+  | Burst { rate; mean_len; amplitude } -> Fmt.pf ppf "burst@%g+%gx%g" rate mean_len amplitude
+  | Stall { start; len } -> Fmt.pf ppf "stall@%d+%d" start len
+  | Dropout { rate; mean_len } -> Fmt.pf ppf "dropout@%g+%g" rate mean_len
+  | Corrupt { rate } -> Fmt.pf ppf "corrupt@%g" rate
+  | Misdeclare { mean; sigma2; hurst } ->
+    let field name = function None -> [] | Some v -> [ Printf.sprintf "%s=%g" name v ] in
+    Fmt.pf ppf "%s"
+      (String.concat "," (field "mean" mean @ field "sigma2" sigma2 @ field "hurst" hurst))

@@ -1,0 +1,78 @@
+(** Deterministic fault injection for streaming sources.
+
+    Wraps a {!Source.t} with scripted and stochastic misbehavior so
+    the policing layer ({!Police}) and the multiplexer's graceful
+    degradation can be exercised reproducibly: mean-drift ramps,
+    multiplicative burst episodes, stalls and dropout episodes,
+    NaN/negative corruption, and descriptor misdeclaration (the
+    wrapped source *claims* different [(mean, sigma2, H)] than it
+    sends — the Hurst-mismatch case of measurement-based CAC).
+
+    Determinism follows the {!Ss_parallel.Fanout} substream
+    discipline: {!wrap_all} splits one substream per source in index
+    order on the caller, and {!wrap} splits one substream per event
+    in spec order, so every fault schedule is a fixed function of
+    (seed, source index, event index) — bit-identical at any domain
+    count, and independent of which other sources carry faults. *)
+
+type event =
+  | Drift of { start : int; ramp : int; factor : float }
+      (** From slot [start], scale work linearly over [ramp] slots up
+          to [factor] (times the clean value); [ramp = 0] jumps
+          immediately. [factor 4.0] is a 4x mean drift. *)
+  | Burst of { rate : float; mean_len : float; amplitude : float }
+      (** Stochastic episodes: each quiet slot enters a burst with
+          probability [rate]; lengths are rounded exponentials of
+          mean [mean_len] (min 1); inside an episode work is scaled
+          by [amplitude]. *)
+  | Stall of { start : int; len : int }
+      (** Scripted outage: slots [start, start+len) emit zero work. *)
+  | Dropout of { rate : float; mean_len : float }
+      (** Stochastic outages with the same episode process as
+          [Burst], emitting zero work inside episodes. *)
+  | Corrupt of { rate : float }
+      (** Each slot is independently corrupted with probability
+          [rate]: the work becomes NaN or a negative value (fair
+          coin). Exercises {!Mux.run} sanitization. *)
+  | Misdeclare of { mean : float option; sigma2 : float option; hurst : float option }
+      (** Override the wrapper's *declared* descriptor fields while
+          leaving the traffic untouched: the source lies to CAC. *)
+
+val validate : event -> unit
+(** @raise Invalid_argument on malformed parameters (negative
+    starts/ramps, rates outside [0,1], non-positive episode lengths,
+    non-finite scales, misdeclared values that would not form a valid
+    descriptor). *)
+
+val wrap : ?name:string -> rng:Ss_stats.Rng.t -> event list -> Source.t -> Source.t
+(** Apply the events (in order) to the source's per-slot work. The
+    empty list returns the source {e physically unchanged} (same
+    closure, no rng consumed) — the zero-fault path stays
+    bit-identical to the unwrapped one. [name] defaults to the
+    source's name suffixed with ["!"]. The declared
+    [mean]/[sigma2]/[hurst] are the source's own unless a
+    [Misdeclare] event overrides them.
+    @raise Invalid_argument on a malformed event. *)
+
+val wrap_all :
+  rng:Ss_stats.Rng.t -> (int option * event list) list -> Source.t array -> Source.t array
+(** Apply parsed spec groups to a source array: group target [Some i]
+    hits source [i], [None] (["*"]) hits every source; a source
+    matched by several groups gets their events concatenated in spec
+    order. One substream per source is split in index order whether
+    or not that source is targeted.
+    @raise Invalid_argument on an out-of-range target or malformed
+    event. *)
+
+val parse : string -> (int option * event list) list
+(** Parse a [--faults] spec: semicolon-separated groups
+    [target:event,event,...] with target [*] or a source index, and
+    events
+    [drift@START+RAMPxFACTOR], [burst@RATE+LENxAMP],
+    [stall@START+LEN], [dropout@RATE+LEN], [corrupt@RATE],
+    [mean=V], [sigma2=V], [hurst=V] (the last three misdeclare the
+    descriptor). Example:
+    ["0:drift@10000+1000x4.0;*:corrupt@0.001"].
+    @raise Invalid_argument on a malformed spec. *)
+
+val pp_event : Format.formatter -> event -> unit

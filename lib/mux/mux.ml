@@ -8,6 +8,10 @@ type source_report = {
   loss_fraction : float;
   mean_rate : float;
   peak_rate : float;
+  corrupt_slots : int;
+  throttled : float;
+  discarded : float;
+  departed_at : int option;
 }
 
 type report = {
@@ -21,6 +25,7 @@ type report = {
   max_queue : float;
   queue_quantiles : (float * float) list;
   delay_quantiles : (float * float) list;
+  class_delay_quantiles : (int * (float * float) list) list;
   overflow : (float * float) list;
   per_source : source_report array;
 }
@@ -33,13 +38,33 @@ let max_classes = 64
 let prefetch_slots = 256
 
 let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ]) ?probe
-    ~service ~slots sources =
+    ?police ~service ~slots sources =
   if slots <= 0 then invalid_arg "Mux.run: slots <= 0";
   if service <= 0.0 then invalid_arg "Mux.run: service <= 0";
   if buffer < 0.0 then invalid_arg "Mux.run: buffer < 0";
   let n = Array.length sources in
   if n = 0 then invalid_arg "Mux.run: no sources";
   List.iter (fun b -> if b < 0.0 then invalid_arg "Mux.run: negative threshold") thresholds;
+  (match police with
+  | Some p when Police.size p <> n -> invalid_arg "Mux.run: policer sized for different sources"
+  | _ -> ());
+  let departed = Array.make n false in
+  let departed_at = Array.make n (-1) in
+  (* A source that raises [Source.End_of_stream] departs cleanly: it
+     contributes zero work from that slot on and the run continues
+     with the remaining sources. Each source's flag is written only
+     by the task that owns the source, so the pooled prefetch stays
+     race-free. *)
+  let pull_raw t i =
+    if departed.(i) then (0.0, 0)
+    else
+      match Source.next sources.(i) with
+      | wc -> wc
+      | exception Source.End_of_stream ->
+        departed.(i) <- true;
+        departed_at.(i) <- t;
+        (0.0, 0)
+  in
   (* Source pulls are independent of the queue state, so with a pool
      they are advanced a block of slots at a time, each source on one
      domain (a source's internal state is only ever touched by the
@@ -49,7 +74,7 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
      way. *)
   let pull =
     match pool with
-    | None -> fun _t i -> Source.next sources.(i)
+    | None -> pull_raw
     | Some p ->
       let wbuf = Array.make (prefetch_slots * n) 0.0 in
       let cbuf = Array.make (prefetch_slots * n) 0 in
@@ -62,7 +87,7 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
           filled := bs;
           Ss_parallel.Pool.parallel_for p ~chunk:1 ~lo:0 ~hi:(n - 1) (fun i ->
               for s = 0 to bs - 1 do
-                let w, c = Source.next sources.(i) in
+                let w, c = pull_raw (t + s) i in
                 wbuf.((s * n) + i) <- w;
                 cbuf.((s * n) + i) <- c
               done)
@@ -74,13 +99,24 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
   let classes = Array.make n 0 in
   let class_sums = Array.make max_classes 0.0 in
   let class_scale = Array.make max_classes 1.0 in
+  let class_adm = Array.make max_classes 0.0 in
   let offered = Array.make n 0.0 in
   let admitted = Array.make n 0.0 in
   let lost = Array.make n 0.0 in
   let peak = Array.make n 0.0 in
+  let corrupt = Array.make n 0 in
+  let throttled = Array.make n 0.0 in
+  let discarded = Array.make n 0.0 in
   let queue_stats = Online.create () in
   let q_quant = List.map (fun p -> (p, Online.P2.create ~p)) quantiles in
   let d_quant = List.map (fun p -> (p, Online.P2.create ~p)) quantiles in
+  (* Per-class virtual-delay tracking: class backlogs follow the same
+     arrivals-then-service recursion as [q] (their sum replays it),
+     kept strictly apart from the Lindley state so the queue floats
+     stay bit-identical to runs that never asked for class delays. *)
+  let class_backlog = Array.make max_classes 0.0 in
+  let class_quant : (float * Online.P2.t) list option array = Array.make max_classes None in
+  let top_class = ref (-1) in
   let thr = Array.of_list thresholds in
   let thr_hits = Array.make (Array.length thr) 0 in
   let q = ref 0.0 in
@@ -89,10 +125,47 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
     let max_class = ref 0 in
     for i = 0 to n - 1 do
       let w, c = pull t i in
-      if w < 0.0 then
-        invalid_arg (Printf.sprintf "Mux.run: source %s yielded negative work" sources.(i).Source.name);
+      (* Graceful degradation: corrupt work (NaN, negative, infinite)
+         must not crash the run or poison the Lindley recursion — it
+         is zeroed, counted against the source, and reported to the
+         policer (which evicts repeat offenders). *)
+      let w, was_corrupt =
+        if Float.is_nan w || w < 0.0 || w = infinity then begin
+          corrupt.(i) <- corrupt.(i) + 1;
+          (match police with Some p -> Police.note_corrupt p ~slot:t i | None -> ());
+          (0.0, true)
+        end
+        else (w, false)
+      in
       if c < 0 || c >= max_classes then
         invalid_arg (Printf.sprintf "Mux.run: source %s yielded class %d" sources.(i).Source.name c);
+      let w, c =
+        match police with
+        | None -> (w, c)
+        | Some p ->
+          if Police.evicted p i then begin
+            discarded.(i) <- discarded.(i) +. w;
+            (0.0, c)
+          end
+          else begin
+            (* The policer judges the work the source tried to send;
+               the buffer sees the throttled remainder. Corrupt slots
+               went to [note_corrupt] instead — a NaN would poison
+               the moment estimates. *)
+            if not was_corrupt then Police.observe p ~slot:t i w;
+            let cap = Police.cap p i in
+            let w' =
+              if w > cap then begin
+                throttled.(i) <- throttled.(i) +. (w -. cap);
+                cap
+              end
+              else w
+            in
+            let d = Police.demotion p i in
+            let c' = if d = 0 then c else Stdlib.min (max_classes - 1) (c + d) in
+            (w', c')
+          end
+      in
       works.(i) <- w;
       classes.(i) <- c;
       offered.(i) <- offered.(i) +. w;
@@ -100,6 +173,14 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
       if c > !max_class then max_class := c;
       class_sums.(c) <- class_sums.(c) +. w
     done;
+    if !max_class > !top_class then begin
+      (* Estimators exist for classes up to the highest one seen so
+         far and are fed from that slot on. *)
+      for c = !top_class + 1 to !max_class do
+        class_quant.(c) <- Some (List.map (fun p -> (p, Online.P2.create ~p)) quantiles)
+      done;
+      top_class := !max_class
+    end;
     let admitted_total = ref 0.0 in
     if buffer = infinity then begin
       for i = 0 to n - 1 do
@@ -107,6 +188,7 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
         admitted.(i) <- admitted.(i) +. works.(i)
       done;
       for c = 0 to !max_class do
+        class_adm.(c) <- class_sums.(c);
         class_sums.(c) <- 0.0
       done
     end
@@ -123,6 +205,7 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
         in
         class_scale.(c) <- f;
         room := Stdlib.max 0.0 (!room -. (s *. f));
+        class_adm.(c) <- s *. f;
         class_sums.(c) <- 0.0
       done;
       for i = 0 to n - 1 do
@@ -135,6 +218,23 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
     end;
     served_total := !served_total +. Stdlib.min service (!q +. !admitted_total);
     q := Stdlib.max 0.0 (!q +. !admitted_total -. service);
+    (* Replay the slot on the class backlogs: arrivals, then strict
+       priority service of the slot's capacity. *)
+    let rem = ref service in
+    for c = 0 to !top_class do
+      let b = class_backlog.(c) +. class_adm.(c) in
+      class_adm.(c) <- 0.0;
+      let take = Stdlib.min !rem b in
+      class_backlog.(c) <- b -. take;
+      rem := !rem -. take
+    done;
+    let prefix = ref 0.0 in
+    for c = 0 to !top_class do
+      prefix := !prefix +. class_backlog.(c);
+      match class_quant.(c) with
+      | Some qs -> List.iter (fun (_, p2) -> Online.P2.add p2 (!prefix /. service)) qs
+      | None -> ()
+    done;
     Online.add queue_stats !q;
     List.iter (fun (_, p2) -> Online.P2.add p2 !q) q_quant;
     List.iter (fun (_, p2) -> Online.P2.add p2 (!q /. service)) d_quant;
@@ -155,6 +255,15 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
     max_queue = Online.max queue_stats;
     queue_quantiles = List.map (fun (p, p2) -> (p, Online.P2.quantile p2)) q_quant;
     delay_quantiles = List.map (fun (p, p2) -> (p, Online.P2.quantile p2)) d_quant;
+    class_delay_quantiles =
+      (let acc = ref [] in
+       for c = !top_class downto 0 do
+         match class_quant.(c) with
+         | Some qs when List.for_all (fun (_, p2) -> Online.P2.count p2 > 0) qs ->
+           acc := (c, List.map (fun (p, p2) -> (p, Online.P2.quantile p2)) qs) :: !acc
+         | _ -> ()
+       done;
+       !acc);
     overflow =
       List.mapi (fun j b -> (b, float_of_int thr_hits.(j) /. fslots)) thresholds;
     per_source =
@@ -167,6 +276,10 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
             loss_fraction = (if offered.(i) > 0.0 then lost.(i) /. offered.(i) else 0.0);
             mean_rate = offered.(i) /. fslots;
             peak_rate = peak.(i);
+            corrupt_slots = corrupt.(i);
+            throttled = throttled.(i);
+            discarded = discarded.(i);
+            departed_at = (if departed_at.(i) < 0 then None else Some departed_at.(i));
           });
   }
 
@@ -187,6 +300,14 @@ let pp_report ppf r =
   List.iter
     (fun (p, d) -> Format.fprintf ppf "delay q(%.2f)      %.2f slots@." p d)
     r.delay_quantiles;
+  if List.length r.class_delay_quantiles > 1 then
+    List.iter
+      (fun (c, qs) ->
+        List.iter
+          (fun (p, d) ->
+            Format.fprintf ppf "class %d delay q(%.2f)  %.2f slots@." c p d)
+          qs)
+      r.class_delay_quantiles;
   if r.overflow <> [] then begin
     Format.fprintf ppf "overflow:@.";
     List.iter
@@ -202,4 +323,21 @@ let pp_report ppf r =
     (fun s ->
       Format.fprintf ppf "  %-12s  %12.4g  %12.4g  %10.4g  %10.4g@." s.name s.offered
         s.lost s.loss_fraction s.peak_rate)
-    r.per_source
+    r.per_source;
+  let troubled =
+    Array.to_list r.per_source
+    |> List.filter (fun s ->
+           s.corrupt_slots > 0 || s.throttled > 0.0 || s.discarded > 0.0
+           || s.departed_at <> None)
+  in
+  if troubled <> [] then begin
+    Format.fprintf ppf "incidents:@.";
+    Format.fprintf ppf "  %-12s  %8s  %12s  %12s  %10s@." "name" "corrupt" "throttled"
+      "discarded" "departed";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  %-12s  %8d  %12.4g  %12.4g  %10s@." s.name s.corrupt_slots
+          s.throttled s.discarded
+          (match s.departed_at with None -> "-" | Some t -> string_of_int t))
+      troubled
+  end

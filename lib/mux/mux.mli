@@ -14,20 +14,32 @@
     {!Ss_queueing.Trace_sim.queue_path} exactly (the equivalence is a
     unit test).
 
+    The engine degrades gracefully instead of crashing: a source that
+    raises {!Source.End_of_stream} departs cleanly (zero work from
+    that slot on, departure slot in the report); a slot of corrupt
+    work (NaN, negative, infinite) is zeroed and counted per source
+    rather than poisoning the Lindley recursion; with a {!Police.t}
+    attached, misbehaving sources are measured, throttled, demoted or
+    evicted per its state machine while the run continues.
+
     All accounting is online ({!Ss_stats.Online_stats}): mean/max
-    queue, delay and queue quantiles (P²), per-threshold overflow
-    fractions, and per-source offered/admitted/lost totals — nothing
-    stores a path, so a run is O(sources + order) resident memory
-    regardless of [slots]. *)
+    queue, delay and queue quantiles (P²), per-class virtual-delay
+    quantiles, per-threshold overflow fractions, and per-source
+    offered/admitted/lost totals — nothing stores a path, so a run is
+    O(sources + order) resident memory regardless of [slots]. *)
 
 type source_report = {
   name : string;
-  offered : float;  (** total work pulled from the source *)
+  offered : float;  (** total work presented to the buffer (post-policing) *)
   admitted : float;  (** work accepted into the buffer *)
   lost : float;  (** work dropped (buffer full) *)
   loss_fraction : float;  (** lost / offered (0 when nothing offered) *)
   mean_rate : float;  (** offered / slots *)
   peak_rate : float;  (** largest single-slot arrival *)
+  corrupt_slots : int;  (** slots whose work was NaN/negative/infinite (zeroed) *)
+  throttled : float;  (** work clamped off by the policer's per-slot cap *)
+  discarded : float;  (** work discarded after policer eviction *)
+  departed_at : int option;  (** slot of clean {!Source.End_of_stream} departure *)
 }
 
 type report = {
@@ -42,6 +54,13 @@ type report = {
   queue_quantiles : (float * float) list;  (** (p, P² estimate of q) *)
   delay_quantiles : (float * float) list;
       (** (p, P² estimate of virtual delay q/service, in slots) *)
+  class_delay_quantiles : (int * (float * float) list) list;
+      (** per priority class seen, (p, P² estimate of the virtual
+          delay of a class-c arrival: backlog of classes <= c over
+          service). Computed on a replay of the admitted work through
+          strict-priority class backlogs, kept apart from the Lindley
+          state; with a single class it coincides with
+          [delay_quantiles] (exactly for an infinite buffer). *)
   overflow : (float * float) list;  (** (threshold b, fraction of slots with q > b) *)
   per_source : source_report array;
 }
@@ -52,6 +71,7 @@ val run :
   ?thresholds:float list ->
   ?quantiles:float list ->
   ?probe:(int -> float -> unit) ->
+  ?police:Police.t ->
   service:float ->
   slots:int ->
   Source.t array ->
@@ -67,11 +87,23 @@ val run :
     recursion; every source still sees one pull per slot in slot
     order, so the report is bit-identical with and without a pool, at
     any domain count.
+
+    With [police], each slot's offered work is first reported to the
+    conformance monitor ({!Police.observe}), then the policer's
+    sanctions are applied: work above the source's current cap is
+    clamped (counted as [throttled]), the priority class is demoted
+    by the source's current demotion (saturating at the lowest
+    class), and an evicted source's work is discarded. A policer over
+    conforming sources never alters traffic, so such a run is
+    bit-identical to an unpoliced one. Policer calls happen on the
+    sequential admission loop in slot order, composing with [pool].
     @raise Invalid_argument if [slots <= 0], [service <= 0],
     [buffer < 0], no sources, a quantile outside (0,1), a negative
-    threshold, a source yields negative work, or a source yields a
-    class outside [0, 63]. *)
+    threshold, a source yields a class outside [0, 63], or [police]
+    was created for a different number of sources. *)
 
 val pp_report : Format.formatter -> report -> unit
-(** Multi-line text report: link summary, queue/delay statistics,
-    overflow curve, per-source accounting table. *)
+(** Multi-line text report: link summary, queue/delay statistics
+    (per-class when more than one class appeared), overflow curve,
+    per-source accounting table, and an incident table for sources
+    with corrupt slots, throttling, discards or departures. *)

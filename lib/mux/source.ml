@@ -8,6 +8,8 @@ module Frame = Ss_video.Frame
 module Model = Ss_core.Model
 module Mpeg = Ss_core.Mpeg
 
+exception End_of_stream
+
 type t = {
   name : string;
   mean : float;
@@ -29,8 +31,7 @@ let of_array ?(name = "array") ?(hurst = 0.5) ?(cycle = false) xs =
   let n = Array.length xs in
   let i = ref 0 in
   let pull () =
-    if !i >= n then
-      if cycle then i := 0 else invalid_arg "Source.of_array: source exhausted";
+    if !i >= n then if cycle then i := 0 else raise End_of_stream;
     let v = xs.(!i) in
     incr i;
     (v, 0)

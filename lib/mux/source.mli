@@ -14,6 +14,13 @@
     --sources N] multiplex many long heterogeneous sources without
     O(N * slots) memory. *)
 
+exception End_of_stream
+(** Raised by a pull function when the source has no further slots —
+    a *clean departure*, not an error: {!Mux.run} catches it, retires
+    the source and continues the run with the remaining sources
+    (recording the departure slot in the report). Finite sources
+    ({!of_array} with [cycle:false]) raise it on exhaustion. *)
+
 type t = {
   name : string;
   mean : float;  (** nominal per-slot mean arrival (model bookkeeping) *)
@@ -36,7 +43,8 @@ val of_array : ?name:string -> ?hurst:float -> ?cycle:bool -> float array -> t
     slot, class 0. [mean]/[sigma2] are the array's sample moments;
     [hurst] defaults to 0.5 (no a-priori LRD claim). With
     [cycle:false] (default) pulling past the end raises
-    [Invalid_argument]; with [cycle:true] the array repeats.
+    {!End_of_stream} (a clean departure under {!Mux.run}); with
+    [cycle:true] the array repeats.
     @raise Invalid_argument on an empty array. *)
 
 val of_model :

@@ -57,6 +57,58 @@ let merge a b =
     }
   end
 
+module Vt = struct
+  (* Streaming variance-time analysis: level j aggregates the input
+     into blocks of m = 2^j samples and feeds each completed block
+     mean into a Welford accumulator. The slope of log10 var(level
+     mean) on log10 m is 2H - 2 for an FGN-like input, so the H
+     estimate is 1 + slope/2 — the online form of
+     Hurst.variance_time. *)
+  type level = { m : int; mutable sum : float; mutable filled : int; stats : t }
+
+  type nonrec t = { levels : level array }
+
+  let create ?(levels = 7) () =
+    if levels < 3 then invalid_arg "Online_stats.Vt.create: levels < 3";
+    if levels > 30 then invalid_arg "Online_stats.Vt.create: levels > 30";
+    {
+      levels =
+        Array.init levels (fun j -> { m = 1 lsl j; sum = 0.0; filled = 0; stats = create () });
+    }
+
+  let add t x =
+    Array.iter
+      (fun l ->
+        l.sum <- l.sum +. x;
+        l.filled <- l.filled + 1;
+        if l.filled = l.m then begin
+          add l.stats (l.sum /. float_of_int l.m);
+          l.sum <- 0.0;
+          l.filled <- 0
+        end)
+      t.levels
+
+  let count t = t.levels.(0).stats.n
+
+  let min_blocks = 4
+
+  let points t =
+    Array.to_list t.levels
+    |> List.filter_map (fun l ->
+           if l.stats.n < min_blocks then None
+           else
+             let v = variance l.stats in
+             if v <= 0.0 then None
+             else Some (log10 (float_of_int l.m), log10 v))
+
+  let estimate t =
+    match points t with
+    | pts when List.length pts >= 3 ->
+      let fit = Regression.ols pts in
+      Some (1.0 +. (fit.Regression.slope /. 2.0))
+    | _ -> None
+end
+
 module P2 = struct
   type nonrec t = {
     p : float;

@@ -46,6 +46,39 @@ val merge : t -> t -> t
     input is mutated. Exact for count/min/max, numerically stable for
     mean/variance. *)
 
+(** Streaming variance–time Hurst estimation.
+
+    The online form of {!Ss_fractal.Hurst.variance_time}: level [j]
+    aggregates the input into blocks of [m = 2^j] consecutive samples
+    and accumulates the completed block means in a Welford
+    accumulator, so [var] of the level-[j] means tracks
+    [sigma2 * m^(2H-2)] for an FGN-like input. {!estimate} fits
+    [log10 var] against [log10 m] by OLS and returns
+    [H = 1 + slope/2]. O(levels) memory, O(levels) per observation —
+    cheap enough to run per source inside the multiplexer's policing
+    loop. *)
+module Vt : sig
+  type t
+
+  val create : ?levels:int -> unit -> t
+  (** [levels] (default 7) dyadic aggregation levels
+      [m = 1, 2, ..., 2^(levels-1)].
+      @raise Invalid_argument if [levels < 3] or [levels > 30]. *)
+
+  val add : t -> float -> unit
+  (** Feed one observation. *)
+
+  val count : t -> int
+  (** Observations fed so far. *)
+
+  val estimate : t -> float option
+  (** Current H estimate, or [None] until at least three levels have
+      four completed blocks each with positive variance (so roughly
+      [32 * 4] observations for the default levels). The estimate is
+      unclamped: values outside (0,1) can occur on pathological input
+      and are the caller's signal of a non-FGN stream. *)
+end
+
 (** P² dynamic quantile estimation without stored samples.
 
     Five markers track the running min, the p/2, p and (1+p)/2

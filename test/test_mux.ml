@@ -15,6 +15,8 @@ module Source = Ss_mux.Source
 module Mux = Ss_mux.Mux
 module Mux_is = Ss_mux.Mux_is
 module Admission = Ss_mux.Admission
+module Fault = Ss_mux.Fault
+module Police = Ss_mux.Police
 module Pool = Ss_parallel.Pool
 module Scene = Ss_video.Scene_source
 module Gop = Ss_video.Gop
@@ -153,6 +155,51 @@ let prop_p2_within_range =
       q >= D.min xs && q <= D.max xs)
 
 (* ------------------------------------------------------------------ *)
+(* Online_stats.Vt: streaming variance-time H estimation               *)
+(* ------------------------------------------------------------------ *)
+
+let test_vt_estimates_fgn_hurst () =
+  (* On an H = 0.9 FGN path the streaming estimate must land near the
+     true H; variance-time is a biased-low estimator on finite paths,
+     hence the asymmetric-looking but absolute band. *)
+  let acf = Acf.fgn ~h:0.9 in
+  let xs = Hosking.generate_truncated ~acf ~n:16384 ~max_order:64 (Rng.create ~seed:21) in
+  let vt = Online.Vt.create () in
+  Array.iter (Online.Vt.add vt) xs;
+  Alcotest.(check int) "count" 16384 (Online.Vt.count vt);
+  match Online.Vt.estimate vt with
+  | None -> Alcotest.fail "estimate must be available after 16384 samples"
+  | Some h -> if abs_float (h -. 0.9) > 0.12 then Alcotest.failf "H estimate %g far from 0.9" h
+
+let test_vt_white_noise_is_half () =
+  let rng = Rng.create ~seed:22 in
+  let vt = Online.Vt.create () in
+  for _ = 1 to 16384 do
+    Online.Vt.add vt (Rng.gaussian rng)
+  done;
+  match Online.Vt.estimate vt with
+  | None -> Alcotest.fail "estimate must be available"
+  | Some h -> if abs_float (h -. 0.5) > 0.1 then Alcotest.failf "H estimate %g far from 0.5" h
+
+let test_vt_warmup_and_invalid () =
+  raises_invalid "levels < 3" (fun () -> ignore (Online.Vt.create ~levels:2 ()));
+  let vt = Online.Vt.create () in
+  (* Too few samples: no estimate rather than a garbage fit. *)
+  for _ = 1 to 16 do
+    Online.Vt.add vt 1.0
+  done;
+  (match Online.Vt.estimate vt with
+  | None -> ()
+  | Some h -> Alcotest.failf "estimate %g from 16 constant samples" h);
+  (* A constant stream never has positive block variance. *)
+  for _ = 1 to 4096 do
+    Online.Vt.add vt 1.0
+  done;
+  match Online.Vt.estimate vt with
+  | None -> ()
+  | Some h -> Alcotest.failf "estimate %g from a constant stream" h
+
+(* ------------------------------------------------------------------ *)
 (* Source                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -162,7 +209,9 @@ let test_source_of_array () =
   Alcotest.(check (list (float 1e-12)))
     "replays in order" [ 1.0; 2.0; 3.0 ]
     (List.init 3 (fun _ -> fst (Source.next s)));
-  raises_invalid "exhausted" (fun () -> Source.next s);
+  (match Source.next s with
+  | exception Source.End_of_stream -> ()
+  | _ -> Alcotest.fail "exhausted: expected End_of_stream");
   let c = Source.of_array ~cycle:true [| 5.0; 6.0 |] in
   Alcotest.(check (list (float 1e-12)))
     "cycles" [ 5.0; 6.0; 5.0 ]
@@ -434,12 +483,84 @@ let test_mux_invalid () =
       Mux.run ~buffer:(-1.0) ~service:1.0 ~slots:10 [| src |]);
   raises_invalid "negative threshold" (fun () ->
       Mux.run ~thresholds:[ -1.0 ] ~service:1.0 ~slots:10 [| src |]);
-  raises_invalid "negative work" (fun () ->
-      Mux.run ~service:1.0 ~slots:10
-        [| Source.make ~name:"bad" ~mean:0.0 ~sigma2:0.0 ~hurst:0.5 (fun () -> (-1.0, 0)) |]);
   raises_invalid "bad class" (fun () ->
       Mux.run ~service:1.0 ~slots:10
         [| Source.make ~name:"bad" ~mean:0.0 ~sigma2:0.0 ~hurst:0.5 (fun () -> (1.0, 64)) |])
+
+(* ------------------------------------------------------------------ *)
+(* Mux: graceful degradation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_mux_source_departure () =
+  (* A finite source departs cleanly mid-run: the run continues, the
+     departure slot is recorded, and the departed source offers
+     nothing afterwards. *)
+  let finite = Source.of_array ~name:"finite" (Array.make 50 1.0) in
+  let steady = Source.of_array ~name:"steady" ~cycle:true [| 1.0 |] in
+  let r = Mux.run ~service:4.0 ~slots:200 [| finite; steady |] in
+  Alcotest.(check (option int)) "departure slot" (Some 50) r.Mux.per_source.(0).Mux.departed_at;
+  Alcotest.(check (option int)) "steady stays" None r.Mux.per_source.(1).Mux.departed_at;
+  close "finite offered its 50 slots" 50.0 r.Mux.per_source.(0).Mux.offered;
+  close "steady offered all 200" 200.0 r.Mux.per_source.(1).Mux.offered
+
+let test_mux_corrupt_work_is_isolated () =
+  (* NaN / negative / infinite work must not crash the run or poison
+     the Lindley recursion: each corrupt slot is zeroed and counted. *)
+  let t = ref 0 in
+  let dirty =
+    Source.make ~name:"dirty" ~mean:1.0 ~sigma2:0.0 ~hurst:0.5 (fun () ->
+        incr t;
+        match !t mod 4 with
+        | 1 -> (Float.nan, 0)
+        | 2 -> (-3.0, 0)
+        | 3 -> (infinity, 0)
+        | _ -> (1.0, 0))
+  in
+  let clean = Source.of_array ~name:"clean" ~cycle:true [| 2.0 |] in
+  let r = Mux.run ~service:2.0 ~slots:100 [| dirty; clean |] in
+  Alcotest.(check int) "corrupt slots" 75 r.Mux.per_source.(0).Mux.corrupt_slots;
+  Alcotest.(check int) "clean source untouched" 0 r.Mux.per_source.(1).Mux.corrupt_slots;
+  if Float.is_nan r.Mux.mean_queue then Alcotest.fail "mean queue poisoned by NaN";
+  if Float.is_nan r.Mux.max_queue then Alcotest.fail "max queue poisoned by NaN";
+  (* 25 good slots of 1.0: only the sane work reaches the buffer. *)
+  close "dirty offered" 25.0 r.Mux.per_source.(0).Mux.offered;
+  close "clean offered" 200.0 r.Mux.per_source.(1).Mux.offered
+
+let test_mux_class_delay_single_class_exact () =
+  (* With a single class and an infinite buffer the class-0 backlog
+     replays the Lindley recursion bit for bit, so the class-0 delay
+     quantiles equal the global ones exactly. *)
+  let m = Lazy.force small_model in
+  let src = Source.of_model ~order:32 m (Rng.create ~seed:31) in
+  let r = Mux.run ~service:(1.05 *. m.Ss_core.Model.mean) ~slots:4000 [| src |] in
+  match r.Mux.class_delay_quantiles with
+  | [ (0, qs) ] ->
+    List.iter2
+      (fun (p, d) (p', d') ->
+        close ~eps:0.0 (Printf.sprintf "p level %g" p) p p';
+        close ~eps:0.0 (Printf.sprintf "class-0 delay q(%g)" p) d d')
+      r.Mux.delay_quantiles qs
+  | l -> Alcotest.failf "expected exactly class 0, got %d classes" (List.length l)
+
+let test_mux_class_delay_priority_ordering () =
+  (* Under overload, a strict-priority high class must see no larger
+     virtual delay than the low class at every tracked quantile. *)
+  let hi = Source.of_array ~name:"hi" ~cycle:true [| 1.0 |] in
+  let t = ref 0 in
+  let lo =
+    Source.make ~name:"lo" ~mean:1.5 ~sigma2:0.25 ~hurst:0.5 (fun () ->
+        incr t;
+        ((if !t mod 3 = 0 then 3.0 else 1.0), 1))
+  in
+  let r = Mux.run ~buffer:20.0 ~service:2.2 ~slots:5000 [| hi; lo |] in
+  match r.Mux.class_delay_quantiles with
+  | [ (0, q0); (1, q1) ] ->
+    List.iter2
+      (fun (p, d0) (_, d1) ->
+        if d0 > d1 +. 1e-9 then
+          Alcotest.failf "class 0 delay q(%g) = %g exceeds class 1 = %g" p d0 d1)
+      q0 q1
+  | l -> Alcotest.failf "expected classes 0 and 1, got %d classes" (List.length l)
 
 (* ------------------------------------------------------------------ *)
 (* Mux_is: importance-sampled shared-buffer overflow                    *)
@@ -562,7 +683,12 @@ let test_admission_aggregate () =
   close "means add" 4.0 a.Admission.mean;
   close "variances add" 3.0 a.Admission.sigma2;
   close "hurst is max" 0.9 a.Admission.hurst;
-  raises_invalid "empty aggregate" (fun () -> ignore (Admission.aggregate []))
+  (* The empty list aggregates to the zero descriptor, consistent
+     with predicted_overflow [] = 0. *)
+  let z = Admission.aggregate [] in
+  close "empty mean" 0.0 z.Admission.mean;
+  close "empty sigma2" 0.0 z.Admission.sigma2;
+  close "empty hurst" 0.5 z.Admission.hurst
 
 let test_admission_effective_bandwidth_inverts () =
   (* At service = effective_bandwidth, predicted overflow = epsilon. *)
@@ -608,6 +734,340 @@ let test_admission_invalid () =
   raises_invalid "bad eb epsilon" (fun () ->
       ignore (Admission.effective_bandwidth ~buffer:1.0 ~epsilon:0.0 (descr 1.0)))
 
+let test_admission_rejects_malformed_descriptors () =
+  (* Malformed descriptors are typed rejections, not Invalid_argument
+     from deep inside Norros. *)
+  let t = Admission.create ~service:100.0 ~buffer:200.0 ~epsilon:1e-4 in
+  let expect_reject msg d =
+    match Admission.decide t d with
+    | Admission.Reject _ -> ()
+    | Admission.Admit _ -> Alcotest.failf "%s: expected Reject" msg
+  in
+  let d = descr 10.0 in
+  expect_reject "NaN mean" { d with Admission.mean = Float.nan };
+  expect_reject "negative mean" { d with Admission.mean = -1.0 };
+  expect_reject "NaN sigma2" { d with Admission.sigma2 = Float.nan };
+  expect_reject "negative sigma2" { d with Admission.sigma2 = -1.0 };
+  expect_reject "NaN hurst" { d with Admission.hurst = Float.nan };
+  expect_reject "hurst = 0" { d with Admission.hurst = 0.0 };
+  expect_reject "hurst = 1" { d with Admission.hurst = 1.0 };
+  Alcotest.(check int) "nothing admitted" 0 (Admission.admitted_count t);
+  (* Empty-load decide path: a clean candidate against an empty set
+     uses the zero aggregate. *)
+  (match Admission.decide t (descr 10.0) with
+  | Admission.Admit _ -> ()
+  | Admission.Reject r -> Alcotest.failf "clean candidate rejected: %s" r);
+  (* Boundary: at service = effective_bandwidth, predicted overflow
+     equals epsilon and p <= epsilon admits. *)
+  let eps = 1e-4 in
+  let d = descr 10.0 in
+  let c = Admission.effective_bandwidth ~buffer:200.0 ~epsilon:eps d in
+  let t2 = Admission.create ~service:c ~buffer:200.0 ~epsilon:eps in
+  match Admission.try_admit t2 d with
+  | Admission.Admit p -> if p > eps *. (1.0 +. 1e-9) then Alcotest.failf "p %g above eps" p
+  | Admission.Reject r -> Alcotest.failf "boundary candidate rejected: %s" r
+
+let test_admission_renegotiate_and_evict () =
+  let t = Admission.create ~service:100.0 ~buffer:200.0 ~epsilon:1e-4 in
+  let d name mean = { Admission.name; mean; sigma2 = mean *. mean; hurst = 0.8 } in
+  (match Admission.try_admit t (d "a" 10.0) with
+  | Admission.Admit _ -> ()
+  | Admission.Reject r -> Alcotest.failf "admit a: %s" r);
+  (match Admission.try_admit t (d "b" 10.0) with
+  | Admission.Admit _ -> ()
+  | Admission.Reject r -> Alcotest.failf "admit b: %s" r);
+  (* A modest drift renegotiates in place: same set size, updated
+     contract. *)
+  (match Admission.renegotiate t ~name:"a" (d "a" 12.0) with
+  | Admission.Admit _ -> ()
+  | Admission.Reject r -> Alcotest.failf "renegotiate a: %s" r);
+  Alcotest.(check int) "set size unchanged" 2 (Admission.admitted_count t);
+  let mean_of n =
+    match List.find_opt (fun x -> x.Admission.name = n) (Admission.admitted t) with
+    | Some x -> x.Admission.mean
+    | None -> Alcotest.failf "%s not admitted" n
+  in
+  close "a's contract updated" 12.0 (mean_of "a");
+  (* A drift the link cannot carry is refused and the old contract
+     survives. *)
+  (match Admission.renegotiate t ~name:"a" (d "a" 95.0) with
+  | Admission.Reject _ -> ()
+  | Admission.Admit _ -> Alcotest.fail "95/100 renegotiation must be refused");
+  Alcotest.(check int) "set size still 2" 2 (Admission.admitted_count t);
+  close "old contract restored" 12.0 (mean_of "a");
+  (* Renegotiating an unknown name is a plain admission. *)
+  (match Admission.renegotiate t ~name:"c" (d "c" 10.0) with
+  | Admission.Admit _ -> ()
+  | Admission.Reject r -> Alcotest.failf "renegotiate unknown: %s" r);
+  Alcotest.(check int) "c admitted" 3 (Admission.admitted_count t);
+  Alcotest.(check bool) "evict b" true (Admission.evict t ~name:"b");
+  Alcotest.(check bool) "b already gone" false (Admission.evict t ~name:"b");
+  Alcotest.(check int) "two remain" 2 (Admission.admitted_count t)
+
+(* ------------------------------------------------------------------ *)
+(* Fault: deterministic misbehavior injection                           *)
+(* ------------------------------------------------------------------ *)
+
+let const_source ?(name = "const") v =
+  Source.of_array ~name ~cycle:true [| v |]
+
+let pull_n s n = List.init n (fun _ -> fst (Source.next s))
+
+let test_fault_drift_and_stall_semantics () =
+  let rng = Rng.create ~seed:41 in
+  (* Jump drift: clean until start, then factor x. *)
+  let s =
+    Fault.wrap ~rng:(Rng.split rng)
+      [ Fault.Drift { start = 3; ramp = 0; factor = 2.0 } ]
+      (const_source 1.0)
+  in
+  Alcotest.(check (list (float 1e-12)))
+    "jump drift" [ 1.0; 1.0; 1.0; 2.0; 2.0 ] (pull_n s 5);
+  (* Ramp drift: linear from start over ramp slots. *)
+  let s =
+    Fault.wrap ~rng:(Rng.split rng)
+      [ Fault.Drift { start = 2; ramp = 4; factor = 3.0 } ]
+      (const_source 1.0)
+  in
+  Alcotest.(check (list (float 1e-12)))
+    "ramp drift"
+    [ 1.0; 1.0; 1.5; 2.0; 2.5; 3.0; 3.0 ]
+    (pull_n s 7);
+  (* Scripted stall: zero inside [start, start+len). *)
+  let s =
+    Fault.wrap ~rng:(Rng.split rng)
+      [ Fault.Stall { start = 1; len = 2 } ]
+      (const_source 1.0)
+  in
+  Alcotest.(check (list (float 1e-12))) "stall" [ 1.0; 0.0; 0.0; 1.0 ] (pull_n s 4)
+
+let test_fault_misdeclare_changes_descriptor_only () =
+  let rng = Rng.create ~seed:42 in
+  let s =
+    Fault.wrap ~rng
+      [ Fault.Misdeclare { mean = Some 0.5; sigma2 = None; hurst = Some 0.6 } ]
+      (const_source 1.0)
+  in
+  close "declared mean lies" 0.5 s.Source.mean;
+  close "declared hurst lies" 0.6 s.Source.hurst;
+  Alcotest.(check (list (float 1e-12))) "traffic untouched" [ 1.0; 1.0; 1.0 ] (pull_n s 3)
+
+let test_fault_empty_spec_is_physical_identity () =
+  let src = const_source 1.0 in
+  let rng = Rng.create ~seed:43 in
+  if not (Fault.wrap ~rng [] src == src) then
+    Alcotest.fail "empty spec must return the source unchanged";
+  (* wrap_all: untargeted sources come back physically unchanged. *)
+  let a = const_source ~name:"a" 1.0 and b = const_source ~name:"b" 2.0 in
+  let wrapped =
+    Fault.wrap_all ~rng
+      [ (Some 1, [ Fault.Stall { start = 0; len = 1 } ]) ]
+      [| a; b |]
+  in
+  if not (wrapped.(0) == a) then Alcotest.fail "untargeted source must be untouched";
+  if wrapped.(1) == b then Alcotest.fail "targeted source must be wrapped"
+
+let test_fault_schedule_deterministic () =
+  (* Same seed, same spec: bit-identical fault schedule — and the
+     schedule of source i does not depend on which other sources are
+     targeted. *)
+  let spec = [ Fault.Dropout { rate = 0.05; mean_len = 4.0 }; Fault.Corrupt { rate = 0.02 } ] in
+  let run extra_target =
+    let specs = (Some 0, spec) :: extra_target in
+    let wrapped =
+      Fault.wrap_all ~rng:(Rng.create ~seed:44) specs
+        [| const_source ~name:"a" 1.0; const_source ~name:"b" 1.0 |]
+    in
+    List.init 500 (fun _ -> fst (Source.next wrapped.(0)))
+  in
+  let reference = run [] in
+  let with_other = run [ (Some 1, [ Fault.Stall { start = 0; len = 10 } ]) ] in
+  List.iter2
+    (fun a b ->
+      match (Float.is_nan a, Float.is_nan b) with
+      | true, true -> ()
+      | false, false -> close ~eps:0.0 "schedule stable" a b
+      | _ -> Alcotest.fail "corruption schedule moved")
+    reference with_other;
+  if not (List.exists (fun x -> x = 0.0) reference) then
+    Alcotest.fail "dropout fault never fired in 500 slots";
+  if not (List.exists (fun x -> Float.is_nan x || x < 0.0) reference) then
+    Alcotest.fail "corrupt fault never fired in 500 slots"
+
+let test_fault_parse () =
+  (match Fault.parse "0:drift@100+50x4.0;*:corrupt@0.01" with
+  | [ (Some 0, [ Fault.Drift { start = 100; ramp = 50; factor = f } ]);
+      (None, [ Fault.Corrupt { rate } ]) ] ->
+    close "factor" 4.0 f;
+    close "rate" 0.01 rate
+  | _ -> Alcotest.fail "parse structure mismatch");
+  (match Fault.parse "1:burst@0.01+20x3,stall@5+2,dropout@0.1+8,mean=2.5,hurst=0.9" with
+  | [ (Some 1, [ Fault.Burst _; Fault.Stall _; Fault.Dropout _;
+                 Fault.Misdeclare { mean = Some m; _ };
+                 Fault.Misdeclare { hurst = Some h; _ } ]) ] ->
+    close "mean" 2.5 m;
+    close "hurst" 0.9 h
+  | _ -> Alcotest.fail "multi-event parse mismatch");
+  List.iter
+    (fun bad -> raises_invalid (Printf.sprintf "bad spec %S" bad) (fun () -> ignore (Fault.parse bad)))
+    [ ""; "nonsense"; "0:"; "x:stall@1+2"; "0:drift@-1+0x2"; "0:corrupt@1.5"; "0:hurst=1.5" ]
+
+(* ------------------------------------------------------------------ *)
+(* Police: measurement-based conformance monitoring                     *)
+(* ------------------------------------------------------------------ *)
+
+let police_config ~window =
+  { Police.default with Police.window; warmup_windows = 1 }
+
+let drive police ~from ~slots w =
+  for t = from to from + slots - 1 do
+    Police.observe police ~slot:t 0 (w t)
+  done
+
+let test_police_conforming_source_untouched () =
+  (* An honest FGN-driven source inside its declared envelope: no
+     sanctions that alter traffic. *)
+  let m = Lazy.force small_model in
+  let src = Source.of_model ~order:32 m (Rng.create ~seed:51) in
+  let p = Police.create ~config:(police_config ~window:256) [| Admission.descr_of_source src |] in
+  for t = 0 to 4095 do
+    Police.observe p ~slot:t 0 (fst (Source.next src))
+  done;
+  Alcotest.(check bool) "not evicted" false (Police.evicted p 0);
+  close "no cap" infinity (Police.cap p 0);
+  Alcotest.(check int) "no demotion" 0 (Police.demotion p 0);
+  List.iter
+    (fun i ->
+      match i.Police.event with
+      | Police.Throttle_set c when c < infinity -> Alcotest.fail "conforming source throttled"
+      | Police.Demoted _ | Police.Evicted -> Alcotest.fail "conforming source sanctioned"
+      | _ -> ())
+    (Police.incidents p)
+
+let test_police_detects_violation_and_escalates () =
+  (* A 5x mean violation: flagged at the first post-warmup window,
+     throttled immediately, evicted after evict_after bad windows. *)
+  let declared = { Admission.name = "v"; mean = 1.0; sigma2 = 0.1; hurst = 0.6 } in
+  let w = 32 in
+  let p = Police.create ~config:(police_config ~window:w) [| declared |] in
+  drive p ~from:0 ~slots:(6 * w) (fun _ -> 5.0);
+  (match Police.detected_at p 0 with
+  | Some t ->
+    if t > 2 * w then Alcotest.failf "detected only at slot %d" t
+  | None -> Alcotest.fail "violation never detected");
+  Alcotest.(check bool) "evicted" true (Police.evicted p 0);
+  if Police.cap p 0 = infinity then Alcotest.fail "violator must have been throttled";
+  let events = List.map (fun i -> i.Police.event) (Police.incidents p) in
+  if not (List.exists (function Police.Flagged (Police.Violating _) -> true | _ -> false) events)
+  then Alcotest.fail "no Violating flag recorded";
+  if not (List.mem Police.Evicted events) then Alcotest.fail "no eviction recorded";
+  (* After eviction the state is frozen. *)
+  let n = Police.incident_count p in
+  drive p ~from:(6 * w) ~slots:w (fun _ -> 5.0);
+  Alcotest.(check int) "no incidents after eviction" n (Police.incident_count p)
+
+let test_police_renegotiates_drift () =
+  (* A +30% drift with CAC headroom renegotiates: the measured model
+     becomes the contract and later windows conform. *)
+  let declared = { Admission.name = "d"; mean = 1.0; sigma2 = 0.1; hurst = 0.6 } in
+  let cac = Admission.create ~service:10.0 ~buffer:50.0 ~epsilon:1e-2 in
+  (match Admission.try_admit cac declared with
+  | Admission.Admit _ -> ()
+  | Admission.Reject r -> Alcotest.failf "seed admission: %s" r);
+  let w = 64 in
+  let p = Police.create ~config:(police_config ~window:w) ~cac [| declared |] in
+  let rng = Rng.create ~seed:52 in
+  let noisy mean _ = mean +. (0.05 *. Rng.gaussian rng) in
+  drive p ~from:0 ~slots:(4 * w) (noisy 1.3);
+  let events = List.map (fun i -> i.Police.event) (Police.incidents p) in
+  if not (List.exists (function Police.Renegotiated _ -> true | _ -> false) events) then
+    Alcotest.fail "no renegotiation recorded";
+  close ~eps:0.05 "contract follows the measurement" 1.3 (Police.declared p 0).Admission.mean;
+  close ~eps:0.05 "CAC load updated" 1.3
+    (match Admission.admitted cac with [ d ] -> d.Admission.mean | _ -> Alcotest.fail "load size");
+  Alcotest.(check bool) "not evicted" false (Police.evicted p 0);
+  close "no cap" infinity (Police.cap p 0);
+  (* Conforming again against the renegotiated contract: no further
+     escalation. *)
+  let n = List.length (List.filter (function Police.Renegotiated _ -> true | _ -> false) events) in
+  drive p ~from:(4 * w) ~slots:(4 * w) (noisy 1.3);
+  let n' =
+    List.length
+      (List.filter (fun i -> match i.Police.event with Police.Renegotiated _ -> true | _ -> false)
+         (Police.incidents p))
+  in
+  Alcotest.(check int) "one renegotiation suffices" n n'
+
+let test_police_escalation_ladder_without_headroom () =
+  (* Refused renegotiation walks the ladder: demote, throttle, evict. *)
+  let declared = { Admission.name = "l"; mean = 1.0; sigma2 = 0.1; hurst = 0.6 } in
+  let cac = Admission.create ~service:1.1 ~buffer:50.0 ~epsilon:1e-2 in
+  (match Admission.try_admit cac declared with
+  | Admission.Admit _ -> ()
+  | Admission.Reject r -> Alcotest.failf "seed admission: %s" r);
+  let w = 32 in
+  let p = Police.create ~config:(police_config ~window:w) ~cac [| declared |] in
+  drive p ~from:0 ~slots:(20 * w) (fun _ -> 1.3);
+  let events = List.map (fun i -> i.Police.event) (Police.incidents p) in
+  let has f = List.exists f events in
+  if not (has (function Police.Demoted 1 -> true | _ -> false)) then
+    Alcotest.fail "no demotion recorded";
+  if not (has (function Police.Throttle_set c -> c < infinity | _ -> false)) then
+    Alcotest.fail "no throttle recorded";
+  if not (List.mem Police.Evicted events) then Alcotest.fail "no eviction recorded";
+  Alcotest.(check bool) "evicted" true (Police.evicted p 0);
+  Alcotest.(check int) "contract released" 0 (Admission.admitted_count cac)
+
+let test_police_mux_integration () =
+  (* End to end through Mux.run: a faulted source is contained while
+     a clean one is untouched; the zero-fault policed run is
+     bit-identical to the unpoliced one. *)
+  let m = Lazy.force small_model in
+  let mk seed = Source.of_model ~order:32 m (Rng.create ~seed) in
+  let service = 3.0 *. m.Ss_core.Model.mean in
+  let slots = 6144 in
+  let plain = Mux.run ~service ~slots [| mk 61; mk 62 |] in
+  let srcs = [| mk 61; mk 62 |] in
+  let p =
+    Police.create ~config:(police_config ~window:256) (Array.map Admission.descr_of_source srcs)
+  in
+  let policed = Mux.run ~police:p ~service ~slots srcs in
+  close ~eps:0.0 "mean queue identical" plain.Mux.mean_queue policed.Mux.mean_queue;
+  close ~eps:0.0 "max queue identical" plain.Mux.max_queue policed.Mux.max_queue;
+  Array.iteri
+    (fun i s ->
+      close ~eps:0.0 "offered identical" s.Mux.offered policed.Mux.per_source.(i).Mux.offered)
+    plain.Mux.per_source;
+  (* Now inject a hard drift on source 0 and police it: the drifter
+     must be sanctioned (throttled or evicted), the clean source must
+     lose nothing. *)
+  let srcs = [| mk 61; mk 62 |] in
+  let faulted =
+    Fault.wrap_all ~rng:(Rng.create ~seed:63)
+      [ (Some 0, [ Fault.Drift { start = 1024; ramp = 0; factor = 5.0 } ]) ]
+      srcs
+  in
+  let p =
+    Police.create ~config:(police_config ~window:256)
+      (Array.map Admission.descr_of_source faulted)
+  in
+  let r = Mux.run ~police:p ~buffer:(20.0 *. m.Ss_core.Model.mean) ~service ~slots faulted in
+  (match Police.detected_at p 0 with
+  | Some t -> if t > 1024 + (3 * 256) then Alcotest.failf "drift detected late, slot %d" t
+  | None -> Alcotest.fail "drift never detected");
+  let sanctioned =
+    Police.evicted p 0 || Police.cap p 0 < infinity
+    || r.Mux.per_source.(0).Mux.throttled > 0.0
+    || r.Mux.per_source.(0).Mux.discarded > 0.0
+  in
+  Alcotest.(check bool) "drifter sanctioned" true sanctioned;
+  (* Honest LRD sources may collect benign drift flags; what matters
+     is that the clean source is never sanctioned. *)
+  Alcotest.(check bool) "clean source not evicted" false (Police.evicted p 1);
+  close "clean source not throttled" infinity (Police.cap p 1);
+  Alcotest.(check int) "clean source not demoted" 0 (Police.demotion p 1);
+  close "clean source loses nothing" 0.0 r.Mux.per_source.(1).Mux.throttled
+
 (* ------------------------------------------------------------------ *)
 
 let qcheck_cases =
@@ -626,6 +1086,9 @@ let () =
           tc "P2 small-n exact" test_p2_small_n_exact;
           tc "P2 uniform quantiles" test_p2_uniform;
           tc "P2 exponential quantiles" test_p2_exponential;
+          tc "Vt estimates FGN H" test_vt_estimates_fgn_hurst;
+          tc "Vt white noise H=0.5" test_vt_white_noise_is_half;
+          tc "Vt warmup/invalid" test_vt_warmup_and_invalid;
         ] );
       ( "source",
         [
@@ -650,6 +1113,10 @@ let () =
           tc "quantiles ordered" test_mux_queue_quantiles_ordered;
           tc "P2 vs exact on LRD stream" test_mux_p2_quantiles_vs_exact_on_lrd_stream;
           tc "invalid" test_mux_invalid;
+          tc "clean source departure" test_mux_source_departure;
+          tc "corrupt work isolated" test_mux_corrupt_work_is_isolated;
+          tc "class delay = delay (1 class)" test_mux_class_delay_single_class_exact;
+          tc "class delay priority order" test_mux_class_delay_priority_ordering;
         ] );
       ( "mux-is",
         [
@@ -667,6 +1134,24 @@ let () =
           tc "monotone in load" test_admission_overflow_monotone_in_load;
           tc "controller gates" test_admission_controller_gates;
           tc "invalid" test_admission_invalid;
+          tc "rejects malformed descriptors" test_admission_rejects_malformed_descriptors;
+          tc "renegotiate/evict" test_admission_renegotiate_and_evict;
+        ] );
+      ( "fault",
+        [
+          tc "drift/stall semantics" test_fault_drift_and_stall_semantics;
+          tc "misdeclare lies to CAC only" test_fault_misdeclare_changes_descriptor_only;
+          tc "empty spec = identity" test_fault_empty_spec_is_physical_identity;
+          tc "schedule deterministic" test_fault_schedule_deterministic;
+          tc "parse" test_fault_parse;
+        ] );
+      ( "police",
+        [
+          tc "conforming untouched" test_police_conforming_source_untouched;
+          tc "violation escalates to eviction" test_police_detects_violation_and_escalates;
+          tc "drift renegotiates" test_police_renegotiates_drift;
+          tc "ladder without headroom" test_police_escalation_ladder_without_headroom;
+          tc "mux integration" test_police_mux_integration;
         ] );
       ("properties", qcheck_cases);
     ]
