@@ -62,6 +62,21 @@ let domains_arg =
   in
   Arg.(value & opt int (Pool.env_domains ()) & info [ "domains" ] ~docv:"INT" ~doc)
 
+let backend_arg =
+  let doc =
+    "Background synthesis backend for model sources: $(b,hosking) streams the truncated \
+     Durbin-Levinson recursion (open-ended, O(order) memory); $(b,davies-harte) synthesizes \
+     the whole fixed horizon exactly at every lag in O(n log n) via circulant embedding. \
+     $(b,davies-harte) is incompatible with importance sampling ($(b,--is), nonzero \
+     $(b,--twist)), which needs per-step innovations."
+  in
+  Arg.(value & opt string "hosking" & info [ "backend" ] ~docv:"hosking|davies-harte" ~doc)
+
+let parse_backend = function
+  | "hosking" -> `Hosking
+  | "davies-harte" | "dh" -> `Davies_harte
+  | s -> invalid_arg (Printf.sprintf "bad backend %S (expected hosking or davies-harte)" s)
+
 let csv_arg =
   let doc =
     "Also write the overflow curve as CSV rows '(buffer, overflow)' to $(docv) (normalized \
@@ -406,8 +421,8 @@ let mux_cmd =
     let doc = "Policing measurement window in slots." in
     Arg.(value & opt int 512 & info [ "police-window" ] ~docv:"INT" ~doc)
   in
-  let run_is ~pool ~trace ~utilization ~sources ~order ~buffer_norm ~buffers ~twist ~horizon
-      ~replications ~seed ~max_lag =
+  let run_is ~pool ~trace ~utilization ~sources ~order ~backend ~buffer_norm ~buffers ~twist
+      ~horizon ~replications ~seed ~max_lag =
     let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
     let per_mean = model.Model.mean in
     let service = float_of_int sources *. per_mean /. utilization in
@@ -424,7 +439,8 @@ let mux_cmd =
       | None -> Stdlib.max 100 (int_of_float (10.0 *. b_norm))
     in
     let config ~twist =
-      Ss_mux.Mux_is.make_config ~model ~sources ~order ~service ~buffer ~slots ~twist ()
+      Ss_mux.Mux_is.make_config ~model ~sources ~order ~backend ~service ~buffer ~slots ~twist
+        ()
     in
     let rng = Rng.create ~seed in
     let print_estimate twist e =
@@ -458,41 +474,45 @@ let mux_cmd =
       in
       print_estimate twist (Ss_mux.Mux_is.estimate ?pool (config ~twist) ~replications rng)
   in
-  let run path utilization sources slots order buffer_norm epsilon composite priority
+  let run path utilization sources slots order backend buffer_norm epsilon composite priority
       buffers csv seed max_lag domains is_mode twist horizon replications faults police
       police_window =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
         Pool.with_pool ~domains @@ fun pool ->
         if priority && not composite then invalid_arg "--priority requires --composite";
+        let backend = parse_backend backend in
         let trace = Trace.load path in
         if is_mode then begin
           if composite then
             invalid_arg "--is supports unified-model sources only (omit --composite)";
           if faults <> None || police then
             invalid_arg "--faults/--police are incompatible with --is";
-          run_is ~pool ~trace ~utilization ~sources ~order ~buffer_norm ~buffers ~twist
-            ~horizon ~replications ~seed ~max_lag
+          run_is ~pool ~trace ~utilization ~sources ~order ~backend ~buffer_norm ~buffers
+            ~twist ~horizon ~replications ~seed ~max_lag
         end
         else begin
         if twist <> None || horizon <> None then
           invalid_arg "--twist/--horizon require --is";
         let rng = Rng.create ~seed in
+        (* The Davies-Harte backend synthesizes a fixed-length path;
+           the simulation length is its natural horizon. *)
+        let horizon = match backend with `Hosking -> None | `Davies_harte -> Some slots in
         let mk =
           if composite then begin
             let m = Mpeg.fit trace in
             fun i ->
               Ss_mux.Source.of_mpeg
                 ~name:(Printf.sprintf "src%02d" i)
-                ~order
+                ~order ~backend ?horizon
                 ~phase:(i mod Gop.length m.Mpeg.gop)
                 ~priority m (Rng.split rng)
           end
           else begin
             let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
             fun i ->
-              Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order model
-                (Rng.split rng)
+              Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order ~backend
+                ?horizon model (Rng.split rng)
           end
         in
         let srcs = Array.init sources mk in
@@ -584,8 +604,8 @@ let mux_cmd =
   Cmd.v (Cmd.info "mux" ~doc)
     Term.(
       const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
-      $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg $ buffers_arg $ csv_arg
-      $ seed_arg $ max_lag_arg $ domains_arg $ is_arg $ twist_arg $ horizon_arg
+      $ backend_arg $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg $ buffers_arg
+      $ csv_arg $ seed_arg $ max_lag_arg $ domains_arg $ is_arg $ twist_arg $ horizon_arg
       $ replications_arg $ faults_arg $ police_arg $ police_window_arg)
 
 (* --- fastsim --- *)
@@ -603,9 +623,11 @@ let fastsim_cmd =
     let doc = "Background twisted mean m*; 'sweep' prints the Fig-14 valley instead." in
     Arg.(value & opt (some string) None & info [ "twist"; "m" ] ~docv:"FLOAT|sweep" ~doc)
   in
-  let run path utilization buffer_norm horizon twist replications seed max_lag domains =
+  let run path utilization buffer_norm horizon twist replications seed max_lag domains backend
+      =
     wrap (fun () ->
         Pool.with_pool ~domains @@ fun pool ->
+        let backend = parse_backend backend in
         let trace = Trace.load path in
         let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
         let mean = model.Model.mean in
@@ -618,7 +640,16 @@ let fastsim_cmd =
         let arrival = Generate.arrival_fn model in
         let service = mean /. utilization in
         let buffer = buffer_norm *. mean in
-        let config ~twist = Is.make_config ~table ~arrival ~service ~buffer ~horizon ~twist () in
+        let backend =
+          match backend with
+          | `Hosking -> `Hosking
+          | `Davies_harte ->
+            `Davies_harte
+              (Ss_fractal.Davies_harte.plan ~acf:(Model.background_acf model) ~n:horizon)
+        in
+        let config ~twist =
+          Is.make_config ~table ~arrival ~service ~buffer ~horizon ~twist ~backend ()
+        in
         let rng = Rng.create ~seed in
         match twist with
         | Some "sweep" ->
@@ -650,7 +681,7 @@ let fastsim_cmd =
   Cmd.v (Cmd.info "fastsim" ~doc)
     Term.(
       const run $ trace_arg $ utilization_arg $ buffer_arg $ horizon_arg $ twist_arg
-      $ replications_arg $ seed_arg $ max_lag_arg $ domains_arg)
+      $ replications_arg $ seed_arg $ max_lag_arg $ domains_arg $ backend_arg)
 
 let () =
   let doc =

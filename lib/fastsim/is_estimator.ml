@@ -3,6 +3,7 @@ module Table = Ss_fractal.Hosking.Table
 module Mc = Ss_queueing.Mc
 
 type arrival = int -> float -> float
+type backend = [ `Hosking | `Davies_harte of Ss_fractal.Davies_harte.plan ]
 
 type config = {
   table : Table.t;
@@ -15,16 +16,32 @@ type config = {
   lik_plan : Likelihood.plan;
   initial_workload : float;
   full_start : bool;
+  backend : backend;
 }
 
 let make_config ~table ~arrival ~service ~buffer ~horizon ~twist ?profile
-    ?(full_start = false) ?(initial_workload = 0.0) () =
+    ?(full_start = false) ?(initial_workload = 0.0) ?(backend = `Hosking) () =
   if service <= 0.0 then invalid_arg "Is_estimator: service <= 0";
   if buffer < 0.0 then invalid_arg "Is_estimator: buffer < 0";
   if horizon <= 0 || horizon > Table.length table then
     invalid_arg "Is_estimator: horizon outside table length";
   if initial_workload < 0.0 then invalid_arg "Is_estimator: initial_workload < 0";
   let profile = match profile with Some p -> p | None -> Twist.constant twist in
+  (match backend with
+  | `Hosking -> ()
+  | `Davies_harte plan ->
+    (* Exact-synthesis backend: the whole background path is drawn
+       under the untwisted law, so there are no per-step innovations
+       to accumulate a likelihood from — it is plain Monte Carlo and
+       only valid at zero twist. *)
+    (match Twist.constant_value profile with
+    | Some v when v = 0.0 -> ()
+    | _ ->
+      invalid_arg
+        "Is_estimator: backend `Davies_harte is exact plain Monte Carlo and requires a zero \
+         twist (no likelihood reweighting is possible without per-step innovations)");
+    if Ss_fractal.Davies_harte.plan_length plan < horizon then
+      invalid_arg "Is_estimator: Davies-Harte plan shorter than the horizon");
   let lik_plan = Likelihood.plan ~table ~profile in
   {
     table;
@@ -37,6 +54,7 @@ let make_config ~table ~arrival ~service ~buffer ~horizon ~twist ?profile
     lik_plan;
     initial_workload;
     full_start;
+    backend;
   }
 
 type replication = {
@@ -46,7 +64,32 @@ type replication = {
   stop_step : int;
 }
 
-let replicate cfg rng =
+(* Plain-MC replication on an exactly synthesized background path:
+   first passage of the workload over the buffer, all weights 1
+   (zero twist was enforced at config time). Unlike the Hosking walk
+   this is exact at {e every} lag, not just up to the table order —
+   the cross-backend agreement gate in the bench leans on that. *)
+let replicate_davies_harte cfg plan rng =
+  let xs = Array.make (Ss_fractal.Davies_harte.plan_length plan) 0.0 in
+  Ss_fractal.Davies_harte.generate_into plan rng xs;
+  let w = ref 0.0 in
+  let result = ref None in
+  let k = ref 0 in
+  while !result = None && !k < cfg.horizon do
+    let y = cfg.arrival !k xs.(!k) in
+    w := !w +. y -. cfg.service;
+    if cfg.initial_workload +. !w > cfg.buffer then
+      result := Some { hit = true; weight = 1.0; log_weight = 0.0; stop_step = !k + 1 };
+    incr k
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+    if cfg.full_start && !w > 0.0 then
+      { hit = true; weight = 1.0; log_weight = 0.0; stop_step = cfg.horizon }
+    else { hit = false; weight = 0.0; log_weight = neg_infinity; stop_step = cfg.horizon }
+
+let replicate_hosking cfg rng =
   let table = cfg.table in
   let lik = Likelihood.of_plan cfg.lik_plan in
   (* Background path under the twisted law, built incrementally:
@@ -80,6 +123,11 @@ let replicate cfg rng =
       let lw = Likelihood.log_ratio lik in
       { hit = true; weight = exp lw; log_weight = lw; stop_step = cfg.horizon }
     else { hit = false; weight = 0.0; log_weight = neg_infinity; stop_step = cfg.horizon }
+
+let replicate cfg rng =
+  match cfg.backend with
+  | `Hosking -> replicate_hosking cfg rng
+  | `Davies_harte plan -> replicate_davies_harte cfg plan rng
 
 let estimate ?pool cfg ~replications rng =
   if replications <= 0 then invalid_arg "Is_estimator.estimate: replications <= 0";

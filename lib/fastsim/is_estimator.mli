@@ -22,6 +22,15 @@ type arrival = int -> float -> float
     [Transform.apply1 h] for a single marginal, or a GOP-indexed
     family of transforms for the composite MPEG model. *)
 
+type backend = [ `Hosking | `Davies_harte of Ss_fractal.Davies_harte.plan ]
+(** Background-path synthesis per replication. [`Hosking] (default)
+    walks the Durbin–Levinson recursion step by step — required for
+    any nonzero twist, since the likelihood ratio is accumulated from
+    the per-step innovations. [`Davies_harte plan] draws the whole
+    path exactly (every lag) by circulant embedding and runs plain
+    Monte Carlo on it: only valid at zero twist, where all weights
+    are 1; the plan must cover the horizon. *)
+
 type config = {
   table : Ss_fractal.Hosking.Table.t;  (** background model, length >= horizon *)
   arrival : arrival;
@@ -41,6 +50,7 @@ type config = {
   full_start : bool;
       (** when true, model an initially full buffer: overflow also
           occurs if [q0 + W_k > b] at the horizon with [q0 = b]. *)
+  backend : backend;  (** per-replication background synthesis *)
 }
 
 val make_config :
@@ -53,14 +63,17 @@ val make_config :
   ?profile:Twist.t ->
   ?full_start:bool ->
   ?initial_workload:float ->
+  ?backend:backend ->
   unit ->
   config
 (** Validate and build. [full_start] defaults to false,
-    [initial_workload] to 0. When [profile] is given it overrides the
-    constant [twist] (which then only serves as a label); otherwise
-    the shift is [Twist.constant twist], the paper's scheme.
+    [initial_workload] to 0, [backend] to [`Hosking]. When [profile]
+    is given it overrides the constant [twist] (which then only
+    serves as a label); otherwise the shift is [Twist.constant twist],
+    the paper's scheme.
     @raise Invalid_argument on violated constraints (service <= 0,
-    buffer < 0, horizon outside the table, ...). *)
+    buffer < 0, horizon outside the table, a [`Davies_harte] backend
+    with a nonzero twist or a plan shorter than the horizon, ...). *)
 
 type replication = {
   hit : bool;  (** overflow occurred *)

@@ -41,7 +41,9 @@ let plan ~acf ~n =
 let plan_length p = p.n
 let min_eigenvalue p = p.min_eig
 
-let generate p rng =
+let generate_into p rng dst =
+  if Array.length dst < p.n then
+    invalid_arg "Davies_harte.generate_into: buffer shorter than the plan";
   let two_m = 2 * p.m in
   let scale = 1.0 /. sqrt (float_of_int two_m) in
   let re = Array.make two_m 0.0 in
@@ -59,4 +61,9 @@ let generate p rng =
     im.(two_m - k) <- -.s *. v
   done;
   Fft.forward re im;
-  Array.sub re 0 p.n
+  Array.blit re 0 dst 0 p.n
+
+let generate p rng =
+  let dst = Array.make p.n 0.0 in
+  generate_into p rng dst;
+  dst

@@ -34,3 +34,11 @@ val min_eigenvalue : plan -> float
 val generate : plan -> Ss_stats.Rng.t -> float array
 (** Sample a zero-mean unit-variance Gaussian path of length
     [plan_length]. *)
+
+val generate_into : plan -> Ss_stats.Rng.t -> float array -> unit
+(** Sample into the first [plan_length] entries of an existing buffer
+    — bit-identical to {!generate} on the same generator state, for
+    replication loops that reuse one path buffer. The plan itself is
+    never mutated, so one plan can serve many streams.
+    @raise Invalid_argument if the buffer is shorter than
+    [plan_length]. *)

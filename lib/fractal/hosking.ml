@@ -56,6 +56,33 @@ let dl_step_pool pool ~r ~k ~prev ~next ~v_prev =
         (Array.unsafe_get prev (j - 1) -. (phi_kk *. Array.unsafe_get prev (k - j - 1))));
   v_prev *. (1.0 -. (phi_kk *. phi_kk))
 
+(* AR dot product sum_{j=1..k} row.(j-1) * win.(top - j), 4-way
+   unrolled. A single accumulator carries the chain through the
+   unrolled adds, so the floating-point summation order is exactly
+   that of the naive left-to-right loop — the unrolling only removes
+   loop overhead and exposes independent loads, it never reassociates
+   the sum. This is what lets the block kernel stay bit-identical to
+   the historical per-slot path. [win.(top - 1)] must be the most
+   recent value and the window must be contiguous going back [k]
+   entries; no bounds checks are performed. *)
+let ar_dot row win ~top ~k =
+  let s = ref 0.0 in
+  let j = ref 1 in
+  let limit = k - 3 in
+  while !j <= limit do
+    let j0 = !j in
+    let s0 = !s +. (Array.unsafe_get row (j0 - 1) *. Array.unsafe_get win (top - j0)) in
+    let s1 = s0 +. (Array.unsafe_get row j0 *. Array.unsafe_get win (top - j0 - 1)) in
+    let s2 = s1 +. (Array.unsafe_get row (j0 + 1) *. Array.unsafe_get win (top - j0 - 2)) in
+    s := s2 +. (Array.unsafe_get row (j0 + 2) *. Array.unsafe_get win (top - j0 - 3));
+    j := j0 + 4
+  done;
+  while !j <= k do
+    s := !s +. (Array.unsafe_get row (!j - 1) *. Array.unsafe_get win (top - !j));
+    incr j
+  done;
+  !s
+
 module Table = struct
   type t = {
     rows : float array array;  (* rows.(k-1) = [| phi_{k,1}; ...; phi_{k,k} |] *)
@@ -111,15 +138,73 @@ module Table = struct
 
   let cond_mean t xs k =
     check_k t k "cond_mean";
-    if k = 0 then 0.0
-    else begin
-      let row = t.rows.(k - 1) in
-      let s = ref 0.0 in
-      for j = 1 to k do
-        s := !s +. (Array.unsafe_get row (j - 1) *. Array.unsafe_get xs (k - j))
-      done;
-      !s
-    end
+    if k = 0 then 0.0 else ar_dot t.rows.(k - 1) xs ~top:k ~k
+end
+
+(* Streaming generator state over a double-buffered ring: value k is
+   written at both [k mod order] and [k mod order + order], so the
+   last [order] values are always contiguous, ending at
+   [((k-1) mod order) + order] — the per-slot [Array.blit] shift of
+   the closure-based stream is gone, and the window feeds [ar_dot]
+   directly. *)
+module Block = struct
+  type t = {
+    table : Table.t;
+    order : int;
+    ring : float array;  (* length 2 * order *)
+    mutable k : int;  (* values generated so far *)
+    mutable scratch : float array;  (* batched innovations, grown on demand *)
+  }
+
+  let create ~table ~order =
+    if order < 1 || order >= Table.length table then
+      invalid_arg "Hosking.Block.create: order outside [1, table length)";
+    { table; order; ring = Array.make (2 * order) 0.0; k = 0; scratch = [||] }
+
+  let generated t = t.k
+
+  (* The innovations are independent of the generated values, so one
+     [Rng.fill_gaussian] batch replaces [len] per-slot boxed calls —
+     the same deviate sequence, read unboxed from a float array. The
+     write position [p = k mod order] is carried incrementally and
+     the frozen AR row/std are hoisted, so the steady-state slot cost
+     is the [ar_dot] chain plus three stores. *)
+  let fill t rng buf ~off ~len =
+    if len < 0 || off < 0 || off + len > Array.length buf then
+      invalid_arg "Hosking.Block.fill: range outside the buffer";
+    if Array.length t.scratch < len then t.scratch <- Array.make len 0.0;
+    let g = t.scratch in
+    Rng.fill_gaussian rng g ~off:0 ~len;
+    let order = t.order in
+    let ring = t.ring in
+    let rows = t.table.Table.rows in
+    let stds = t.table.Table.stds in
+    let frozen_row = if Array.length rows >= order then Array.unsafe_get rows (order - 1) else [||] in
+    let frozen_std = Array.unsafe_get stds order in
+    let k = ref t.k in
+    let p = ref (t.k mod order) in
+    for i = 0 to len - 1 do
+      let kc = !k in
+      let pp = !p in
+      let m =
+        if kc >= order then
+          let top = if pp = 0 then 2 * order else pp + order in
+          ar_dot frozen_row ring ~top ~k:order
+        else if kc = 0 then 0.0
+        else
+          (* pre-steady-state: pp = kc, so the window top is kc + order *)
+          ar_dot (Array.unsafe_get rows (kc - 1)) ring ~top:(pp + order) ~k:kc
+      in
+      let std = if kc >= order then frozen_std else Array.unsafe_get stds kc in
+      let x = m +. (std *. Array.unsafe_get g i) in
+      Array.unsafe_set ring pp x;
+      Array.unsafe_set ring (pp + order) x;
+      Array.unsafe_set buf (off + i) x;
+      let pn = pp + 1 in
+      p := if pn = order then 0 else pn;
+      k := kc + 1
+    done;
+    t.k <- t.k + len
 end
 
 let generate_into table rng buf =
@@ -154,11 +239,8 @@ let generate_stream ~acf ~n rng =
     prev := !next;
     next := t;
     let row = !prev in
-    let m = ref 0.0 in
-    for j = 1 to k do
-      m := !m +. (Array.unsafe_get row (j - 1) *. Array.unsafe_get xs (k - j))
-    done;
-    xs.(k) <- !m +. (sqrt !v *. Rng.gaussian rng)
+    let m = ar_dot row xs ~top:k ~k in
+    xs.(k) <- m +. (sqrt !v *. Rng.gaussian rng)
   done;
   xs
 
@@ -179,23 +261,13 @@ let generate_truncated ~acf ~n ~max_order rng =
       prev := !next;
       next := t;
       let row = !prev in
-      if k < n then begin
-        let m = ref 0.0 in
-        for j = 1 to k do
-          m := !m +. (row.(j - 1) *. xs.(k - j))
-        done;
-        xs.(k) <- !m +. (sqrt !v *. Rng.gaussian rng)
-      end
+      if k < n then xs.(k) <- ar_dot row xs ~top:k ~k +. (sqrt !v *. Rng.gaussian rng)
     done;
     (* Frozen AR(max_order) filter beyond the exact prefix. *)
     let row = !prev in
     let std = sqrt !v in
     for k = max_order + 1 to n - 1 do
-      let m = ref 0.0 in
-      for j = 1 to max_order do
-        m := !m +. (Array.unsafe_get row (j - 1) *. Array.unsafe_get xs (k - j))
-      done;
-      xs.(k) <- !m +. (std *. Rng.gaussian rng)
+      xs.(k) <- ar_dot row xs ~top:k ~k:max_order +. (std *. Rng.gaussian rng)
     done;
     xs
   end

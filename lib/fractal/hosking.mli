@@ -62,6 +62,34 @@ module Table : sig
       @raise Invalid_argument if [k] outside [0, n-1]. *)
 end
 
+module Block : sig
+  type t
+  (** Streaming truncated-Hosking generator state: exact
+      Durbin–Levinson recursion up to lag [order], frozen AR([order])
+      beyond, over a double-buffered ring so the sliding window is
+      always contiguous (no per-slot shifting) and the conditional
+      mean runs through a 4-way-unrolled single-accumulator dot
+      kernel. Successive {!fill}s produce exactly the stream of
+      {!generate_truncated} / [Source.background_stream] on the same
+      generator state, bit for bit, at any block-size split. *)
+
+  val create : table:Table.t -> order:int -> t
+  (** Fresh state over a shared coefficient table. O(order) resident
+      memory. @raise Invalid_argument if [order] outside
+      [1, Table.length table - 1] (the table must also hold the
+      frozen row/std at index [order]). *)
+
+  val generated : t -> int
+  (** Number of values produced so far. *)
+
+  val fill : t -> Ss_stats.Rng.t -> float array -> off:int -> len:int -> unit
+  (** Append the next [len] values of the stream into
+      [buf.(off .. off+len-1)]. Zero per-slot allocation; draws
+      exactly one Gaussian per value.
+      @raise Invalid_argument if the range lies outside the
+      buffer. *)
+end
+
 val generate : Table.t -> Ss_stats.Rng.t -> float array
 (** Sample one path of the table's full length. *)
 

@@ -120,9 +120,23 @@ let wrap ?name ~rng spec (src : Source.t) =
       incr t;
       (List.fold_left (fun w f -> f slot w) w transforms, c)
     in
+    (* Native block path: pull a block from the wrapped source, then
+       apply the event transforms slot by slot in slot order — the
+       stochastic schedules (episode processes, corruption draws)
+       advance exactly as under scalar pulls, so block and scalar
+       wrapping are bit-identical. *)
+    let pull_block wbuf cbuf off len =
+      let f = src.Source.pull_block wbuf cbuf off len in
+      for j = off to off + f - 1 do
+        let slot = !t in
+        incr t;
+        wbuf.(j) <- List.fold_left (fun w g -> g slot w) wbuf.(j) transforms
+      done;
+      f
+    in
     let mean, sigma2, hurst = misdeclared spec src in
     let name = match name with Some n -> n | None -> src.Source.name ^ "!" in
-    Source.make ~name ~mean ~sigma2 ~hurst pull
+    Source.make ~pull_block ~name ~mean ~sigma2 ~hurst pull
 
 let wrap_all ~rng specs sources =
   let n = Array.length sources in

@@ -32,10 +32,31 @@ type report = {
 
 let max_classes = 64
 
-(* Number of slots a pooled run advances every source by before the
-   sequential Lindley/admission loop consumes them; amortizes the
-   per-batch pool synchronization over prefetch_slots * N pulls. *)
+(* Number of slots every source is advanced by (via its block pull)
+   before the sequential Lindley/admission loop consumes them;
+   amortizes both the per-batch pool synchronization and the
+   per-block kernel setup over prefetch_slots * N slots. *)
 let prefetch_slots = 256
+
+(* All-float mutable record for the per-slot Lindley/admission state:
+   float-only records are stored flat, so updating a field is an
+   unboxed store — unlike [float ref], whose [:=] boxes a fresh float
+   every assignment. This keeps the sequential admission loop free of
+   per-slot allocation. *)
+type slot_state = {
+  mutable q : float;  (* Lindley queue *)
+  mutable served : float;  (* total work served *)
+  mutable adm : float;  (* work admitted this slot *)
+  mutable room : float;  (* remaining admission room this slot *)
+  mutable rem : float;  (* remaining service in the class replay *)
+  mutable prefix : float;  (* class-backlog prefix sum *)
+}
+
+(* Monomorphic min/max: the polymorphic [Stdlib.min]/[Stdlib.max]
+   box float arguments at every call. Identical to them for non-NaN
+   floats, and every value reaching these is already sanitized. *)
+let fmin (a : float) b = if a <= b then a else b
+let fmax (a : float) b = if a >= b then a else b
 
 let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ]) ?probe
     ?police ~service ~slots sources =
@@ -50,51 +71,60 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
   | _ -> ());
   let departed = Array.make n false in
   let departed_at = Array.make n (-1) in
-  (* A source that raises [Source.End_of_stream] departs cleanly: it
-     contributes zero work from that slot on and the run continues
-     with the remaining sources. Each source's flag is written only
-     by the task that owns the source, so the pooled prefetch stays
-     race-free. *)
-  let pull_raw t i =
-    if departed.(i) then (0.0, 0)
+  (* Source pulls are independent of the queue state, so every source
+     is advanced [block] slots at a time through its block pull into
+     a source-major staging buffer (source [i] owns the contiguous
+     region [i*block .. i*block + block - 1]); the Lindley/admission
+     loop below then consumes the staged slots sequentially. Every
+     source still sees its slots in order, and sources never share
+     mutable state (each model source runs on its own split
+     substream), so blocked advancement is bit-identical to per-slot
+     interleaving — with or without a pool, at any domain count.
+
+     The one consumer that needs strict lock-step is a [probe] that
+     terminates the run by raising (the importance sampler's
+     first-passage cutoff): its sources and likelihood accumulators
+     must not advance past the crossing slot, so a probed pool-less
+     run stages one slot at a time, exactly as before this kernel
+     existed. *)
+  let block =
+    match (probe, pool) with Some _, None -> 1 | _ -> Stdlib.min prefetch_slots slots
+  in
+  let wbuf = Array.make (block * n) 0.0 in
+  let cbuf = Array.make (block * n) 0 in
+  (* A source whose block pull comes up short (the block analogue of
+     raising [Source.End_of_stream]) departs cleanly: it contributes
+     zero work from that slot on and the run continues with the
+     remaining sources. Each source's flags and staging region are
+     written only by the task that owns the source, so the pooled
+     prefetch stays race-free. *)
+  let fill_source t0 bs i =
+    let off = i * block in
+    if departed.(i) then begin
+      Array.fill wbuf off bs 0.0;
+      Array.fill cbuf off bs 0
+    end
     else
-      match Source.next sources.(i) with
-      | wc -> wc
-      | exception Source.End_of_stream ->
+      let f = Source.next_block sources.(i) wbuf cbuf ~off ~len:bs in
+      if f < bs then begin
         departed.(i) <- true;
-        departed_at.(i) <- t;
-        (0.0, 0)
+        departed_at.(i) <- t0 + f;
+        Array.fill wbuf (off + f) (bs - f) 0.0;
+        Array.fill cbuf (off + f) (bs - f) 0
+      end
   in
-  (* Source pulls are independent of the queue state, so with a pool
-     they are advanced a block of slots at a time, each source on one
-     domain (a source's internal state is only ever touched by the
-     task that owns it). Every source still sees exactly one pull per
-     slot in slot order, so the run is bit-identical with and without
-     a pool — the Lindley recursion below stays sequential either
-     way. *)
-  let pull =
+  let cur_t0 = ref 0 in
+  let cur_bs = ref 0 in
+  let dispatch =
     match pool with
-    | None -> pull_raw
+    | None -> fun () -> for i = 0 to n - 1 do fill_source !cur_t0 !cur_bs i done
     | Some p ->
-      let wbuf = Array.make (prefetch_slots * n) 0.0 in
-      let cbuf = Array.make (prefetch_slots * n) 0 in
-      let base = ref 0 in
-      let filled = ref 0 in
-      fun t i ->
-        if t >= !base + !filled then begin
-          base := t;
-          let bs = Stdlib.min prefetch_slots (slots - t) in
-          filled := bs;
-          Ss_parallel.Pool.parallel_for p ~chunk:1 ~lo:0 ~hi:(n - 1) (fun i ->
-              for s = 0 to bs - 1 do
-                let w, c = pull_raw (t + s) i in
-                wbuf.((s * n) + i) <- w;
-                cbuf.((s * n) + i) <- c
-              done)
-        end;
-        let off = ((t - !base) * n) + i in
-        (wbuf.(off), cbuf.(off))
+      (* One prebuilt item per source: the fan-out recurs every
+         [block] slots, so the item closures are compiled once. *)
+      Ss_parallel.Pool.static_for p ~n (fun i -> fill_source !cur_t0 !cur_bs i)
   in
+  let base = ref 0 in
+  let filled = ref 0 in
   let works = Array.make n 0.0 in
   let classes = Array.make n 0 in
   let class_sums = Array.make max_classes 0.0 in
@@ -108,66 +138,82 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
   let throttled = Array.make n 0.0 in
   let discarded = Array.make n 0.0 in
   let queue_stats = Online.create () in
-  let q_quant = List.map (fun p -> (p, Online.P2.create ~p)) quantiles in
-  let d_quant = List.map (fun p -> (p, Online.P2.create ~p)) quantiles in
+  (* Quantile estimators as (probability, estimator) arrays: the hot
+     loop indexes them with plain [for] loops instead of [List.iter]
+     closures (a closure capture per slot). *)
+  let q_quant = Array.of_list (List.map (fun p -> (p, Online.P2.create ~p)) quantiles) in
+  let d_quant = Array.of_list (List.map (fun p -> (p, Online.P2.create ~p)) quantiles) in
+  let nq = Array.length q_quant in
   (* Per-class virtual-delay tracking: class backlogs follow the same
      arrivals-then-service recursion as [q] (their sum replays it),
      kept strictly apart from the Lindley state so the queue floats
      stay bit-identical to runs that never asked for class delays. *)
   let class_backlog = Array.make max_classes 0.0 in
-  let class_quant : (float * Online.P2.t) list option array = Array.make max_classes None in
+  let class_quant : (float * Online.P2.t) array option array = Array.make max_classes None in
   let top_class = ref (-1) in
   let thr = Array.of_list thresholds in
   let thr_hits = Array.make (Array.length thr) 0 in
-  let q = ref 0.0 in
-  let served_total = ref 0.0 in
+  let st = { q = 0.0; served = 0.0; adm = 0.0; room = 0.0; rem = 0.0; prefix = 0.0 } in
   for t = 0 to slots - 1 do
+    if t >= !base + !filled then begin
+      base := t;
+      let bs = Stdlib.min block (slots - t) in
+      filled := bs;
+      cur_t0 := t;
+      cur_bs := bs;
+      dispatch ()
+    end;
+    let boff = t - !base in
     let max_class = ref 0 in
     for i = 0 to n - 1 do
-      let w, c = pull t i in
+      let w0 = Array.unsafe_get wbuf ((i * block) + boff) in
+      let c = Array.unsafe_get cbuf ((i * block) + boff) in
       (* Graceful degradation: corrupt work (NaN, negative, infinite)
          must not crash the run or poison the Lindley recursion — it
          is zeroed, counted against the source, and reported to the
-         policer (which evicts repeat offenders). *)
-      let w, was_corrupt =
-        if Float.is_nan w || w < 0.0 || w = infinity then begin
+         policer (which evicts repeat offenders). [w0 <> w0] is the
+         (allocation-free) NaN test. *)
+      let was_corrupt = w0 <> w0 || w0 < 0.0 || w0 = infinity in
+      let w =
+        if was_corrupt then begin
           corrupt.(i) <- corrupt.(i) + 1;
           (match police with Some p -> Police.note_corrupt p ~slot:t i | None -> ());
-          (0.0, true)
+          0.0
         end
-        else (w, false)
+        else w0
       in
       if c < 0 || c >= max_classes then
         invalid_arg (Printf.sprintf "Mux.run: source %s yielded class %d" sources.(i).Source.name c);
-      let w, c =
-        match police with
-        | None -> (w, c)
-        | Some p ->
-          if Police.evicted p i then begin
-            discarded.(i) <- discarded.(i) +. w;
-            (0.0, c)
+      (* Each branch writes its (work, class) outcome straight into
+         [works]/[classes] — a cross-branch tuple here would allocate
+         every slot. *)
+      (match police with
+      | None ->
+        works.(i) <- w;
+        classes.(i) <- c
+      | Some p ->
+        if Police.evicted p i then begin
+          discarded.(i) <- discarded.(i) +. w;
+          works.(i) <- 0.0;
+          classes.(i) <- c
+        end
+        else begin
+          (* The policer judges the work the source tried to send;
+             the buffer sees the throttled remainder. Corrupt slots
+             went to [note_corrupt] instead — a NaN would poison
+             the moment estimates. *)
+          if not was_corrupt then Police.observe p ~slot:t i w;
+          let cap = Police.cap p i in
+          if w > cap then begin
+            throttled.(i) <- throttled.(i) +. (w -. cap);
+            works.(i) <- cap
           end
-          else begin
-            (* The policer judges the work the source tried to send;
-               the buffer sees the throttled remainder. Corrupt slots
-               went to [note_corrupt] instead — a NaN would poison
-               the moment estimates. *)
-            if not was_corrupt then Police.observe p ~slot:t i w;
-            let cap = Police.cap p i in
-            let w' =
-              if w > cap then begin
-                throttled.(i) <- throttled.(i) +. (w -. cap);
-                cap
-              end
-              else w
-            in
-            let d = Police.demotion p i in
-            let c' = if d = 0 then c else Stdlib.min (max_classes - 1) (c + d) in
-            (w', c')
-          end
-      in
-      works.(i) <- w;
-      classes.(i) <- c;
+          else works.(i) <- w;
+          let d = Police.demotion p i in
+          classes.(i) <- (if d = 0 then c else Stdlib.min (max_classes - 1) (c + d))
+        end);
+      let w = works.(i) in
+      let c = classes.(i) in
       offered.(i) <- offered.(i) +. w;
       if w > peak.(i) then peak.(i) <- w;
       if c > !max_class then max_class := c;
@@ -177,14 +223,15 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
       (* Estimators exist for classes up to the highest one seen so
          far and are fed from that slot on. *)
       for c = !top_class + 1 to !max_class do
-        class_quant.(c) <- Some (List.map (fun p -> (p, Online.P2.create ~p)) quantiles)
+        class_quant.(c) <-
+          Some (Array.of_list (List.map (fun p -> (p, Online.P2.create ~p)) quantiles))
       done;
       top_class := !max_class
     end;
-    let admitted_total = ref 0.0 in
+    st.adm <- 0.0;
     if buffer = infinity then begin
       for i = 0 to n - 1 do
-        admitted_total := !admitted_total +. works.(i);
+        st.adm <- st.adm +. works.(i);
         admitted.(i) <- admitted.(i) +. works.(i)
       done;
       for c = 0 to !max_class do
@@ -197,49 +244,58 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
          arrivals; classes are admitted in strict priority order and
          a class that does not fit shares the remaining room
          proportionally to offered work. *)
-      let room = ref (Stdlib.max 0.0 (buffer +. service -. !q)) in
+      st.room <- fmax 0.0 (buffer +. service -. st.q);
       for c = 0 to !max_class do
         let s = class_sums.(c) in
         let f =
-          if s <= 0.0 then 0.0 else if s <= !room then 1.0 else !room /. s
+          if s <= 0.0 then 0.0 else if s <= st.room then 1.0 else st.room /. s
         in
         class_scale.(c) <- f;
-        room := Stdlib.max 0.0 (!room -. (s *. f));
+        st.room <- fmax 0.0 (st.room -. (s *. f));
         class_adm.(c) <- s *. f;
         class_sums.(c) <- 0.0
       done;
       for i = 0 to n - 1 do
         let w = works.(i) in
         let a = w *. class_scale.(classes.(i)) in
-        admitted_total := !admitted_total +. a;
+        st.adm <- st.adm +. a;
         admitted.(i) <- admitted.(i) +. a;
         lost.(i) <- lost.(i) +. (w -. a)
       done
     end;
-    served_total := !served_total +. Stdlib.min service (!q +. !admitted_total);
-    q := Stdlib.max 0.0 (!q +. !admitted_total -. service);
+    st.served <- st.served +. fmin service (st.q +. st.adm);
+    st.q <- fmax 0.0 (st.q +. st.adm -. service);
     (* Replay the slot on the class backlogs: arrivals, then strict
        priority service of the slot's capacity. *)
-    let rem = ref service in
+    st.rem <- service;
     for c = 0 to !top_class do
       let b = class_backlog.(c) +. class_adm.(c) in
       class_adm.(c) <- 0.0;
-      let take = Stdlib.min !rem b in
+      let take = fmin st.rem b in
       class_backlog.(c) <- b -. take;
-      rem := !rem -. take
+      st.rem <- st.rem -. take
     done;
-    let prefix = ref 0.0 in
+    st.prefix <- 0.0;
     for c = 0 to !top_class do
-      prefix := !prefix +. class_backlog.(c);
+      st.prefix <- st.prefix +. class_backlog.(c);
       match class_quant.(c) with
-      | Some qs -> List.iter (fun (_, p2) -> Online.P2.add p2 (!prefix /. service)) qs
+      | Some qs ->
+        for j = 0 to Array.length qs - 1 do
+          Online.P2.add (snd qs.(j)) (st.prefix /. service)
+        done
       | None -> ()
     done;
-    Online.add queue_stats !q;
-    List.iter (fun (_, p2) -> Online.P2.add p2 !q) q_quant;
-    List.iter (fun (_, p2) -> Online.P2.add p2 (!q /. service)) d_quant;
-    Array.iteri (fun j b -> if !q > b then thr_hits.(j) <- thr_hits.(j) + 1) thr;
-    match probe with None -> () | Some f -> f t !q
+    Online.add queue_stats st.q;
+    for j = 0 to nq - 1 do
+      Online.P2.add (snd q_quant.(j)) st.q
+    done;
+    for j = 0 to nq - 1 do
+      Online.P2.add (snd d_quant.(j)) (st.q /. service)
+    done;
+    for j = 0 to Array.length thr - 1 do
+      if st.q > thr.(j) then thr_hits.(j) <- thr_hits.(j) + 1
+    done;
+    match probe with None -> () | Some f -> f t st.q
   done;
   let fslots = float_of_int slots in
   let total_offered = Array.fold_left ( +. ) 0.0 offered in
@@ -249,18 +305,22 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
     service;
     buffer;
     offered_utilization = total_offered /. fslots /. service;
-    carried_utilization = !served_total /. (service *. fslots);
+    carried_utilization = st.served /. (service *. fslots);
     loss_fraction = (if total_offered > 0.0 then total_lost /. total_offered else 0.0);
     mean_queue = Online.mean queue_stats;
     max_queue = Online.max queue_stats;
-    queue_quantiles = List.map (fun (p, p2) -> (p, Online.P2.quantile p2)) q_quant;
-    delay_quantiles = List.map (fun (p, p2) -> (p, Online.P2.quantile p2)) d_quant;
+    queue_quantiles =
+      Array.to_list (Array.map (fun (p, p2) -> (p, Online.P2.quantile p2)) q_quant);
+    delay_quantiles =
+      Array.to_list (Array.map (fun (p, p2) -> (p, Online.P2.quantile p2)) d_quant);
     class_delay_quantiles =
       (let acc = ref [] in
        for c = !top_class downto 0 do
          match class_quant.(c) with
-         | Some qs when List.for_all (fun (_, p2) -> Online.P2.count p2 > 0) qs ->
-           acc := (c, List.map (fun (p, p2) -> (p, Online.P2.quantile p2)) qs) :: !acc
+         | Some qs when Array.for_all (fun (_, p2) -> Online.P2.count p2 > 0) qs ->
+           acc :=
+             (c, Array.to_list (Array.map (fun (p, p2) -> (p, Online.P2.quantile p2)) qs))
+             :: !acc
          | _ -> ()
        done;
        !acc);

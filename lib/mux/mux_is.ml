@@ -25,8 +25,18 @@ let scaled_profile profile scale =
     | Some m -> Twist.constant (scale *. m)
     | None -> Twist.of_fun (fun k -> scale *. Twist.shift profile k)
 
-let make_config ~model ~sources ?(order = 256) ~service ~buffer ~slots ~twist ?profile ?scales ()
-    =
+let make_config ~model ~sources ?(order = 256) ?(backend = `Hosking) ~service ~buffer ~slots
+    ~twist ?profile ?scales () =
+  (match (backend : Source.backend) with
+  | `Hosking -> ()
+  | `Davies_harte ->
+    (* The likelihood ratio is accumulated from the per-step Hosking
+       innovations; the materializing Davies-Harte synthesis never
+       produces them, so importance sampling cannot run on it. *)
+    invalid_arg
+      "Mux_is.make_config: backend `Davies_harte cannot drive importance sampling (the \
+       streaming likelihood needs per-step Hosking innovations); use the default `Hosking \
+       backend");
   if sources <= 0 then invalid_arg "Mux_is.make_config: sources <= 0";
   if service <= 0.0 then invalid_arg "Mux_is.make_config: service <= 0";
   if buffer < 0.0 then invalid_arg "Mux_is.make_config: buffer < 0";

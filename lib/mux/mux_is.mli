@@ -49,6 +49,7 @@ val make_config :
   model:Ss_core.Model.t ->
   sources:int ->
   ?order:int ->
+  ?backend:Source.backend ->
   service:float ->
   buffer:float ->
   slots:int ->
@@ -59,9 +60,14 @@ val make_config :
   config
 (** Validate and precompute. [order] defaults to 256. When [profile]
     is given it overrides the constant [twist] (which then only
-    labels the config); [scales] defaults to all ones.
+    labels the config); [scales] defaults to all ones. [backend]
+    exists so callers that select a synthesis backend get a clear
+    error here rather than a silent behavior change: only the default
+    [`Hosking] is accepted — the likelihood accumulator consumes
+    per-step Hosking innovations, which the materializing
+    [`Davies_harte] synthesis does not produce.
     @raise Invalid_argument on violated constraints (see field
-    docs). *)
+    docs) or [backend:`Davies_harte]. *)
 
 type replication = {
   hit : bool;  (** the shared queue crossed [buffer] within [slots] *)

@@ -2,6 +2,7 @@ module Rng = Ss_stats.Rng
 module Quad = Ss_stats.Quadrature
 module Acf = Ss_fractal.Acf
 module Hosking = Ss_fractal.Hosking
+module Davies_harte = Ss_fractal.Davies_harte
 module Transform = Ss_fractal.Transform
 module Gop = Ss_video.Gop
 module Frame = Ss_video.Frame
@@ -16,15 +17,41 @@ type t = {
   sigma2 : float;
   hurst : float;
   pull : unit -> float * int;
+  pull_block : float array -> int array -> int -> int -> int;
 }
 
-let make ~name ~mean ~sigma2 ~hurst pull =
+type backend = [ `Hosking | `Davies_harte ]
+
+(* Default block implementation over a scalar pull: one call per slot
+   in slot order, so adapted sources consume their state (and their
+   substreams) exactly as per-slot pulls would — the block path is
+   bit-identical by construction. A mid-block [End_of_stream] ends
+   the block short; later blocks keep returning 0 because the
+   underlying pull keeps raising. *)
+let block_of_pull pull =
+  fun wbuf cbuf off len ->
+    if len < 0 || off < 0 || off + len > Array.length wbuf || off + len > Array.length cbuf
+    then invalid_arg "Source.pull_block: range outside the buffers";
+    let i = ref 0 in
+    (try
+       while !i < len do
+         let w, c = pull () in
+         wbuf.(off + !i) <- w;
+         cbuf.(off + !i) <- c;
+         incr i
+       done
+     with End_of_stream -> ());
+    !i
+
+let make ?pull_block ~name ~mean ~sigma2 ~hurst pull =
   if mean < 0.0 then invalid_arg "Source.make: mean < 0";
   if sigma2 < 0.0 then invalid_arg "Source.make: sigma2 < 0";
   if hurst <= 0.0 || hurst >= 1.0 then invalid_arg "Source.make: hurst outside (0,1)";
-  { name; mean; sigma2; hurst; pull }
+  let pull_block = match pull_block with Some f -> f | None -> block_of_pull pull in
+  { name; mean; sigma2; hurst; pull; pull_block }
 
 let next t = t.pull ()
+let next_block t wbuf cbuf ~off ~len = t.pull_block wbuf cbuf off len
 
 let of_array ?(name = "array") ?(hurst = 0.5) ?(cycle = false) xs =
   if Array.length xs = 0 then invalid_arg "Source.of_array: empty array";
@@ -36,11 +63,32 @@ let of_array ?(name = "array") ?(hurst = 0.5) ?(cycle = false) xs =
     incr i;
     (v, 0)
   in
-  make ~name ~mean:(Ss_stats.Descriptive.mean xs)
+  (* Native block path: segment blits from the backing array, classes
+     all 0 — same replay order and the same exhaustion slot as the
+     scalar pull. *)
+  let pull_block wbuf cbuf off len =
+    if len < 0 || off < 0 || off + len > Array.length wbuf || off + len > Array.length cbuf
+    then invalid_arg "Source.pull_block: range outside the buffers";
+    let filled = ref 0 in
+    let continue = ref true in
+    while !filled < len && !continue do
+      if !i >= n then if cycle then i := 0 else continue := false;
+      if !continue then begin
+        let take = Stdlib.min (len - !filled) (n - !i) in
+        Array.blit xs !i wbuf (off + !filled) take;
+        i := !i + take;
+        filled := !filled + take
+      end
+    done;
+    Array.fill cbuf off !filled 0;
+    !filled
+  in
+  make ~pull_block ~name ~mean:(Ss_stats.Descriptive.mean xs)
     ~sigma2:(Ss_stats.Descriptive.variance xs) ~hurst pull
 
-(* One Hosking table per (background ACF, order) — N same-model
-   sources share the O(order^2) coefficients.
+(* One Hosking table (or Davies–Harte plan) per (background ACF,
+   order/length) — N same-model sources share the O(order^2)
+   coefficients.
 
    The key is a structural fingerprint of the ACF — its values
    sampled on a fixed lag grid — not the ACF's display name: two
@@ -59,36 +107,105 @@ let fingerprint ~acf ~order =
   done;
   Digest.string (Buffer.contents buf)
 
-let table_cache : (string * int, Hosking.Table.t) Hashtbl.t = Hashtbl.create 8
-let table_cache_mutex = Mutex.create ()
+(* Bounded LRU under a mutex, shared by the table and plan caches.
+   Values are deterministic functions of the key, so eviction only
+   costs a rebuild — a re-fit after eviction is bit-identical (unit
+   tested). Builds happen outside the lock (construction is
+   O(order^2)); if two domains race, they build identical values and
+   the first insert wins. *)
+module Cache = struct
+  type 'a entry = { value : 'a; mutable last_use : int }
+
+  type 'a t = {
+    tbl : (string * int, 'a entry) Hashtbl.t;
+    mutex : Mutex.t;
+    mutable cap : int;
+    mutable tick : int;
+  }
+
+  let create cap = { tbl = Hashtbl.create 8; mutex = Mutex.create (); cap; tick = 0 }
+
+  let evict_lru_locked t =
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.last_use -> acc
+          | _ -> Some (k, e.last_use))
+        t.tbl None
+    in
+    match victim with None -> () | Some (k, _) -> Hashtbl.remove t.tbl k
+
+  let set_capacity t cap =
+    if cap < 1 then invalid_arg "Source.set_table_cache_capacity: capacity < 1";
+    Mutex.lock t.mutex;
+    t.cap <- cap;
+    while Hashtbl.length t.tbl > t.cap do
+      evict_lru_locked t
+    done;
+    Mutex.unlock t.mutex
+
+  let length t =
+    Mutex.lock t.mutex;
+    let n = Hashtbl.length t.tbl in
+    Mutex.unlock t.mutex;
+    n
+
+  let find_or_build t key build =
+    let hit =
+      Mutex.lock t.mutex;
+      let r =
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+          t.tick <- t.tick + 1;
+          e.last_use <- t.tick;
+          Some e.value
+        | None -> None
+      in
+      Mutex.unlock t.mutex;
+      r
+    in
+    match hit with
+    | Some v -> v
+    | None ->
+      let v = build () in
+      Mutex.lock t.mutex;
+      let winner =
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+          t.tick <- t.tick + 1;
+          e.last_use <- t.tick;
+          e.value
+        | None ->
+          while Hashtbl.length t.tbl >= t.cap do
+            evict_lru_locked t
+          done;
+          t.tick <- t.tick + 1;
+          Hashtbl.add t.tbl key { value = v; last_use = t.tick };
+          v
+      in
+      Mutex.unlock t.mutex;
+      winner
+end
+
+let default_cache_capacity = 16
+let table_cache : Hosking.Table.t Cache.t = Cache.create default_cache_capacity
+let plan_cache : Davies_harte.plan Cache.t = Cache.create default_cache_capacity
+let set_table_cache_capacity cap = Cache.set_capacity table_cache cap
+let table_cache_length () = Cache.length table_cache
 
 let table_for ~acf ~order =
   if order < 1 || order > 19_999 then
     invalid_arg "Source.table_for: order outside [1, 19999]";
-  let key = (fingerprint ~acf ~order, order) in
-  let lookup () =
-    Mutex.lock table_cache_mutex;
-    let found = Hashtbl.find_opt table_cache key in
-    Mutex.unlock table_cache_mutex;
-    found
-  in
-  match lookup () with
-  | Some t -> t
-  | None ->
-    (* Build outside the lock: construction is O(order^2) and the
-       table is deterministic, so if two domains race here they build
-       identical coefficients and the first insert wins. *)
-    let t = Hosking.Table.make ~acf ~n:(order + 1) in
-    Mutex.lock table_cache_mutex;
-    let winner =
-      match Hashtbl.find_opt table_cache key with
-      | Some existing -> existing
-      | None ->
-        Hashtbl.add table_cache key t;
-        t
-    in
-    Mutex.unlock table_cache_mutex;
-    winner
+  Cache.find_or_build table_cache
+    (fingerprint ~acf ~order, order)
+    (fun () -> Hosking.Table.make ~acf ~n:(order + 1))
+
+let plan_for ~acf ~n =
+  if n < 1 then invalid_arg "Source.plan_for: n < 1";
+  Cache.find_or_build plan_cache
+    (fingerprint ~acf ~order:n, n)
+    (fun () -> Davies_harte.plan ~acf ~n)
 
 (* Shared truncated-Hosking core. [shift]/[probe] hook in the
    importance sampler: the *untwisted* value is kept in [hist] (so
@@ -97,7 +214,9 @@ let table_for ~acf ~order =
    [shift k] is added only to the emitted value. With both hooks
    absent the arithmetic is exactly that of the original
    [background_stream] (the innovation is merely let-bound), so the
-   plain path stays bit-identical. *)
+   plain path stays bit-identical — and identical, in turn, to the
+   block kernel ({!Ss_fractal.Hosking.Block}) that the plain model
+   sources now run on. *)
 let background_stream_gen ~acf ~order ~shift ~probe rng =
   let table = table_for ~acf ~order in
   (* [hist] holds the last [min k order] background values in
@@ -124,6 +243,51 @@ let background_stream ~acf ~order rng = background_stream_gen ~acf ~order ~shift
 let background_stream_twisted ~acf ~order ~shift ?probe rng =
   background_stream_gen ~acf ~order ~shift:(Some shift) ~probe rng
 
+let check_horizon who horizon =
+  match horizon with
+  | Some h when h < 1 -> invalid_arg (who ^ ": horizon < 1")
+  | _ -> ()
+
+(* Background block filler: [fill buf off len] appends up to [len]
+   fresh background values, returning the count (short only once a
+   finite horizon is exhausted). The Hosking backend streams through
+   the cache-blocked ring kernel; the Davies–Harte backend
+   materializes the whole fixed-horizon path exactly (O(n log n))
+   on first use and replays it. *)
+let bg_filler ~who ~acf ~order ~backend ~horizon rng =
+  match backend with
+  | `Hosking ->
+    let table = table_for ~acf ~order in
+    let blk = Hosking.Block.create ~table ~order in
+    let remaining = ref (match horizon with None -> max_int | Some h -> h) in
+    fun buf off len ->
+      let take = if len < !remaining then len else !remaining in
+      Hosking.Block.fill blk rng buf ~off ~len:take;
+      remaining := !remaining - take;
+      take
+  | `Davies_harte ->
+    let n =
+      match horizon with
+      | Some h -> h
+      | None ->
+        invalid_arg
+          (who
+         ^ ": backend `Davies_harte synthesizes a fixed-length path; pass ~horizon (or use \
+            `Hosking for open-ended streaming)")
+    in
+    if order < 1 || order > 19_999 then invalid_arg (who ^ ": order outside [1, 19999]");
+    let plan = plan_for ~acf ~n in
+    (* Lazy so construction consumes no randomness — like the Hosking
+       streams, the generator state only advances on pulls. *)
+    let path = lazy (Davies_harte.generate plan rng) in
+    let pos = ref 0 in
+    fun buf off len ->
+      let xs = Lazy.force path in
+      let take = Stdlib.min len (n - !pos) in
+      Array.blit xs !pos buf off take;
+      pos := !pos + take;
+      take
+
 (* Per-slot marginal moments of a transform, by Gauss-Hermite
    quadrature on the standard-normal background. *)
 let transform_moments h =
@@ -142,16 +306,43 @@ let of_model_gen ~name ~order ~shift ~probe model rng =
   let pull () = (Stdlib.max 0.0 (Transform.apply1 h (bg ())), 0) in
   make ~name ~mean:model.Model.mean ~sigma2 ~hurst:model.Model.hurst pull
 
-let of_model ?(name = "model") ?(order = 512) model rng =
-  of_model_gen ~name ~order ~shift:None ~probe:None model rng
+let of_model ?(name = "model") ?(order = 512) ?(backend = `Hosking) ?horizon model rng =
+  check_horizon "Source.of_model" horizon;
+  let acf = Model.background_acf model in
+  let fill_bg = bg_filler ~who:"Source.of_model" ~acf ~order ~backend ~horizon rng in
+  let h = model.Model.transform in
+  let _, sigma2 = transform_moments h in
+  (* Same per-slot arithmetic as the scalar path: transform, then the
+     zero clamp of [of_model_gen]. The clamp is [Stdlib.max 0.0 w]
+     monomorphized ([if 0.0 >= w then 0.0 else w] — the same
+     definition on a float comparison, NaN passed through), avoiding
+     a boxed polymorphic-compare call per slot. *)
+  let pull_block wbuf cbuf off len =
+    if len < 0 || off < 0 || off + len > Array.length wbuf || off + len > Array.length cbuf
+    then invalid_arg "Source.pull_block: range outside the buffers";
+    let f = fill_bg wbuf off len in
+    for j = off to off + f - 1 do
+      let w = Transform.apply1 h (Array.unsafe_get wbuf j) in
+      wbuf.(j) <- (if 0.0 >= w then 0.0 else w)
+    done;
+    Array.fill cbuf off f 0;
+    f
+  in
+  (* The scalar pull is the block path at block size one, so scalar
+     and block consumption interleave coherently on one source. *)
+  let wtmp = [| 0.0 |] and ctmp = [| 0 |] in
+  let pull () = if pull_block wtmp ctmp 0 1 = 1 then (wtmp.(0), 0) else raise End_of_stream in
+  make ~pull_block ~name ~mean:model.Model.mean ~sigma2 ~hurst:model.Model.hurst pull
 
 let of_model_twisted ?(name = "model-is") ?(order = 512) ~shift ?probe model rng =
   of_model_gen ~name ~order ~shift:(Some shift) ~probe model rng
 
-let of_mpeg ?(name = "mpeg") ?(order = 512) ?(phase = 0) ?(priority = false) m rng =
+let of_mpeg ?(name = "mpeg") ?(order = 512) ?(backend = `Hosking) ?horizon ?(phase = 0)
+    ?(priority = false) m rng =
   if phase < 0 then invalid_arg "Source.of_mpeg: phase < 0";
+  check_horizon "Source.of_mpeg" horizon;
   let gop = m.Mpeg.gop in
-  let bg = background_stream ~acf:m.Mpeg.background ~order rng in
+  let fill_bg = bg_filler ~who:"Source.of_mpeg" ~acf:m.Mpeg.background ~order ~backend ~horizon rng in
   let klass kind =
     if not priority then 0
     else match kind with Frame.I -> 0 | Frame.P -> 1 | Frame.B -> 2
@@ -173,10 +364,21 @@ let of_mpeg ?(name = "mpeg") ?(order = 512) ?(phase = 0) ?(priority = false) m r
     (m1, Stdlib.max 0.0 ((!sum_m2 /. float_of_int period) -. (m1 *. m1)))
   in
   let t = ref phase in
-  let pull () =
-    let kind = Gop.kind_at gop !t in
-    incr t;
-    let w = Stdlib.max 0.0 (Transform.apply1 (transform kind) (bg ())) in
-    (w, klass kind)
+  let pull_block wbuf cbuf off len =
+    if len < 0 || off < 0 || off + len > Array.length wbuf || off + len > Array.length cbuf
+    then invalid_arg "Source.pull_block: range outside the buffers";
+    let f = fill_bg wbuf off len in
+    for j = off to off + f - 1 do
+      let kind = Gop.kind_at gop !t in
+      incr t;
+      let w = Transform.apply1 (transform kind) (Array.unsafe_get wbuf j) in
+      wbuf.(j) <- (if 0.0 >= w then 0.0 else w);
+      cbuf.(j) <- klass kind
+    done;
+    f
   in
-  make ~name ~mean ~sigma2 ~hurst:m.Mpeg.i_model.Model.hurst pull
+  let wtmp = [| 0.0 |] and ctmp = [| 0 |] in
+  let pull () =
+    if pull_block wtmp ctmp 0 1 = 1 then (wtmp.(0), ctmp.(0)) else raise End_of_stream
+  in
+  make ~pull_block ~name ~mean ~sigma2 ~hurst:m.Mpeg.i_model.Model.hurst pull

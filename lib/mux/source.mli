@@ -12,14 +12,23 @@
     is exact up to lag [order] and AR-approximated beyond, with no
     full-trace materialization. This is what lets [vbrsim mux
     --sources N] multiplex many long heterogeneous sources without
-    O(N * slots) memory. *)
+    O(N * slots) memory.
+
+    Every source also exposes a {e block} pull ({!next_block}) that
+    fills preallocated buffers many slots at a time. Model-backed
+    sources implement it natively (cache-blocked AR kernel, or an
+    FFT-exact materialized path); for hand-rolled pull functions a
+    default adapter loops the scalar pull. Scalar and block pulls
+    drain the same underlying stream, so they can be interleaved
+    freely and produce bit-identical slot sequences. *)
 
 exception End_of_stream
 (** Raised by a pull function when the source has no further slots —
     a *clean departure*, not an error: {!Mux.run} catches it, retires
     the source and continues the run with the remaining sources
     (recording the departure slot in the report). Finite sources
-    ({!of_array} with [cycle:false]) raise it on exhaustion. *)
+    ({!of_array} with [cycle:false], model sources with a [horizon])
+    raise it on exhaustion. *)
 
 type t = {
   name : string;
@@ -27,16 +36,47 @@ type t = {
   sigma2 : float;  (** nominal per-slot marginal variance *)
   hurst : float;  (** Hurst parameter of the underlying model *)
   pull : unit -> float * int;  (** next slot's (work, priority class) *)
+  pull_block : float array -> int array -> int -> int -> int;
+      (** [pull_block wbuf cbuf off len] fills
+          [wbuf.(off .. off+len-1)] with the next [len] slots' work
+          and [cbuf] likewise with their classes, returning the
+          number of slots actually filled. A short count means the
+          source departed cleanly after that many slots (the block
+          analogue of {!End_of_stream}; subsequent calls return 0).
+          Must raise [Invalid_argument] when the range falls outside
+          either buffer. *)
 }
 
+type backend = [ `Hosking | `Davies_harte ]
+(** Background-synthesis backend for model sources. [`Hosking]
+    (default) streams the truncated Durbin–Levinson recursion —
+    open-ended, O(order) memory, exact to lag [order]. [`Davies_harte]
+    materializes the whole fixed-[horizon] background path exactly
+    (every lag, not just the first [order]) in O(horizon log horizon)
+    via circulant embedding; it requires [~horizon] and the source
+    departs cleanly when the horizon is exhausted. *)
+
 val make :
-  name:string -> mean:float -> sigma2:float -> hurst:float -> (unit -> float * int) -> t
-(** Wrap an arbitrary pull function.
+  ?pull_block:(float array -> int array -> int -> int -> int) ->
+  name:string ->
+  mean:float ->
+  sigma2:float ->
+  hurst:float ->
+  (unit -> float * int) ->
+  t
+(** Wrap an arbitrary pull function. When [pull_block] is omitted, a
+    default block implementation loops the scalar pull (bit-identical
+    by construction); when supplied, the caller must guarantee the
+    two pulls drain one shared stream.
     @raise Invalid_argument if [mean < 0], [sigma2 < 0] or [hurst]
     outside (0,1). *)
 
 val next : t -> float * int
 (** Pull the next slot's arrival. *)
+
+val next_block : t -> float array -> int array -> off:int -> len:int -> int
+(** [next_block t wbuf cbuf ~off ~len] is
+    [t.pull_block wbuf cbuf off len]. *)
 
 val of_array : ?name:string -> ?hurst:float -> ?cycle:bool -> float array -> t
 (** Replay a materialized arrival array (e.g. a loaded trace) slot by
@@ -44,11 +84,18 @@ val of_array : ?name:string -> ?hurst:float -> ?cycle:bool -> float array -> t
     [hurst] defaults to 0.5 (no a-priori LRD claim). With
     [cycle:false] (default) pulling past the end raises
     {!End_of_stream} (a clean departure under {!Mux.run}); with
-    [cycle:true] the array repeats.
+    [cycle:true] the array repeats. The block path blits array
+    segments directly.
     @raise Invalid_argument on an empty array. *)
 
 val of_model :
-  ?name:string -> ?order:int -> Ss_core.Model.t -> Ss_stats.Rng.t -> t
+  ?name:string ->
+  ?order:int ->
+  ?backend:backend ->
+  ?horizon:int ->
+  Ss_core.Model.t ->
+  Ss_stats.Rng.t ->
+  t
 (** Stream the unified model's foreground process (marginal transform
     of the streaming background), class 0. [order] (default 512) is
     the exact-recursion depth / frozen AR order; resident memory and
@@ -59,7 +106,14 @@ val of_model :
     value is clamped at zero (histogram-inverse transforms can dip
     slightly negative in the far tail; {!Mux.run} rejects negative
     work).
-    @raise Invalid_argument if [order < 1] or [order > 19_999]. *)
+
+    With [backend:`Davies_harte] the background is synthesized
+    exactly over the whole (mandatory) [horizon] by circulant
+    embedding — see {!backend}. With a [horizon] under the default
+    [`Hosking] backend the source simply departs after that many
+    slots.
+    @raise Invalid_argument if [order < 1] or [order > 19_999], if
+    [horizon < 1], or if [backend:`Davies_harte] without [horizon]. *)
 
 val of_model_twisted :
   ?name:string ->
@@ -80,11 +134,15 @@ val of_model_twisted :
     innovation, before the shifted value is emitted) reconstructs the
     exact log likelihood ratio of the path. With [shift = fun _ ->
     0.0] the emitted arrivals are bit-identical to {!of_model} on the
-    same generator state. *)
+    same generator state. Always Hosking-backed: the likelihood
+    accumulator needs the per-step innovations, which the
+    materializing Davies–Harte backend does not produce. *)
 
 val of_mpeg :
   ?name:string ->
   ?order:int ->
+  ?backend:backend ->
+  ?horizon:int ->
   ?phase:int ->
   ?priority:bool ->
   Ss_core.Mpeg.t ->
@@ -96,9 +154,10 @@ val of_mpeg :
     (default 0) staggers GOP alignment across sources. With
     [priority:true], I frames are class 0, P class 1, B class 2;
     otherwise every slot is class 0. [mean]/[sigma2] are the
-    GOP-pattern-averaged per-slot moments.
-    @raise Invalid_argument if [phase < 0] or [order] out of
-    range. *)
+    GOP-pattern-averaged per-slot moments. [backend]/[horizon] govern
+    the background synthesis exactly as in {!of_model}.
+    @raise Invalid_argument if [phase < 0], [order] out of range,
+    [horizon < 1], or [backend:`Davies_harte] without [horizon]. *)
 
 val background_stream :
   acf:Ss_fractal.Acf.t -> order:int -> Ss_stats.Rng.t -> unit -> float
@@ -126,3 +185,21 @@ val table_for : acf:Ss_fractal.Acf.t -> order:int -> Ss_fractal.Hosking.Table.t
     order) pair — the table a streaming likelihood accumulator must
     be planned against.
     @raise Invalid_argument if [order < 1] or [order > 19_999]. *)
+
+val plan_for : acf:Ss_fractal.Acf.t -> n:int -> Ss_fractal.Davies_harte.plan
+(** The cached Davies–Harte plan backing [`Davies_harte] model
+    sources at this (ACF, horizon) pair.
+    @raise Invalid_argument if [n < 1] or the ACF is not embeddable
+    at this length (see {!Ss_fractal.Davies_harte.plan}). *)
+
+val set_table_cache_capacity : int -> unit
+(** Bound on the number of Hosking tables retained by the process
+    (default 16, least-recently-used eviction). Tables are
+    deterministic functions of their (ACF, order) key, so eviction
+    only costs a rebuild: a re-fit after eviction is bit-identical.
+    Lowering the capacity evicts immediately.
+    @raise Invalid_argument if the capacity is [< 1]. *)
+
+val table_cache_length : unit -> int
+(** Number of Hosking tables currently cached (for tests and
+    memory-budget diagnostics). *)

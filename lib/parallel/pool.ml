@@ -156,6 +156,16 @@ let map t f xs = run t (Array.map (fun x () -> f x) xs)
 
 let fold t ~f ~init g xs = Array.fold_left f init (map t g xs)
 
+(* Repeated fan-outs over a fixed index range (the multiplexer's
+   per-block source prefetch) build their item closures once instead
+   of once per batch; only the per-batch claim/result machinery of
+   [run] remains. *)
+let static_for t ~n f =
+  check_alive t "static_for";
+  if n <= 0 then invalid_arg "Pool.static_for: n <= 0";
+  let thunks = Array.init n (fun i () -> f i) in
+  fun () -> ignore (run t thunks : unit array)
+
 let parallel_for t ?chunk ~lo ~hi f =
   check_alive t "parallel_for";
   if hi >= lo then begin

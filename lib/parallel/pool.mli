@@ -61,6 +61,18 @@ val fold : t -> f:('acc -> 'b -> 'acc) -> init:'acc -> ('a -> 'b) -> 'a array ->
     combination is deterministic even for non-associative [f]
     (floating-point sums included). *)
 
+val static_for : t -> n:int -> (int -> unit) -> unit -> unit
+(** [static_for t ~n f] precompiles a batch that runs [f i] once for
+    every [0 <= i < n] (one item per index, like
+    [parallel_for ~chunk:1]) and returns a reusable trigger: calling
+    it dispatches the batch without rebuilding the [n] item closures
+    — for hot loops that fan out over the same range thousands of
+    times. Same determinism contract as {!run}; [f] must only write
+    to disjoint-per-index locations. The trigger must not be invoked
+    concurrently with itself or other batches, and raises
+    [Invalid_argument] after {!shutdown}.
+    @raise Invalid_argument if [n <= 0]. *)
+
 val parallel_for : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for t ~lo ~hi f] runs [f i] once for every
     [lo <= i <= hi] (inclusive; empty when [hi < lo]), splitting the

@@ -130,6 +130,39 @@ let gaussian t =
     draw ()
   end
 
+let fill_gaussian t buf ~off ~len =
+  if len < 0 || off < 0 || off + len > Array.length buf then
+    invalid_arg "Rng.fill_gaussian: range outside the buffer";
+  let i = ref off in
+  let stop = off + len in
+  if !i < stop && t.gauss_full then begin
+    t.gauss_full <- false;
+    Array.unsafe_set buf !i t.gauss_cache;
+    incr i
+  end;
+  (* Same polar-pair state machine as [gaussian], batched: emit [u*f]
+     then [v*f]; when the trailing [v*f] does not fit it lands in the
+     cache, so the emitted sequence and final state are exactly those
+     of [len] successive [gaussian] calls. *)
+  while !i < stop do
+    let u = (2.0 *. float t) -. 1.0 in
+    let v = (2.0 *. float t) -. 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if not (s >= 1.0 || s = 0.0) then begin
+      let f = sqrt (-2.0 *. log s /. s) in
+      Array.unsafe_set buf !i (u *. f);
+      incr i;
+      if !i < stop then begin
+        Array.unsafe_set buf !i (v *. f);
+        incr i
+      end
+      else begin
+        t.gauss_cache <- v *. f;
+        t.gauss_full <- true
+      end
+    end
+  done
+
 let gaussian_mv t ~mean ~std =
   if std < 0.0 then invalid_arg "Rng.gaussian_mv: negative std";
   mean +. (std *. gaussian t)

@@ -58,6 +58,15 @@ val gaussian : t -> float
 (** Standard normal deviate (Marsaglia polar method; exact in
     distribution, not table-driven). *)
 
+val fill_gaussian : t -> float array -> off:int -> len:int -> unit
+(** [fill_gaussian t buf ~off ~len] writes [len] standard normal
+    deviates into [buf.(off .. off+len-1)] — the exact sequence (and
+    final generator state, including the cached polar deviate) of
+    [len] successive {!gaussian} calls, without a boxed float return
+    per deviate. The block generation kernels batch their innovations
+    through this.
+    @raise Invalid_argument if the range falls outside [buf]. *)
+
 val gaussian_mv : t -> mean:float -> std:float -> float
 (** Normal deviate with given mean and standard deviation.
     @raise Invalid_argument if [std < 0]. *)

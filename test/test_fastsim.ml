@@ -360,6 +360,33 @@ let test_is_config_validation () =
   raises_invalid "replications" (fun () ->
       ignore (Is.estimate cfg ~replications:0 (Rng.create ~seed:1)))
 
+let test_is_davies_harte_backend () =
+  let acf = Acf.fgn ~h:0.7 in
+  let table = fgn_table 100 in
+  let cfg backend twist =
+    Is.make_config ~table ~arrival:identity_arrival ~service:0.4 ~buffer:5.0 ~horizon:100
+      ~twist ~backend ()
+  in
+  (* The DH backend materializes the whole path, so there are no
+     per-step innovations to accumulate a likelihood ratio from: it
+     is plain MC only (zero twist), and the plan must cover the
+     horizon. *)
+  let plan = Ss_fractal.Davies_harte.plan ~acf ~n:100 in
+  raises_invalid "DH with nonzero twist" (fun () -> cfg (`Davies_harte plan) 0.5);
+  let short = Ss_fractal.Davies_harte.plan ~acf ~n:50 in
+  raises_invalid "DH plan shorter than horizon" (fun () -> cfg (`Davies_harte short) 0.0);
+  (* At zero twist both backends estimate the same overflow event —
+     the full-length Hosking table is the exact process too, so the
+     estimates must agree within joint confidence bands. *)
+  let reps = 3000 in
+  let e_h = Is.estimate (cfg `Hosking 0.0) ~replications:reps (Rng.create ~seed:14) in
+  let e_d =
+    Is.estimate (cfg (`Davies_harte plan) 0.0) ~replications:reps (Rng.create ~seed:15)
+  in
+  if e_h.Mc.hits = 0 || e_d.Mc.hits = 0 then Alcotest.fail "degenerate: no hits";
+  let band e = 4.0 *. sqrt (e.Mc.variance /. float_of_int e.Mc.replications) in
+  close ~eps:(band e_h +. band e_d) "DH p vs Hosking p" e_h.Mc.p e_d.Mc.p
+
 let test_is_deterministic_given_seed () =
   let table = fgn_table 80 in
   let cfg =
@@ -541,6 +568,7 @@ let () =
           tc "replication stop step" test_is_replication_stop_step;
           tc "mean stop step" test_is_mean_stop_step_bounded;
           tc "config validation" test_is_config_validation;
+          tc "Davies-Harte backend" test_is_davies_harte_backend;
           tc "deterministic" test_is_deterministic_given_seed;
         ] );
       ( "twist",

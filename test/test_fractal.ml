@@ -245,6 +245,41 @@ let test_hosking_truncated_acf_close () =
   close ~eps:0.04 "truncated r(1)" (acf.Acf.r 1) r.(1);
   close ~eps:0.02 "truncated variance" 1.0 (D.variance x)
 
+let test_hosking_block_matches_truncated () =
+  (* The cache-blocked ring kernel is the same process as
+     generate_truncated with a frozen AR(order) filter: identical
+     Durbin-Levinson rows, identical innovation sequence (batched
+     through Rng.fill_gaussian), so the outputs are bit-identical —
+     and independent of how the fills are chunked. *)
+  let acf = Acf.fgn ~h:0.85 in
+  let order = 32 in
+  let n = 200 in
+  let expect = Hosking.generate_truncated ~acf ~n ~max_order:order (Rng.create ~seed:21) in
+  let table = Hosking.Table.make ~acf ~n:(order + 1) in
+  let one = Array.make n 0.0 in
+  let b1 = Hosking.Block.create ~table ~order in
+  Hosking.Block.fill b1 (Rng.create ~seed:21) one ~off:0 ~len:n;
+  let two = Array.make n 0.0 in
+  let b2 = Hosking.Block.create ~table ~order in
+  let rng = Rng.create ~seed:21 in
+  let off = ref 0 in
+  List.iter
+    (fun len ->
+      Hosking.Block.fill b2 rng two ~off:!off ~len;
+      off := !off + len)
+    [ 1; 7; 64; 3; 125 ];
+  Alcotest.(check int) "generated count" n (Hosking.Block.generated b2);
+  for i = 0 to n - 1 do
+    if Int64.bits_of_float one.(i) <> Int64.bits_of_float expect.(i) then
+      Alcotest.failf "slot %d: block differs from generate_truncated" i;
+    if Int64.bits_of_float two.(i) <> Int64.bits_of_float expect.(i) then
+      Alcotest.failf "slot %d: chunked fill differs" i
+  done;
+  raises_invalid "range outside buffer" (fun () ->
+      Hosking.Block.fill b2 rng two ~off:(n - 1) ~len:2);
+  raises_invalid "order outside table" (fun () ->
+      Hosking.Block.create ~table ~order:(order + 1))
+
 (* ------------------------------------------------------------------ *)
 (* Davies-Harte                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -301,6 +336,19 @@ let test_dh_fgn_embeddable () =
 
 let test_dh_invalid () =
   raises_invalid "n = 0" (fun () -> DH.plan ~acf:Acf.white_noise ~n:0)
+
+let test_dh_generate_into_matches_generate () =
+  let plan = DH.plan ~acf:(Acf.fgn ~h:0.8) ~n:256 in
+  let a = DH.generate plan (Rng.create ~seed:9) in
+  let buf = Array.make 300 nan in
+  DH.generate_into plan (Rng.create ~seed:9) buf;
+  for i = 0 to 255 do
+    if Int64.bits_of_float a.(i) <> Int64.bits_of_float buf.(i) then
+      Alcotest.failf "slot %d: generate_into differs from generate" i
+  done;
+  if not (Float.is_nan buf.(256)) then Alcotest.fail "wrote past plan_length";
+  raises_invalid "short buffer" (fun () ->
+      DH.generate_into plan (Rng.create ~seed:9) (Array.make 255 0.0))
 
 (* ------------------------------------------------------------------ *)
 (* Cholesky oracle: for small n, sample the Gaussian vector directly
@@ -761,6 +809,7 @@ let () =
           tc "invalid" test_hosking_invalid;
           tc "truncated prefix exact" test_hosking_truncated_prefix_exact;
           tc "truncated acf close" test_hosking_truncated_acf_close;
+          tc "block kernel = truncated" test_hosking_block_matches_truncated;
         ] );
       ( "davies-harte",
         [
@@ -770,6 +819,7 @@ let () =
           tc "deterministic" test_dh_deterministic_given_seed;
           tc "FGN embeddable" test_dh_fgn_embeddable;
           tc "invalid" test_dh_invalid;
+          tc "generate_into = generate" test_dh_generate_into_matches_generate;
           tc "cholesky oracle" test_generators_match_cholesky_oracle;
         ] );
       ( "hurst",

@@ -317,6 +317,224 @@ let test_source_of_mpeg_classes () =
     Alcotest.(check int) (Printf.sprintf "class at slot %d" t) expect c
   done
 
+(* Drain [n] slots of [s] through [next_block] at block size [bs],
+   writing works/classes from offset 0. Fails on a short fill. *)
+let drain_blocks s bs wbuf cbuf n =
+  let got = ref 0 in
+  while !got < n do
+    let len = Stdlib.min bs (n - !got) in
+    let f = Source.next_block s wbuf cbuf ~off:!got ~len in
+    if f <> len then Alcotest.failf "short fill (%d of %d at slot %d)" f len !got;
+    got := !got + f
+  done
+
+let bits = Int64.bits_of_float
+
+let test_source_block_scalar_bit_identity () =
+  (* The tentpole contract: for every order and block size, the block
+     pull, the scalar pull on the block-backed source, and the
+     pre-existing closure-based stream (of_model_twisted with zero
+     shift) produce the same slots bit for bit. *)
+  let m = Lazy.force small_model in
+  List.iter
+    (fun order ->
+      let n = order + 300 in
+      let legacy =
+        Source.of_model_twisted ~order ~shift:(fun _ -> 0.0) m (Rng.create ~seed:4311)
+      in
+      let expect = Array.init n (fun _ -> fst (Source.next legacy)) in
+      let scalar = Source.of_model ~order m (Rng.create ~seed:4311) in
+      Array.iteri
+        (fun i x ->
+          let w, c = Source.next scalar in
+          if c <> 0 then Alcotest.failf "order %d scalar slot %d: class %d" order i c;
+          if bits w <> bits x then
+            Alcotest.failf "order %d scalar slot %d: %h <> %h" order i x w)
+        expect;
+      List.iter
+        (fun bs ->
+          let s = Source.of_model ~order m (Rng.create ~seed:4311) in
+          let wbuf = Array.make n nan and cbuf = Array.make n (-1) in
+          drain_blocks s bs wbuf cbuf n;
+          for i = 0 to n - 1 do
+            if bits wbuf.(i) <> bits expect.(i) then
+              Alcotest.failf "order %d block %d slot %d: %h <> %h" order bs i expect.(i)
+                wbuf.(i);
+            if cbuf.(i) <> 0 then
+              Alcotest.failf "order %d block %d slot %d: class %d" order bs i cbuf.(i)
+          done)
+        [ 1; 7; 256 ])
+    [ 64; 512 ]
+
+let test_source_mpeg_block_scalar_bit_identity () =
+  (* Same contract for MPEG sources, including the I/P/B class labels
+     riding along with the work. *)
+  let m = Lazy.force small_mpeg in
+  let n = 400 in
+  let mk () = Source.of_mpeg ~order:32 ~phase:2 ~priority:true m (Rng.create ~seed:4312) in
+  let scalar = mk () in
+  let expect = Array.init n (fun _ -> Source.next scalar) in
+  List.iter
+    (fun bs ->
+      let s = mk () in
+      let wbuf = Array.make n nan and cbuf = Array.make n (-1) in
+      drain_blocks s bs wbuf cbuf n;
+      Array.iteri
+        (fun i (w, c) ->
+          if bits wbuf.(i) <> bits w then
+            Alcotest.failf "block %d slot %d: %h <> %h" bs i w wbuf.(i);
+          if cbuf.(i) <> c then
+            Alcotest.failf "block %d slot %d: class %d <> %d" bs i c cbuf.(i))
+        expect)
+    [ 1; 7; 256 ]
+
+let test_source_block_scalar_interleave_coherent () =
+  (* Scalar and block pulls on one source must consume the same
+     underlying stream: mixing them at ragged boundaries still yields
+     the closure-based stream's slots in order. *)
+  let m = Lazy.force small_model in
+  let order = 64 in
+  let n = 257 in
+  let legacy =
+    Source.of_model_twisted ~order ~shift:(fun _ -> 0.0) m (Rng.create ~seed:4313)
+  in
+  let expect = Array.init n (fun _ -> fst (Source.next legacy)) in
+  let s = Source.of_model ~order m (Rng.create ~seed:4313) in
+  let wbuf = Array.make n nan and cbuf = Array.make n 0 in
+  let i = ref 0 and step = ref 0 in
+  while !i < n do
+    if !step land 1 = 0 then begin
+      let w, _ = Source.next s in
+      wbuf.(!i) <- w;
+      incr i
+    end
+    else begin
+      let len = Stdlib.min (1 + (!step mod 5)) (n - !i) in
+      i := !i + Source.next_block s wbuf cbuf ~off:!i ~len
+    end;
+    incr step
+  done;
+  for j = 0 to n - 1 do
+    if bits wbuf.(j) <> bits expect.(j) then
+      Alcotest.failf "slot %d differs under interleaved consumption" j
+  done
+
+let test_source_dh_backend_contract () =
+  let m = Lazy.force small_model in
+  raises_invalid "DH without horizon" (fun () ->
+      Source.of_model ~backend:`Davies_harte m (Rng.create ~seed:1));
+  raises_invalid "bad horizon" (fun () ->
+      Source.of_model ~backend:`Davies_harte ~horizon:0 m (Rng.create ~seed:1));
+  let horizon = 200 in
+  let mk () =
+    Source.of_model ~order:64 ~backend:`Davies_harte ~horizon m (Rng.create ~seed:4314)
+  in
+  (* Scalar and block consumption agree bit for bit, and the source
+     departs cleanly once the fixed-length path is exhausted. *)
+  let scalar = mk () in
+  let expect = Array.init horizon (fun _ -> fst (Source.next scalar)) in
+  (match Source.next scalar with
+  | exception Source.End_of_stream -> ()
+  | _ -> Alcotest.fail "DH source did not depart at its horizon");
+  List.iter
+    (fun bs ->
+      let s = mk () in
+      let wbuf = Array.make (horizon + bs) nan and cbuf = Array.make (horizon + bs) 0 in
+      let got = ref 0 and short = ref false in
+      while not !short do
+        let f = Source.next_block s wbuf cbuf ~off:!got ~len:bs in
+        got := !got + f;
+        if f < bs then short := true
+      done;
+      Alcotest.(check int) "horizon slots" horizon !got;
+      Alcotest.(check int) "drained source fills 0" 0
+        (Source.next_block s wbuf cbuf ~off:0 ~len:bs);
+      for i = 0 to horizon - 1 do
+        if bits wbuf.(i) <> bits expect.(i) then
+          Alcotest.failf "DH block %d slot %d differs from scalar" bs i
+      done)
+    [ 1; 7; 64 ];
+  (* A finite horizon under the default Hosking backend departs the
+     same way, short-filling at the boundary. *)
+  let s = Source.of_model ~order:16 ~horizon:50 m (Rng.create ~seed:7) in
+  let wbuf = Array.make 64 0.0 and cbuf = Array.make 64 0 in
+  Alcotest.(check int) "Hosking horizon short fill" 50
+    (Source.next_block s wbuf cbuf ~off:0 ~len:64)
+
+let test_source_dh_backend_statistics () =
+  (* The Davies-Harte backend must synthesize a background whose
+     sample ACF tracks the composite-knee target across the knee and
+     whose variance-time Hurst estimate recovers H. Single LRD paths
+     carry O(n^{H-1}) statistical error, so both statistics are
+     averaged over independent paths from one split stream. *)
+  let hurst = 0.9 in
+  let knee = 60 and lambda = 0.005 in
+  let beta = 2.0 -. (2.0 *. hurst) in
+  (* Jump-free at the knee so the circulant embedding stays positive:
+     l chosen so the exponential and power pieces meet at k = knee. *)
+  let l = exp (-.lambda *. float_of_int knee) *. (float_of_int knee ** beta) in
+  let acf = Acf.composite ~knee ~lambda ~l ~beta in
+  let n = 1 lsl 17 in
+  let plan = Source.plan_for ~acf ~n in
+  (* The background is exactly zero-mean by construction, so the
+     uncentered estimator avoids the O(n^{2H-2}) wandering-mean bias
+     of the centered sample ACF. *)
+  let raw_acf xs lag =
+    let num = ref 0.0 and den = ref 0.0 in
+    for i = 0 to n - 1 - lag do
+      num := !num +. (xs.(i) *. xs.(i + lag))
+    done;
+    for i = 0 to n - 1 do
+      den := !den +. (xs.(i) *. xs.(i))
+    done;
+    !num /. float_of_int (n - lag) /. (!den /. float_of_int n)
+  in
+  let lags = [ 1; 10; 30; 59; 60; 61; 120; 240 ] in
+  let reps = 16 in
+  let rng = Rng.create ~seed:424242 in
+  let acf_acc = Array.make (List.length lags) 0.0 in
+  let h_acc = ref 0.0 in
+  for _ = 1 to reps do
+    let xs = Ss_fractal.Davies_harte.generate plan (Rng.split rng) in
+    List.iteri (fun i lag -> acf_acc.(i) <- acf_acc.(i) +. raw_acf xs lag) lags;
+    (* Aggregation window straddling the knee: below max_m = 1000
+       every cell still averages >= 131 blocks, keeping the classic
+       few-correlated-blocks downward bias of the VT plot small. *)
+    let vt = Ss_fractal.Hurst.variance_time ~min_m:30 ~max_m:1000 xs in
+    h_acc := !h_acc +. vt.Ss_fractal.Hurst.h
+  done;
+  List.iteri
+    (fun i lag ->
+      close ~eps:0.05
+        (Printf.sprintf "sample ACF at lag %d" lag)
+        (acf.Acf.r lag)
+        (acf_acc.(i) /. float_of_int reps))
+    lags;
+  close ~eps:0.03 "variance-time H" hurst (!h_acc /. float_of_int reps)
+
+let test_source_table_cache_lru_eviction () =
+  (* Eviction is invisible except for rebuild cost: a re-fit after the
+     LRU bound forces a table out is bit-identical. *)
+  let m = Lazy.force small_model in
+  let acf = Ss_core.Model.background_acf m in
+  let take n s = Array.init n (fun _ -> fst (Source.next s)) in
+  let before = take 64 (Source.of_model ~order:24 m (Rng.create ~seed:4315)) in
+  Source.set_table_cache_capacity 1;
+  Fun.protect
+    ~finally:(fun () -> Source.set_table_cache_capacity 16)
+    (fun () ->
+      Alcotest.(check int) "lowering evicts immediately" 1 (Source.table_cache_length ());
+      (* Bring in a different (acf, order) key, evicting order 24. *)
+      let (_ : Hosking.Table.t) = Source.table_for ~acf ~order:48 in
+      Alcotest.(check int) "capacity bound respected" 1 (Source.table_cache_length ());
+      let after = take 64 (Source.of_model ~order:24 m (Rng.create ~seed:4315)) in
+      Array.iteri
+        (fun i x ->
+          if bits x <> bits before.(i) then
+            Alcotest.failf "slot %d differs after eviction + re-fit" i)
+        after);
+  raises_invalid "capacity < 1" (fun () -> Source.set_table_cache_capacity 0)
+
 (* ------------------------------------------------------------------ *)
 (* Mux                                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -562,6 +780,37 @@ let test_mux_class_delay_priority_ordering () =
       q0 q1
   | l -> Alcotest.failf "expected classes 0 and 1, got %d classes" (List.length l)
 
+let test_mux_hot_loop_allocation () =
+  (* This PR hoisted the per-slot closures and tuples out of the
+     sequential admission loop; everything that still allocates is
+     per-block or per-report. Guard the budget so a regression that
+     reintroduces per-slot boxing fails loudly. The bound is minor
+     words per slot, with generous headroom over the measured value
+     (well under 1 on a non-flambda build). *)
+  let arr = Array.init 96 (fun i -> float_of_int (1 + (i mod 7))) in
+  let mk () = Source.of_array ~cycle:true arr in
+  let measure sources =
+    let run slots =
+      Mux.run ~quantiles:[] ~service:(3.0 *. float_of_int (Array.length sources))
+        ~slots sources
+    in
+    let (_ : Mux.report) = run 1024 in
+    let slots = 65536 in
+    let w0 = Gc.minor_words () in
+    let (_ : Mux.report) = run slots in
+    (Gc.minor_words () -. w0) /. float_of_int slots
+  in
+  let one = measure [| mk () |] in
+  let three = measure [| mk (); mk (); mk () |] in
+  (* ~6 words/slot of per-slot module-boundary float boxing remain on
+     a non-flambda build (queue/delay accumulators); bound it with
+     headroom. *)
+  if one > 8.0 then Alcotest.failf "Mux.run allocates %.2f minor words per slot" one;
+  (* The admission loop must be allocation-free per source: tripling
+     the sources may not add per-slot allocation beyond noise. *)
+  if three -. one > 1.0 then
+    Alcotest.failf "admission loop allocates per source: %.2f vs %.2f words/slot" three one
+
 (* ------------------------------------------------------------------ *)
 (* Mux_is: importance-sampled shared-buffer overflow                    *)
 (* ------------------------------------------------------------------ *)
@@ -657,6 +906,16 @@ let test_mux_is_invalid () =
   raises_invalid "buffer" (fun () -> mk ~buffer:(-1.0) ());
   raises_invalid "slots" (fun () -> mk ~slots:0 ());
   raises_invalid "scales length" (fun () -> mk ~scales:[| 1.0 |] ());
+  (* The likelihood accumulator consumes per-step Hosking innovations,
+     so the materializing Davies-Harte backend must be refused up
+     front (this is what `vbrsim mux --is --backend davies-harte`
+     surfaces to the user). *)
+  raises_invalid "Davies-Harte backend refused" (fun () ->
+      let (_ : Mux_is.config) =
+        Mux_is.make_config ~model:m ~sources:2 ~backend:`Davies_harte ~service:3.0
+          ~buffer:5.0 ~slots:50 ~twist:0.0 ()
+      in
+      ());
   raises_invalid "bad replications" (fun () ->
       let (_ : Mc.estimate) =
         Mux_is.estimate (mux_is_small ()) ~replications:0 (Rng.create ~seed:1)
@@ -1100,6 +1359,12 @@ let () =
           tc "table_for error prefix" test_source_table_for_error_prefix;
           tc "twisted zero shift = plain" test_source_twisted_zero_shift_identity;
           tc "of_mpeg priority classes" test_source_of_mpeg_classes;
+          tc "block = scalar bit-identical" test_source_block_scalar_bit_identity;
+          tc "mpeg block = scalar" test_source_mpeg_block_scalar_bit_identity;
+          tc "interleaved block/scalar" test_source_block_scalar_interleave_coherent;
+          tc "Davies-Harte contract" test_source_dh_backend_contract;
+          tc "Davies-Harte statistics" test_source_dh_backend_statistics;
+          tc "table cache LRU eviction" test_source_table_cache_lru_eviction;
         ] );
       ( "mux",
         [
@@ -1117,6 +1382,7 @@ let () =
           tc "corrupt work isolated" test_mux_corrupt_work_is_isolated;
           tc "class delay = delay (1 class)" test_mux_class_delay_single_class_exact;
           tc "class delay priority order" test_mux_class_delay_priority_ordering;
+          tc "hot loop allocation bound" test_mux_hot_loop_allocation;
         ] );
       ( "mux-is",
         [

@@ -140,6 +140,30 @@ let test_parallel_for_covers_range () =
       Pool.parallel_for p ~lo:5 ~hi:4 (fun _ -> Alcotest.fail "empty range ran"))
     [ (1, None); (2, None); (4, Some 7) ]
 
+let test_static_for () =
+  (* The precompiled batch runs every index exactly once per trigger,
+     for any domain count, and survives repeated dispatch. *)
+  let n = 37 in
+  List.iter
+    (fun d ->
+      let p = Pool.create ~domains:d in
+      Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+      let marks = Array.init n (fun _ -> Atomic.make 0) in
+      let trigger = Pool.static_for p ~n (fun i -> Atomic.incr marks.(i)) in
+      trigger ();
+      trigger ();
+      Array.iteri
+        (fun i c ->
+          if Atomic.get c <> 2 then
+            Alcotest.failf "index %d ran %d times over 2 triggers" i (Atomic.get c))
+        marks;
+      raises_invalid "n <= 0" (fun () -> Pool.static_for p ~n:0 (fun _ -> ())))
+    [ 1; 3 ];
+  let p = Pool.create ~domains:2 in
+  let trigger = Pool.static_for p ~n:4 (fun _ -> ()) in
+  Pool.shutdown p;
+  raises_invalid "trigger after shutdown" (fun () -> trigger ())
+
 (* ------------------------------------------------------------------ *)
 (* Fanout determinism                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -374,6 +398,7 @@ let () =
           tc "exceptions propagate" test_pool_exception_propagates;
           tc "fold order fixed" test_pool_fold_order;
           tc "parallel_for covers range" test_parallel_for_covers_range;
+          tc "static_for reusable batch" test_static_for;
         ] );
       ( "fanout",
         [

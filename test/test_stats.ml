@@ -94,6 +94,37 @@ let test_rng_gaussian_tail () =
   (* P(|Z| > 2) = 0.0455 *)
   close ~eps:0.005 "two-sigma tail mass" 0.0455 (float_of_int !beyond2 /. float_of_int n)
 
+let test_rng_fill_gaussian_matches_gaussian () =
+  (* fill_gaussian is the batched form of gaussian: mixed scalar and
+     batched consumption of an identically seeded generator must
+     reproduce the same deviates bit for bit, including the cached
+     polar deviate handed across call boundaries. *)
+  let total = 257 in
+  let a = Rng.create ~seed:77 in
+  let expected = Array.init total (fun _ -> Rng.gaussian a) in
+  let b = Rng.create ~seed:77 in
+  let got = Array.make total 0.0 in
+  let i = ref 0 in
+  List.iter
+    (fun len ->
+      Rng.fill_gaussian b got ~off:!i ~len;
+      i := !i + len;
+      if !i < total then begin
+        got.(!i) <- Rng.gaussian b;
+        incr i
+      end)
+    [ 1; 0; 2; 3; 5; 1; 8; 13; 21; 34 ];
+  Rng.fill_gaussian b got ~off:!i ~len:(total - !i);
+  Array.iteri
+    (fun j x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float expected.(j) then
+        Alcotest.failf "deviate %d: %.17g <> %.17g" j expected.(j) x)
+    got;
+  if Int64.bits_of_float (Rng.gaussian a) <> Int64.bits_of_float (Rng.gaussian b) then
+    Alcotest.fail "generator states diverged after fill_gaussian";
+  raises_invalid "negative len" (fun () -> Rng.fill_gaussian b got ~off:0 ~len:(-1));
+  raises_invalid "range overflow" (fun () -> Rng.fill_gaussian b got ~off:total ~len:1)
+
 let test_rng_int_range () =
   let rng = Rng.create ~seed:8 in
   let counts = Array.make 7 0 in
@@ -800,6 +831,7 @@ let () =
           tc "float moments" test_rng_float_moments;
           tc "gaussian moments" test_rng_gaussian_moments;
           tc "gaussian tail" test_rng_gaussian_tail;
+          tc "fill_gaussian = gaussian" test_rng_fill_gaussian_matches_gaussian;
           tc "int_range uniform" test_rng_int_range;
           tc "int_range singleton" test_rng_int_range_singleton;
           tc "split independence" test_rng_split_independence;
