@@ -1660,6 +1660,196 @@ let throughput_smoke () =
   pf "# agreement within 3 sigma\n"
 
 (* ------------------------------------------------------------------ *)
+(* abr: streaming-client fleets over mux trajectories                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One mux run whose per-source served/delay trajectory feeds a whole
+   fleet of clients. Sources and faults draw from a tag-seeded master
+   stream, so every scenario rebuilds bit-identical traffic. Returns
+   the advanced generator for the fleet's client substreams. *)
+let abr_trajectory ~tag ~n ~order ~utilization ~slots ?faults () =
+  let m = model () in
+  let rng = Rng.create ~seed:(Defaults.seed + Hashtbl.hash tag) in
+  let srcs =
+    Array.init n (fun i ->
+        Ss_mux.Source.of_model ~name:(Printf.sprintf "s%d" i) ~order m (Rng.split rng))
+  in
+  let srcs =
+    match faults with
+    | None -> srcs
+    | Some fs -> Ss_mux.Fault.wrap_all ~rng:(Rng.split rng) fs srcs
+  in
+  let service = float_of_int n *. m.Model.mean /. utilization in
+  let fps = Defaults.scene_config_intra.Ss_video.Scene_source.fps in
+  let capture = Ss_abr.Trajectory.create ~slots ~sources:n ~slot_s:(1.0 /. fps) in
+  let report =
+    Ss_mux.Mux.run ?pool:(pool ()) ~trajectory:(Ss_abr.Trajectory.sink capture) ~service
+      ~slots srcs
+  in
+  (capture, report, rng)
+
+let abr_chunk_frames = 30
+
+(* Bitrate ladder shared by the abr experiments: equal-seed
+   Scene_source rungs (Scene_source.ladder) calibrated so the 1.0
+   rung's mean rate matches the fitted model's per-source mean. *)
+let abr_ladder =
+  lazy
+    (let m = model () in
+     let base =
+       {
+         Defaults.scene_config_intra with
+         Ss_video.Scene_source.frames = abr_chunk_frames * 96;
+       }
+     in
+     let rung_rng () = Rng.create ~seed:(Defaults.seed + Hashtbl.hash "abr-ladder") in
+     let cal = Ss_video.Scene_source.generate base (rung_rng ()) in
+     let scale = m.Model.mean /. D.mean cal.Trace.sizes in
+     let cfgs =
+       Ss_video.Scene_source.ladder
+         ~levels:[ 0.3; 0.55; 1.0; 1.8; 3.0 ]
+         {
+           base with
+           Ss_video.Scene_source.mean_i_bytes =
+             base.Ss_video.Scene_source.mean_i_bytes *. scale;
+         }
+     in
+     Ss_abr.Ladder.of_traces ~chunk_frames:abr_chunk_frames
+       (List.map (fun c -> Ss_video.Scene_source.generate c (rung_rng ())) cfgs))
+
+let json_summary (s : Ss_abr.Fleet.summary) =
+  Printf.sprintf
+    "{\"mean\": %.6g, \"std\": %.6g, \"min\": %.6g, \"max\": %.6g, \"q10\": %.6g, \"q50\": \
+     %.6g, \"q90\": %.6g}"
+    s.Ss_abr.Fleet.mean s.Ss_abr.Fleet.std s.Ss_abr.Fleet.min s.Ss_abr.Fleet.max
+    s.Ss_abr.Fleet.q10 s.Ss_abr.Fleet.q50 s.Ss_abr.Fleet.q90
+
+let abr () =
+  pf "# abr: streaming QoE vs bottleneck utilization (lib/abr fleets over lib/mux\n";
+  pf "# trajectories); clients replay per-source served work as their bandwidth\n";
+  let ladder = Lazy.force abr_ladder in
+  let n_src = 4 and order = 128 and slots = 16_384 in
+  let utils = [ 0.5; 0.7; 0.85 ] in
+  let fleets = [ 4; 16; 64 ] in
+  let config = { Ss_abr.Client.default with Ss_abr.Client.chunks = 120; max_buffer_s = 25.0 } in
+  let policies = [ Ss_abr.Policy.bba (); Ss_abr.Policy.rate () ] in
+  pf "# %d sources, AR order %d, %d trajectory slots; ladder rates (Mbps):" n_src order slots;
+  Array.iter (fun r -> pf " %.3f" (r *. 8.0 /. 1e6)) ladder.Ss_abr.Ladder.rates;
+  pf "\n# uti  clients  policy  qoe(mean)  qoe(p10)  bitrate(mean Mbps)  rebuf(mean)  rebuf(p90)  zero-stall\n";
+  let rows =
+    List.concat_map
+      (fun u ->
+        let capture, _, rng =
+          abr_trajectory ~tag:(Printf.sprintf "abr-%g" u) ~n:n_src ~order ~utilization:u
+            ~slots ()
+        in
+        List.concat_map
+          (fun clients ->
+            List.map
+              (fun policy ->
+                (* Rng.copy: client j joins at the same slot under
+                   every policy and fleet size, pairing the grid. *)
+                let report, _ =
+                  Ss_abr.Fleet.run ?pool:(pool ()) ~rng:(Rng.copy rng) ~clients ~policy
+                    ~ladder ~trajectory:capture ~config ()
+                in
+                pf "%5.2f  %7d  %-6s  %9.4f  %8.4f  %18.4f  %11.4f  %10.4f  %9.2f\n" u
+                  clients report.Ss_abr.Fleet.policy report.Ss_abr.Fleet.qoe.Ss_abr.Fleet.mean
+                  report.Ss_abr.Fleet.qoe.Ss_abr.Fleet.q10
+                  report.Ss_abr.Fleet.bitrate_mbps.Ss_abr.Fleet.mean
+                  report.Ss_abr.Fleet.rebuffer_ratio.Ss_abr.Fleet.mean
+                  report.Ss_abr.Fleet.rebuffer_ratio.Ss_abr.Fleet.q90
+                  report.Ss_abr.Fleet.zero_rebuffer_fraction;
+                (u, report))
+              policies)
+          fleets)
+      utils
+  in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\n  \"machine\": %s,\n" (machine_json ());
+  Printf.bprintf buf
+    "  \"sources\": %d, \"order\": %d, \"slots\": %d, \"chunks\": %d, \"chunk_s\": %g,\n"
+    n_src order slots config.Ss_abr.Client.chunks ladder.Ss_abr.Ladder.chunk_s;
+  Printf.bprintf buf "  \"ladder_rates_bps\": [%s],\n"
+    (String.concat ", "
+       (Array.to_list (Array.map (Printf.sprintf "%.6g") ladder.Ss_abr.Ladder.rates)));
+  Printf.bprintf buf "  \"cells\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (u, (r : Ss_abr.Fleet.report)) ->
+      Printf.bprintf buf
+        "    {\"utilization\": %g, \"clients\": %d, \"policy\": \"%s\", \"qoe\": %s, \
+         \"rebuffer_ratio\": %s, \"bitrate_mbps\": %s, \"startup_s\": %s, \
+         \"zero_rebuffer_fraction\": %.4f, \"mean_level\": %.4f, \"mean_switches\": %.4f}%s\n"
+        u r.Ss_abr.Fleet.clients r.Ss_abr.Fleet.policy (json_summary r.Ss_abr.Fleet.qoe)
+        (json_summary r.Ss_abr.Fleet.rebuffer_ratio)
+        (json_summary r.Ss_abr.Fleet.bitrate_mbps)
+        (json_summary r.Ss_abr.Fleet.startup_s)
+        r.Ss_abr.Fleet.zero_rebuffer_fraction r.Ss_abr.Fleet.mean_level
+        r.Ss_abr.Fleet.mean_switches
+        (if i = last then "" else ","))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_abr.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "# wrote BENCH_abr.json\n"
+
+(* Seconds-scale CI gate over the ABR layer. One background source
+   drifts to 3x its declared mean, squeezing the served-work share of
+   the well-behaved sources: (1) the squeeze must actually cause
+   rebuffering; (2) a protective buffer-based policy (deep reservoir)
+   must stall no more than the throughput-chasing rate policy; (3) a
+   fleet rerun without the pool must be bit-identical per client —
+   with SS_DOMAINS>1 in the environment this pins the pooled fanout
+   to the sequential reference. *)
+let abr_smoke () =
+  pf "# abr-smoke: drift-squeezed fleet - policy ordering + pool bit-identity\n";
+  let faults = [ (Some 0, [ Ss_mux.Fault.Drift { start = 1024; ramp = 512; factor = 3.0 } ]) ] in
+  let capture, mux_report, rng =
+    abr_trajectory ~tag:"abr-smoke" ~n:4 ~order:64 ~utilization:0.6 ~slots:8192 ~faults ()
+  in
+  pf "# mux mean queue %.0f B (3x drift on source 0 from slot 1024)\n"
+    mux_report.Ss_mux.Mux.mean_queue;
+  let ladder = Lazy.force abr_ladder in
+  let config = { Ss_abr.Client.default with Ss_abr.Client.chunks = 160; max_buffer_s = 12.0 } in
+  let bba = Ss_abr.Policy.bba ~reservoir_s:10.0 ~cushion_s:10.0 () in
+  let rate = Ss_abr.Policy.rate () in
+  let run ~pool policy =
+    Ss_abr.Fleet.run ?pool ~rng:(Rng.copy rng) ~clients:32 ~policy ~ladder
+      ~trajectory:capture ~config ()
+  in
+  let rep_bba, res_bba = run ~pool:(pool ()) bba in
+  let rep_rate, _ = run ~pool:(pool ()) rate in
+  pf "# bba   rebuffer ratio mean %.4f  (total stall %.1f s, qoe %.4f)\n"
+    rep_bba.Ss_abr.Fleet.rebuffer_ratio.Ss_abr.Fleet.mean rep_bba.Ss_abr.Fleet.rebuffer_s_total
+    rep_bba.Ss_abr.Fleet.qoe.Ss_abr.Fleet.mean;
+  pf "# rate  rebuffer ratio mean %.4f  (total stall %.1f s, qoe %.4f)\n"
+    rep_rate.Ss_abr.Fleet.rebuffer_ratio.Ss_abr.Fleet.mean
+    rep_rate.Ss_abr.Fleet.rebuffer_s_total rep_rate.Ss_abr.Fleet.qoe.Ss_abr.Fleet.mean;
+  if rep_rate.Ss_abr.Fleet.rebuffer_s_total <= 0.0 then
+    failwith "abr-smoke: drift squeeze caused no rebuffering";
+  if
+    rep_bba.Ss_abr.Fleet.rebuffer_ratio.Ss_abr.Fleet.mean
+    > rep_rate.Ss_abr.Fleet.rebuffer_ratio.Ss_abr.Fleet.mean
+  then failwith "abr-smoke: buffer-based policy stalled more than rate-based";
+  let _, res_seq = run ~pool:None bba in
+  let feq a b = Int64.bits_of_float a = Int64.bits_of_float b in
+  Array.iteri
+    (fun j (a : Ss_abr.Client.result) ->
+      let b = res_seq.(j) in
+      if
+        not
+          (feq a.Ss_abr.Client.qoe b.Ss_abr.Client.qoe
+          && feq a.Ss_abr.Client.rebuffer_s b.Ss_abr.Client.rebuffer_s
+          && feq a.Ss_abr.Client.startup_s b.Ss_abr.Client.startup_s
+          && feq a.Ss_abr.Client.mean_bitrate_mbps b.Ss_abr.Client.mean_bitrate_mbps
+          && a.Ss_abr.Client.switches = b.Ss_abr.Client.switches)
+      then failwith (Printf.sprintf "abr-smoke: client %d differs pooled vs sequential" j))
+    res_bba;
+  pf "# pooled fleet == sequential fleet (bitwise, %d clients)\n" (Array.length res_bba)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1775,6 +1965,8 @@ let experiments =
     ("perf-parallel", perf_parallel);
     ("throughput", throughput);
     ("throughput-smoke", throughput_smoke);
+    ("abr", abr);
+    ("abr-smoke", abr_smoke);
   ]
 
 let run_one (id, f) =

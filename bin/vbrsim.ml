@@ -84,7 +84,7 @@ let csv_arg =
   in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
-let write_overflow_csv ?(class_delays = []) path rows =
+let write_overflow_csv ?(class_delays = []) ?trajectory path rows =
   let oc = open_out path in
   output_string oc "# buffer,overflow\n";
   List.iter (fun (b, p) -> Printf.fprintf oc "%g,%g\n" b p) rows;
@@ -94,6 +94,17 @@ let write_overflow_csv ?(class_delays = []) path rows =
       (fun (c, qs) -> List.iter (fun (p, d) -> Printf.fprintf oc "%d,%g,%g\n" c p d) qs)
       class_delays
   end;
+  (match trajectory with
+  | None -> ()
+  | Some tr ->
+    output_string oc "# trajectory: slot,source,served,delay_slots\n";
+    for t = 0 to tr.Ss_abr.Trajectory.filled - 1 do
+      for i = 0 to tr.Ss_abr.Trajectory.sources - 1 do
+        Printf.fprintf oc "%d,%d,%g,%g\n" t i
+          tr.Ss_abr.Trajectory.served.(i).(t)
+          tr.Ss_abr.Trajectory.delays.(i).(t)
+      done
+    done);
   close_out oc;
   Format.printf "wrote overflow curve to %s@." path
 
@@ -564,9 +575,21 @@ let mux_cmd =
                    (Array.map Ss_mux.Admission.descr_of_source admitted))
             else None
           in
+          (* Capture the per-source service/delay trajectory (the same
+             hook the ABR layer consumes) only when it will be written:
+             the hook itself never perturbs the simulated floats. *)
+          let capture =
+            match csv with
+            | None -> None
+            | Some _ ->
+              Some
+                (Ss_abr.Trajectory.create ~slots ~sources:(Array.length admitted)
+                   ~slot_s:(1.0 /. trace.Trace.fps))
+          in
+          let trajectory = Option.map Ss_abr.Trajectory.sink capture in
           let report =
-            Ss_mux.Mux.run ?pool ?police:policer ~buffer:buffer_abs ~thresholds ~service
-              ~slots admitted
+            Ss_mux.Mux.run ?pool ?police:policer ?trajectory ~buffer:buffer_abs ~thresholds
+              ~service ~slots admitted
           in
           Format.printf "%a" Ss_mux.Mux.pp_report report;
           (match policer with
@@ -591,7 +614,7 @@ let mux_cmd =
           | None -> ()
           | Some path ->
             write_overflow_csv path
-              ~class_delays:report.Ss_mux.Mux.class_delay_quantiles
+              ~class_delays:report.Ss_mux.Mux.class_delay_quantiles ?trajectory:capture
               (List.map (fun (b, p) -> (b /. per_mean, p)) report.Ss_mux.Mux.overflow)
         end
         end)
@@ -607,6 +630,151 @@ let mux_cmd =
       $ backend_arg $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg $ buffers_arg
       $ csv_arg $ seed_arg $ max_lag_arg $ domains_arg $ is_arg $ twist_arg $ horizon_arg
       $ replications_arg $ faults_arg $ police_arg $ police_window_arg)
+
+(* --- abr --- *)
+
+let abr_cmd =
+  let sources_arg =
+    let doc = "Number of multiplexed sources (each backs clients round-robin)." in
+    Arg.(value & opt int 4 & info [ "sources" ] ~docv:"INT" ~doc)
+  in
+  let slots_arg =
+    let doc = "Multiplexer trajectory length in slots (frames)." in
+    Arg.(value & opt int 16_384 & info [ "slots" ] ~docv:"INT" ~doc)
+  in
+  let order_arg =
+    let doc = "Streaming-source AR order." in
+    Arg.(value & opt int 128 & info [ "order" ] ~docv:"INT" ~doc)
+  in
+  let clients_arg =
+    let doc = "Streaming clients in the fleet." in
+    Arg.(value & opt int 64 & info [ "clients" ] ~docv:"INT" ~doc)
+  in
+  let chunks_arg =
+    let doc = "Chunks each client streams." in
+    Arg.(value & opt int 120 & info [ "chunks" ] ~docv:"INT" ~doc)
+  in
+  let chunk_frames_arg =
+    let doc = "Frames per chunk (chunk duration = frames / fps)." in
+    Arg.(value & opt int 30 & info [ "chunk-frames" ] ~docv:"INT" ~doc)
+  in
+  let max_buffer_arg =
+    let doc = "Client playback buffer cap in seconds." in
+    Arg.(value & opt float 25.0 & info [ "max-buffer" ] ~docv:"SECONDS" ~doc)
+  in
+  let policies_arg =
+    let doc = "Comma-separated adaptation policies: bba, rate, fixed:N." in
+    Arg.(value & opt string "bba,rate" & info [ "policies"; "policy" ] ~docv:"LIST" ~doc)
+  in
+  let levels_arg =
+    let doc = "Comma-separated bitrate-ladder level factors (strictly ascending)." in
+    Arg.(value & opt string "0.3,0.55,1.0,1.8,3.0" & info [ "levels" ] ~docv:"LIST" ~doc)
+  in
+  let faults_arg =
+    let doc = "Fault-injection spec for the mux sources (see $(b,vbrsim mux --faults))." in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let parse_policies s =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+    |> List.map (fun name ->
+           match name with
+           | "bba" -> Ss_abr.Policy.bba ()
+           | "rate" -> Ss_abr.Policy.rate ()
+           | _ -> (
+             match String.index_opt name ':' with
+             | Some i when String.sub name 0 i = "fixed" ->
+               Ss_abr.Policy.fixed
+                 (int_of_string (String.sub name (i + 1) (String.length name - i - 1)))
+             | _ -> invalid_arg (Printf.sprintf "bad policy %S (expected bba, rate or fixed:N)" name)))
+  in
+  let parse_levels s =
+    String.split_on_char ',' s
+    |> List.map (fun x ->
+           match float_of_string_opt (String.trim x) with
+           | Some l -> l
+           | None -> invalid_arg (Printf.sprintf "bad ladder level %S" x))
+  in
+  let run path utilization sources slots order backend seed max_lag domains clients chunks
+      chunk_frames max_buffer policies levels faults =
+    wrap (fun () ->
+        if sources <= 0 then invalid_arg "sources must be positive";
+        let policies = parse_policies policies in
+        if policies = [] then invalid_arg "no policies given";
+        Pool.with_pool ~domains @@ fun pool ->
+        let backend = parse_backend backend in
+        let trace = Trace.load path in
+        let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
+        let rng = Rng.create ~seed in
+        let horizon = match backend with `Hosking -> None | `Davies_harte -> Some slots in
+        let srcs =
+          Array.init sources (fun i ->
+              Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order ~backend
+                ?horizon model (Rng.split rng))
+        in
+        let srcs =
+          match faults with
+          | None -> srcs
+          | Some spec ->
+            Ss_mux.Fault.wrap_all ~rng:(Rng.split rng) (Ss_mux.Fault.parse spec) srcs
+        in
+        let per_mean = srcs.(0).Ss_mux.Source.mean in
+        let service = float_of_int sources *. per_mean /. utilization in
+        let slot_s = 1.0 /. trace.Trace.fps in
+        let capture = Ss_abr.Trajectory.create ~slots ~sources ~slot_s in
+        let report =
+          Ss_mux.Mux.run ?pool ~trajectory:(Ss_abr.Trajectory.sink capture) ~service ~slots
+            srcs
+        in
+        Format.printf
+          "# mux: %d sources, utilization %.2f, service %.1f B/slot, mean queue %.1f B@."
+          sources utilization service report.Ss_mux.Mux.mean_queue;
+        (* Bitrate ladder: equal-seed Scene_source rungs calibrated so
+           the 1.0 rung's rate matches the per-source mean rate. *)
+        let ladder_frames = Stdlib.max (chunk_frames * 96) 2048 in
+        let base =
+          {
+            Scene.default with
+            frames = ladder_frames;
+            fps = trace.Trace.fps;
+            hurst = Stdlib.min 0.95 (Stdlib.max 0.55 model.Model.hurst);
+          }
+        in
+        let cal = Scene.generate base (Rng.create ~seed:(seed + 1)) in
+        let scale = model.Model.mean /. D.mean cal.Trace.sizes in
+        let cfgs =
+          Scene.ladder ~levels:(parse_levels levels)
+            { base with mean_i_bytes = base.Scene.mean_i_bytes *. scale }
+        in
+        let rungs = List.map (fun c -> Scene.generate c (Rng.create ~seed:(seed + 1))) cfgs in
+        let ladder = Ss_abr.Ladder.of_traces ~chunk_frames rungs in
+        Format.printf "%a" Ss_abr.Ladder.pp ladder;
+        let config = { Ss_abr.Client.default with chunks; max_buffer_s = max_buffer } in
+        (* Each policy's fleet re-reads the same generator state, so
+           client j joins at the same slot under every policy and the
+           comparison is paired. *)
+        List.iter
+          (fun policy ->
+            let fleet_rng = Rng.copy rng in
+            let fleet_report, _ =
+              Ss_abr.Fleet.run ?pool ~rng:fleet_rng ~clients ~policy ~ladder
+                ~trajectory:capture ~config ()
+            in
+            Format.printf "%a" Ss_abr.Fleet.pp_report fleet_report)
+          policies)
+  in
+  let doc =
+    "Adaptive-bitrate streaming fleet over a multiplexer trajectory: N model sources share \
+     the bottleneck, each client replays one source's served-work process as its bandwidth \
+     and adapts across a Scene_source bitrate ladder; reports QoE/rebuffer/bitrate \
+     distributions per policy."
+  in
+  Cmd.v (Cmd.info "abr" ~doc)
+    Term.(
+      const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
+      $ backend_arg $ seed_arg $ max_lag_arg $ domains_arg $ clients_arg $ chunks_arg
+      $ chunk_frames_arg $ max_buffer_arg $ policies_arg $ levels_arg $ faults_arg)
 
 (* --- fastsim --- *)
 
@@ -693,5 +861,5 @@ let () =
        (Cmd.group info
           [
             synth_cmd; summary_cmd; hurst_cmd; acf_cmd; compare_cmd; fit_cmd; generate_cmd;
-            mpeg_cmd; queue_cmd; mux_cmd; fastsim_cmd;
+            mpeg_cmd; queue_cmd; mux_cmd; abr_cmd; fastsim_cmd;
           ]))

@@ -1,0 +1,195 @@
+type config = {
+  chunks : int;
+  max_buffer_s : float;
+  rtt_s : float;
+  throughput_window : int;
+  rebuffer_penalty : float;
+  switch_penalty : float;
+}
+
+let default =
+  {
+    chunks = 120;
+    max_buffer_s = 30.0;
+    rtt_s = 0.08;
+    throughput_window = 8;
+    rebuffer_penalty = 4.3;
+    switch_penalty = 1.0;
+  }
+
+type result = {
+  policy : string;
+  chunks : int;
+  startup_s : float;
+  rebuffer_s : float;
+  rebuffer_ratio : float;
+  rebuffer_events : int;
+  mean_bitrate_mbps : float;
+  mean_level : float;
+  switches : int;
+  qoe : float;
+  qoe_bitrate : float;
+  qoe_rebuffer : float;
+  qoe_switch : float;
+}
+
+let validate (cfg : config) =
+  if cfg.chunks <= 0 then invalid_arg "Client: chunks <= 0";
+  if not (cfg.max_buffer_s > 0.0) then invalid_arg "Client: max_buffer_s <= 0";
+  if not (cfg.rtt_s >= 0.0) then invalid_arg "Client: rtt_s < 0";
+  if cfg.throughput_window <= 0 then invalid_arg "Client: throughput_window <= 0";
+  if not (cfg.rebuffer_penalty >= 0.0) then invalid_arg "Client: rebuffer_penalty < 0";
+  if not (cfg.switch_penalty >= 0.0) then invalid_arg "Client: switch_penalty < 0"
+
+(* Walk the bandwidth trace from continuous position [pos] (in slot
+   units) until [bytes] have been transferred, wrapping at the end of
+   the trace. Returns the new position; elapsed slots = new - old.
+   Mirrors the cooked-trace walk of the Pensieve/oboe simulators, with
+   fractional slot-boundary handling. *)
+let download bandwidth ~pos ~bytes =
+  let len = Array.length bandwidth in
+  let pos = ref pos and left = ref bytes in
+  (* Guarded by the caller: total trace bandwidth is positive, so each
+     full lap makes progress and this loop terminates. *)
+  while !left > 0.0 do
+    let slot = int_of_float (Float.floor !pos) mod len in
+    let frac_left = 1.0 -. (!pos -. Float.floor !pos) in
+    let cap = bandwidth.(slot) *. frac_left in
+    if cap >= !left && cap > 0.0 then begin
+      pos := !pos +. (!left /. bandwidth.(slot));
+      left := 0.0
+    end
+    else begin
+      left := !left -. cap;
+      pos := Float.floor !pos +. 1.0
+    end
+  done;
+  !pos
+
+let run ?(config = default) ~policy ~ladder ~bandwidth ?delays ~slot_s ~start ()
+    =
+  validate config;
+  if not (slot_s > 0.0) then invalid_arg "Client.run: slot_s <= 0";
+  let len = Array.length bandwidth in
+  if len = 0 then invalid_arg "Client.run: empty bandwidth trace";
+  (match delays with
+  | Some d when Array.length d <> len ->
+    invalid_arg "Client.run: delays length mismatch"
+  | _ -> ());
+  if start < 0 || start >= len then invalid_arg "Client.run: start out of range";
+  let total_bw = Array.fold_left ( +. ) 0.0 bandwidth in
+  if not (total_bw > 0.0) then
+    invalid_arg "Client.run: bandwidth trace sums to zero";
+  let nlev = Array.length ladder.Ladder.rates in
+  let chunk_s = ladder.Ladder.chunk_s in
+  let pos = ref (float_of_int start) in
+  let buffer = ref 0.0 in
+  let startup = ref 0.0 in
+  let rebuffer = ref 0.0 in
+  let rebuffer_events = ref 0 in
+  let switches = ref 0 in
+  let last_level = ref (-1) in
+  let sum_rate = ref 0.0 in
+  let sum_level = ref 0.0 in
+  let qoe_bitrate = ref 0.0 in
+  let qoe_rebuffer = ref 0.0 in
+  let qoe_switch = ref 0.0 in
+  (* Harmonic-mean throughput over the last [throughput_window]
+     completed chunk downloads. *)
+  let tput_ring = Array.make config.throughput_window 0.0 in
+  let tput_n = ref 0 in
+  let throughput () =
+    if !tput_n = 0 then 0.0
+    else begin
+      let m = min !tput_n config.throughput_window in
+      let inv = ref 0.0 in
+      for j = 0 to m - 1 do
+        inv := !inv +. (1.0 /. tput_ring.(j))
+      done;
+      float_of_int m /. !inv
+    end
+  in
+  for k = 0 to config.chunks - 1 do
+    let obs =
+      {
+        Policy.chunk_index = k;
+        buffer_s = !buffer;
+        last_level = !last_level;
+        throughput_Bps = throughput ();
+        rates = ladder.Ladder.rates;
+        max_buffer_s = config.max_buffer_s;
+      }
+    in
+    let level = policy.Policy.choose obs in
+    let level = if level < 0 then 0 else if level >= nlev then nlev - 1 else level in
+    let bytes = ladder.Ladder.sizes.(level).(k mod ladder.Ladder.chunks) in
+    (* Request latency: RTT plus the mux's virtual queueing delay at
+       the slot the request goes out in. *)
+    let req_slot = int_of_float !pos mod len in
+    let qdelay_s =
+      match delays with None -> 0.0 | Some d -> d.(req_slot) *. slot_s
+    in
+    let latency_s = config.rtt_s +. qdelay_s in
+    pos := !pos +. (latency_s /. slot_s);
+    let pos' = download bandwidth ~pos:!pos ~bytes in
+    let dl_s = ((pos' -. !pos) *. slot_s) +. latency_s in
+    pos := pos';
+    if !tput_n < config.throughput_window then begin
+      tput_ring.(!tput_n) <- bytes /. dl_s;
+      incr tput_n
+    end
+    else begin
+      (* Shift window: cheap for the small windows we use, and keeps
+         ring order = arrival order for the harmonic mean. *)
+      Array.blit tput_ring 1 tput_ring 0 (config.throughput_window - 1);
+      tput_ring.(config.throughput_window - 1) <- bytes /. dl_s
+    end;
+    if k = 0 then begin
+      startup := dl_s;
+      buffer := chunk_s
+    end
+    else begin
+      let stall = Float.max 0.0 (dl_s -. !buffer) in
+      if stall > 0.0 then begin
+        rebuffer := !rebuffer +. stall;
+        incr rebuffer_events
+      end;
+      buffer := Float.max 0.0 (!buffer -. dl_s) +. chunk_s;
+      if !buffer > config.max_buffer_s then begin
+        (* Buffer full: the client idles (no request in flight) while
+           playback drains the excess. *)
+        let sleep_s = !buffer -. config.max_buffer_s in
+        pos := !pos +. (sleep_s /. slot_s);
+        buffer := config.max_buffer_s
+      end
+    end;
+    let rate_mbps = ladder.Ladder.rates.(level) *. 8.0 /. 1e6 in
+    sum_rate := !sum_rate +. rate_mbps;
+    sum_level := !sum_level +. float_of_int level;
+    qoe_bitrate := !qoe_bitrate +. rate_mbps;
+    if k > 0 then begin
+      let prev = ladder.Ladder.rates.(!last_level) *. 8.0 /. 1e6 in
+      if level <> !last_level then incr switches;
+      qoe_switch :=
+        !qoe_switch +. (config.switch_penalty *. Float.abs (rate_mbps -. prev))
+    end;
+    last_level := level
+  done;
+  qoe_rebuffer := config.rebuffer_penalty *. !rebuffer;
+  let n = float_of_int config.chunks in
+  let watch_s = n *. chunk_s in
+  {
+    policy = policy.Policy.name;
+    chunks = config.chunks;
+    startup_s = !startup;
+    rebuffer_s = !rebuffer;
+    rebuffer_ratio = !rebuffer /. (watch_s +. !rebuffer +. !startup);
+    rebuffer_events = !rebuffer_events;
+    mean_bitrate_mbps = !sum_rate /. n;
+    mean_level = !sum_level /. n;
+    switches = !switches;
+    qoe = (!qoe_bitrate -. !qoe_rebuffer -. !qoe_switch) /. n;
+    qoe_bitrate = !qoe_bitrate /. n;
+    qoe_rebuffer = !qoe_rebuffer /. n;
+    qoe_switch = !qoe_switch /. n;
+  }

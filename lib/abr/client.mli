@@ -1,0 +1,59 @@
+(** One adaptive-bitrate streaming client: a trace-driven download
+    loop against a bandwidth/delay trajectory, with playback-buffer
+    dynamics, rebuffer accounting and a QoE score.
+
+    The simulation follows the chunk-level model used by the
+    Pensieve/oboe line of work: for each chunk the policy picks a
+    rendition, the chunk downloads over the (wrapping) bandwidth
+    trace from the client's current time position, and the playback
+    buffer drains in real time while the download is in flight. The
+    bandwidth trace is typically a per-source served-work row of
+    {!Trajectory} — so the multiplexer's LRD queueing dynamics become
+    the client's throughput process. *)
+
+type config = {
+  chunks : int;  (** chunks to stream (client loops past ladder end) *)
+  max_buffer_s : float;  (** buffer cap; the client idles when full *)
+  rtt_s : float;  (** fixed per-request latency, seconds *)
+  throughput_window : int;  (** chunks in the harmonic-mean estimate *)
+  rebuffer_penalty : float;  (** QoE Mbps-equivalent per stall second *)
+  switch_penalty : float;  (** QoE multiplier on |rate - prev rate| *)
+}
+
+val default : config
+(** 120 chunks, 30 s buffer, 80 ms RTT, window 8, penalties 4.3 / 1.0
+    (the MPC/Pensieve QoE constants). *)
+
+type result = {
+  policy : string;
+  chunks : int;
+  startup_s : float;  (** first-chunk download time *)
+  rebuffer_s : float;  (** total stall time after startup *)
+  rebuffer_ratio : float;  (** stall / (watch + stall + startup) *)
+  rebuffer_events : int;
+  mean_bitrate_mbps : float;
+  mean_level : float;
+  switches : int;  (** rendition changes between consecutive chunks *)
+  qoe : float;  (** per-chunk: bitrate - rebuffer - switch terms *)
+  qoe_bitrate : float;
+  qoe_rebuffer : float;
+  qoe_switch : float;
+}
+
+val run :
+  ?config:config ->
+  policy:Policy.t ->
+  ladder:Ladder.t ->
+  bandwidth:float array ->
+  ?delays:float array ->
+  slot_s:float ->
+  start:int ->
+  unit ->
+  result
+(** Stream [config.chunks] chunks. [bandwidth.(t)] is bytes
+    deliverable in slot [t] (wrapping), [delays.(t)] an optional
+    per-slot request queueing delay in slots, [slot_s] the slot
+    duration in seconds and [start] the slot the client joins at.
+    Deterministic: equal inputs give bit-identical results.
+    @raise Invalid_argument on an invalid config, empty or all-zero
+    bandwidth, a [delays] length mismatch or [start] out of range. *)

@@ -1,0 +1,124 @@
+module Rng = Ss_stats.Rng
+module Fanout = Ss_parallel.Fanout
+
+type summary = {
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  q10 : float;
+  q50 : float;
+  q90 : float;
+}
+
+type report = {
+  clients : int;
+  policy : string;
+  chunks : int;
+  qoe : summary;
+  rebuffer_ratio : summary;
+  bitrate_mbps : summary;
+  startup_s : summary;
+  rebuffer_s_total : float;
+  zero_rebuffer_fraction : float;
+  mean_level : float;
+  mean_switches : float;
+}
+
+(* Exact (type-7) quantile of a sorted copy — fleets are small enough
+   that sorting per metric is free next to the simulation itself. *)
+let quantile_sorted a p =
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = if lo + 1 > n - 1 then n - 1 else lo + 1 in
+    let w = h -. float_of_int lo in
+    if w <= 0.0 || hi = lo then a.(lo)
+    else ((1.0 -. w) *. a.(lo)) +. (w *. a.(hi))
+  end
+
+let summarize values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Fleet.summarize: empty";
+  let nf = float_of_int n in
+  let mean = Array.fold_left ( +. ) 0.0 values /. nf in
+  let var =
+    Array.fold_left (fun acc v -> acc +. ((v -. mean) *. (v -. mean))) 0.0 values
+    /. nf
+  in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  {
+    mean;
+    std = sqrt var;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    q10 = quantile_sorted sorted 0.1;
+    q50 = quantile_sorted sorted 0.5;
+    q90 = quantile_sorted sorted 0.9;
+  }
+
+let run ?pool ~rng ~clients ~policy ~ladder ~trajectory ?(config = Client.default)
+    () =
+  if clients <= 0 then invalid_arg "Fleet.run: clients <= 0";
+  let nsrc = trajectory.Trajectory.sources in
+  if trajectory.Trajectory.filled < trajectory.Trajectory.slots then
+    invalid_arg "Fleet.run: trajectory not fully filled";
+  let results =
+    Fanout.map ?pool ~rng ~n:clients (fun sub j ->
+        let src = j mod nsrc in
+        let bandwidth = Trajectory.bandwidth trajectory src in
+        let delays = Trajectory.delay trajectory src in
+        let start = Rng.int_range sub 0 (Array.length bandwidth - 1) in
+        Client.run ~config ~policy ~ladder ~bandwidth ~delays
+          ~slot_s:trajectory.Trajectory.slot_s ~start ())
+  in
+  let metric f = Array.map f results in
+  let nf = float_of_int clients in
+  let report =
+    {
+      clients;
+      policy = policy.Policy.name;
+      chunks = config.Client.chunks;
+      qoe = summarize (metric (fun r -> r.Client.qoe));
+      rebuffer_ratio = summarize (metric (fun r -> r.Client.rebuffer_ratio));
+      bitrate_mbps = summarize (metric (fun r -> r.Client.mean_bitrate_mbps));
+      startup_s = summarize (metric (fun r -> r.Client.startup_s));
+      rebuffer_s_total =
+        Array.fold_left (fun acc r -> acc +. r.Client.rebuffer_s) 0.0 results;
+      zero_rebuffer_fraction =
+        float_of_int
+          (Array.fold_left
+             (fun acc r -> if r.Client.rebuffer_events = 0 then acc + 1 else acc)
+             0 results)
+        /. nf;
+      mean_level =
+        Array.fold_left (fun acc r -> acc +. r.Client.mean_level) 0.0 results
+        /. nf;
+      mean_switches =
+        Array.fold_left
+          (fun acc r -> acc +. float_of_int r.Client.switches)
+          0.0 results
+        /. nf;
+    }
+  in
+  (report, results)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "mean %.4g  sd %.4g  p10 %.4g  p50 %.4g  p90 %.4g" s.mean
+    s.std s.q10 s.q50 s.q90
+
+let pp_report ppf r =
+  Format.fprintf ppf "fleet: %d clients, policy %s, %d chunks each@." r.clients
+    r.policy r.chunks;
+  Format.fprintf ppf "  qoe            %a@." pp_summary r.qoe;
+  Format.fprintf ppf "  bitrate (Mbps) %a@." pp_summary r.bitrate_mbps;
+  Format.fprintf ppf "  rebuffer ratio %a@." pp_summary r.rebuffer_ratio;
+  Format.fprintf ppf "  startup (s)    %a@." pp_summary r.startup_s;
+  Format.fprintf ppf
+    "  total stall %.2f s  zero-stall clients %.1f%%  mean level %.2f  mean switches %.1f@."
+    r.rebuffer_s_total
+    (100.0 *. r.zero_rebuffer_fraction)
+    r.mean_level r.mean_switches

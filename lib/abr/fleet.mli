@@ -1,0 +1,53 @@
+(** Fleets of streaming clients over one multiplexer trajectory, with
+    distributional QoE reporting.
+
+    Client [j] streams from source [j mod sources] of the trajectory
+    and joins at a random slot drawn from its own
+    {!Ss_stats.Rng.split} substream via {!Ss_parallel.Fanout.map} —
+    so a fleet run is bit-identical sequentially and at any domain
+    count, and thousands of clients amortize one mux run. *)
+
+type summary = {
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  q10 : float;
+  q50 : float;
+  q90 : float;
+}
+
+type report = {
+  clients : int;
+  policy : string;
+  chunks : int;
+  qoe : summary;
+  rebuffer_ratio : summary;
+  bitrate_mbps : summary;
+  startup_s : summary;
+  rebuffer_s_total : float;  (** summed stall seconds across the fleet *)
+  zero_rebuffer_fraction : float;  (** clients with no stall at all *)
+  mean_level : float;
+  mean_switches : float;
+}
+
+val summarize : float array -> summary
+(** Moments plus exact type-7 sample quantiles.
+    @raise Invalid_argument on an empty array. *)
+
+val run :
+  ?pool:Ss_parallel.Pool.t ->
+  rng:Ss_stats.Rng.t ->
+  clients:int ->
+  policy:Policy.t ->
+  ladder:Ladder.t ->
+  trajectory:Trajectory.t ->
+  ?config:Client.config ->
+  unit ->
+  report * Client.result array
+(** Run [clients] independent clients against the trajectory and
+    summarize. Advances [rng] by [clients] splits on the caller.
+    @raise Invalid_argument if [clients <= 0] or the trajectory is
+    not fully filled. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,99 @@
+module Trace = Ss_video.Trace
+
+type t = {
+  levels : float array;
+  chunk_frames : int;
+  chunk_s : float;
+  chunks : int;
+  sizes : float array array;
+  rates : float array;
+}
+
+let check_chunking ~chunk_frames ~frames ~fps =
+  if chunk_frames <= 0 then invalid_arg "Ladder: chunk_frames <= 0";
+  if frames < chunk_frames then invalid_arg "Ladder: trace shorter than one chunk";
+  if not (fps > 0.0) then invalid_arg "Ladder: fps <= 0";
+  (frames / chunk_frames, float_of_int chunk_frames /. fps)
+
+let chunk_sizes ~chunk_frames ~chunks sizes =
+  Array.init chunks (fun k ->
+      let s = ref 0.0 in
+      for j = k * chunk_frames to ((k + 1) * chunk_frames) - 1 do
+        s := !s +. sizes.(j)
+      done;
+      !s)
+
+let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let of_trace ?(levels = [ 0.3; 0.55; 1.0; 1.8; 3.0 ]) ~chunk_frames trace =
+  if levels = [] then invalid_arg "Ladder.of_trace: no levels";
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+      if b <= a then invalid_arg "Ladder.of_trace: levels not strictly ascending"
+      else ascending rest
+    | _ -> ()
+  in
+  List.iter
+    (fun l ->
+      if not (l > 0.0 && l < infinity) then
+        invalid_arg "Ladder.of_trace: level must be positive and finite")
+    levels;
+  ascending levels;
+  let chunks, chunk_s =
+    check_chunking ~chunk_frames ~frames:(Trace.length trace) ~fps:trace.Trace.fps
+  in
+  let base = chunk_sizes ~chunk_frames ~chunks trace.Trace.sizes in
+  let levels = Array.of_list levels in
+  let sizes = Array.map (fun l -> Array.map (fun b -> l *. b) base) levels in
+  {
+    levels;
+    chunk_frames;
+    chunk_s;
+    chunks;
+    sizes;
+    rates = Array.map (fun cs -> mean cs /. chunk_s) sizes;
+  }
+
+let of_traces ~chunk_frames traces =
+  (match traces with
+  | [] | [ _ ] -> invalid_arg "Ladder.of_traces: need at least two renditions"
+  | t0 :: rest ->
+    List.iter
+      (fun tr ->
+        if Trace.length tr <> Trace.length t0 then
+          invalid_arg "Ladder.of_traces: renditions differ in length";
+        if tr.Trace.fps <> t0.Trace.fps then
+          invalid_arg "Ladder.of_traces: renditions differ in fps")
+      rest);
+  let t0 = List.hd traces in
+  let chunks, chunk_s =
+    check_chunking ~chunk_frames ~frames:(Trace.length t0) ~fps:t0.Trace.fps
+  in
+  let sizes =
+    Array.of_list
+      (List.map (fun tr -> chunk_sizes ~chunk_frames ~chunks tr.Trace.sizes) traces)
+  in
+  let rates = Array.map (fun cs -> mean cs /. chunk_s) sizes in
+  Array.iteri
+    (fun l r ->
+      if l > 0 && r <= rates.(l - 1) then
+        invalid_arg "Ladder.of_traces: rendition rates not strictly ascending")
+    rates;
+  let base = rates.(0) in
+  {
+    levels = Array.map (fun r -> r /. base) rates;
+    chunk_frames;
+    chunk_s;
+    chunks;
+    sizes;
+    rates;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "ladder: %d renditions, %d chunks of %.2f s (%d frames)@."
+    (Array.length t.levels) t.chunks t.chunk_s t.chunk_frames;
+  Array.iteri
+    (fun l r ->
+      Format.fprintf ppf "  level %d  x%-5.2f  %8.3f Mbps@." l t.levels.(l)
+        (r *. 8.0 /. 1e6))
+    t.rates

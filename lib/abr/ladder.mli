@@ -1,0 +1,37 @@
+(** Bitrate ladders: the renditions an adaptive-bitrate client picks
+    among, as per-chunk byte counts per quality level.
+
+    A chunk is [chunk_frames] consecutive frames of a VBR trace
+    ([chunk_frames / fps] seconds of video); a rendition is the same
+    content at a different encoding rate. Two constructions are
+    supported: scaling one trace by explicit level factors
+    ({!of_trace} — renditions are exactly proportional), and one
+    trace per rendition ({!of_traces} — e.g. the equal-seed outputs
+    of {!Ss_video.Scene_source.ladder}, whose rungs share scene
+    structure but differ slightly in rounding, like real multi-rate
+    encodes). *)
+
+type t = {
+  levels : float array;  (** scale factor of each rendition relative to the lowest *)
+  chunk_frames : int;
+  chunk_s : float;  (** chunk duration, seconds *)
+  chunks : int;  (** chunks available (clients cycle past the end) *)
+  sizes : float array array;  (** [sizes.(l).(k)]: bytes of chunk [k] at level [l] *)
+  rates : float array;  (** nominal mean rate of each level, bytes/second *)
+}
+
+val of_trace : ?levels:float list -> chunk_frames:int -> Ss_video.Trace.t -> t
+(** Scale one trace into a ladder. [levels] (default
+    [0.3; 0.55; 1.0; 1.8; 3.0]) are the per-rendition factors,
+    strictly ascending and positive.
+    @raise Invalid_argument on bad levels, [chunk_frames <= 0] or a
+    trace shorter than one chunk. *)
+
+val of_traces : chunk_frames:int -> Ss_video.Trace.t list -> t
+(** One trace per rendition, lowest rate first. All traces must share
+    length and fps, and their mean chunk rates must be strictly
+    ascending. @raise Invalid_argument otherwise, or on fewer than
+    two renditions. *)
+
+val pp : Format.formatter -> t -> unit
+(** Rendition table (level, factor, Mbps). *)

@@ -1,0 +1,57 @@
+type observation = {
+  chunk_index : int;
+  buffer_s : float;
+  last_level : int;
+  throughput_Bps : float;
+  rates : float array;
+  max_buffer_s : float;
+}
+
+type t = { name : string; choose : observation -> int }
+
+let make ~name choose = { name; choose }
+
+(* Highest level whose nominal rate fits under [budget]; level 0 when
+   even the lowest does not. *)
+let highest_fitting rates budget =
+  let l = ref 0 in
+  for i = 0 to Array.length rates - 1 do
+    if rates.(i) <= budget then l := i
+  done;
+  !l
+
+let bba ?(reservoir_s = 5.0) ?(cushion_s = 10.0) () =
+  if not (reservoir_s > 0.0) then invalid_arg "Policy.bba: reservoir_s <= 0";
+  if not (cushion_s > 0.0) then invalid_arg "Policy.bba: cushion_s <= 0";
+  {
+    name = "bba";
+    choose =
+      (fun o ->
+        let top = Array.length o.rates - 1 in
+        if o.buffer_s <= reservoir_s then 0
+        else if o.buffer_s >= reservoir_s +. cushion_s then top
+        else begin
+          (* BBA-0 linear map from buffer occupancy inside the cushion
+             to the rate axis: pick the highest rendition under the
+             mapped rate. *)
+          let rmin = o.rates.(0) and rmax = o.rates.(top) in
+          let target =
+            rmin +. ((o.buffer_s -. reservoir_s) /. cushion_s *. (rmax -. rmin))
+          in
+          highest_fitting o.rates target
+        end);
+  }
+
+let rate ?(safety = 0.85) () =
+  if not (safety > 0.0 && safety <= 1.0) then invalid_arg "Policy.rate: safety outside (0,1]";
+  {
+    name = "rate";
+    choose =
+      (fun o ->
+        if o.throughput_Bps <= 0.0 then 0
+        else highest_fitting o.rates (safety *. o.throughput_Bps));
+  }
+
+let fixed level =
+  if level < 0 then invalid_arg "Policy.fixed: negative level";
+  { name = Printf.sprintf "fixed-%d" level; choose = (fun _ -> level) }

@@ -1,0 +1,43 @@
+(** Adaptation policies: per-chunk rendition selection.
+
+    A policy sees one {!observation} before each chunk request and
+    returns the ladder level to fetch (clamped by the client to the
+    ladder's range). All policies are deterministic functions of the
+    observation, so fleet runs stay bit-identical at any domain
+    count. *)
+
+type observation = {
+  chunk_index : int;  (** 0-based chunk about to be requested *)
+  buffer_s : float;  (** playback buffer, seconds of video *)
+  last_level : int;  (** previous chunk's level, [-1] before the first *)
+  throughput_Bps : float;
+      (** harmonic-mean download throughput over the client's recent
+          chunks, bytes/second; [0] before any download completed *)
+  rates : float array;  (** the ladder's nominal rates, bytes/second *)
+  max_buffer_s : float;  (** the client's buffer capacity *)
+}
+
+type t = { name : string; choose : observation -> int }
+
+val make : name:string -> (observation -> int) -> t
+(** Wrap a custom selection function. *)
+
+val bba : ?reservoir_s:float -> ?cushion_s:float -> unit -> t
+(** Buffer-based adaptation in the style of BBA-0 (Huang et al.,
+    SIGCOMM 2014): below [reservoir_s] (default 5) of buffer pick the
+    lowest rendition, above [reservoir_s + cushion_s] (default
+    cushion 10) the highest, and in between map buffer occupancy
+    linearly onto the rate axis. Ignores throughput entirely.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val rate : ?safety:float -> unit -> t
+(** Throughput-based adaptation: pick the highest rendition whose
+    nominal rate fits under [safety] (default 0.85) times the
+    harmonic-mean throughput estimate; the lowest until a first
+    estimate exists. @raise Invalid_argument if [safety] outside
+    (0,1]. *)
+
+val fixed : int -> t
+(** Always request the given level (clamped to the ladder) — for
+    tests and floor/ceiling baselines.
+    @raise Invalid_argument on a negative level. *)

@@ -1,0 +1,41 @@
+type t = {
+  slots : int;
+  sources : int;
+  slot_s : float;
+  served : float array array;
+  delays : float array array;
+  mutable filled : int;
+}
+
+let create ~slots ~sources ~slot_s =
+  if slots <= 0 then invalid_arg "Trajectory.create: slots <= 0";
+  if sources <= 0 then invalid_arg "Trajectory.create: sources <= 0";
+  if not (slot_s > 0.0) then invalid_arg "Trajectory.create: slot_s <= 0";
+  {
+    slots;
+    sources;
+    slot_s;
+    served = Array.init sources (fun _ -> Array.make slots 0.0);
+    delays = Array.init sources (fun _ -> Array.make slots 0.0);
+    filled = 0;
+  }
+
+let sink t ~slot ~served ~delays =
+  if slot < 0 || slot >= t.slots then invalid_arg "Trajectory.sink: slot out of range";
+  if Array.length served <> t.sources || Array.length delays <> t.sources then
+    invalid_arg "Trajectory.sink: source count mismatch";
+  (* Transpose into source-major rows: each client later walks one
+     source's contiguous bandwidth trace. *)
+  for i = 0 to t.sources - 1 do
+    t.served.(i).(slot) <- served.(i);
+    t.delays.(i).(slot) <- delays.(i)
+  done;
+  if slot >= t.filled then t.filled <- slot + 1
+
+let bandwidth t i =
+  if i < 0 || i >= t.sources then invalid_arg "Trajectory.bandwidth: source out of range";
+  t.served.(i)
+
+let delay t i =
+  if i < 0 || i >= t.sources then invalid_arg "Trajectory.delay: source out of range";
+  t.delays.(i)

@@ -1,0 +1,37 @@
+(** Materialized per-source service/delay trajectories of a
+    multiplexer run — the bridge between [Ss_mux.Mux.run]'s
+    [?trajectory] hook and the ABR clients.
+
+    The multiplexer reports, per slot and per source, the work served
+    (bytes through the bottleneck — the source's achieved bandwidth
+    in that slot) and the virtual queueing delay its arrivals faced.
+    A capture transposes those per-slot callbacks into source-major
+    rows so that each streaming client can walk one source's
+    contiguous bandwidth process. *)
+
+type t = {
+  slots : int;
+  sources : int;
+  slot_s : float;  (** wall-clock seconds per multiplexer slot *)
+  served : float array array;  (** [served.(i).(t)]: bytes served for source [i] in slot [t] *)
+  delays : float array array;  (** [delays.(i).(t)]: virtual delay in slots *)
+  mutable filled : int;  (** slots recorded so far *)
+}
+
+val create : slots:int -> sources:int -> slot_s:float -> t
+(** Preallocate a capture for a [slots]-slot run of [sources]
+    sources. @raise Invalid_argument on non-positive arguments. *)
+
+val sink : t -> slot:int -> served:float array -> delays:float array -> unit
+(** The sink to pass as [Ss_mux.Mux.run ~trajectory:(Trajectory.sink
+    capture)]: copies the (reused) per-slot arrays into the capture.
+    @raise Invalid_argument on a slot outside the capture or a
+    source-count mismatch. *)
+
+val bandwidth : t -> int -> float array
+(** Source [i]'s bandwidth trace, bytes per slot (no copy).
+    @raise Invalid_argument on an out-of-range source. *)
+
+val delay : t -> int -> float array
+(** Source [i]'s virtual-delay trace, in slots (no copy).
+    @raise Invalid_argument on an out-of-range source. *)

@@ -59,7 +59,7 @@ let fmin (a : float) b = if a <= b then a else b
 let fmax (a : float) b = if a >= b then a else b
 
 let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ]) ?probe
-    ?police ~service ~slots sources =
+    ?police ?trajectory ~service ~slots sources =
   if slots <= 0 then invalid_arg "Mux.run: slots <= 0";
   if service <= 0.0 then invalid_arg "Mux.run: service <= 0";
   if buffer < 0.0 then invalid_arg "Mux.run: buffer < 0";
@@ -153,6 +153,21 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
   let top_class = ref (-1) in
   let thr = Array.of_list thresholds in
   let thr_hits = Array.make (Array.length thr) 0 in
+  (* Opt-in per-source service/delay trajectory (the hook the ABR
+     scenario layer and the --csv trajectory rows consume). The
+     per-(class, source) backlog partition below refines the
+     aggregate class replay: each slot's admitted work is credited to
+     its source's cell, and each class's served work is distributed
+     over the cells proportionally to their share of the class
+     backlog (the fluid processor-sharing split within a priority
+     class). Everything here is derived state, written only when a
+     sink is present, so runs without one execute the identical float
+     sequence — trajectory observation never perturbs the report. *)
+  let has_traj = trajectory <> None in
+  let traj_served = if has_traj then Array.make n 0.0 else [||] in
+  let traj_delay = if has_traj then Array.make n 0.0 else [||] in
+  let traj_cls = if has_traj then Array.make (max_classes * n) 0.0 else [||] in
+  let traj_prefix = if has_traj then Array.make max_classes 0.0 else [||] in
   let st = { q = 0.0; served = 0.0; adm = 0.0; room = 0.0; rem = 0.0; prefix = 0.0 } in
   for t = 0 to slots - 1 do
     if t >= !base + !filled then begin
@@ -263,6 +278,17 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
         lost.(i) <- lost.(i) +. (w -. a)
       done
     end;
+    (* Per-slot admitted work per source: in the finite-buffer branch
+       [class_scale] holds this slot's admission fraction per class;
+       with an unbounded buffer it keeps its initial all-ones value,
+       so the same expression covers both. *)
+    if has_traj then
+      for i = 0 to n - 1 do
+        traj_served.(i) <- 0.0;
+        let a = works.(i) *. class_scale.(classes.(i)) in
+        let idx = (classes.(i) * n) + i in
+        traj_cls.(idx) <- traj_cls.(idx) +. a
+      done;
     st.served <- st.served +. fmin service (st.q +. st.adm);
     st.q <- fmax 0.0 (st.q +. st.adm -. service);
     (* Replay the slot on the class backlogs: arrivals, then strict
@@ -273,11 +299,27 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
       class_adm.(c) <- 0.0;
       let take = fmin st.rem b in
       class_backlog.(c) <- b -. take;
-      st.rem <- st.rem -. take
+      st.rem <- st.rem -. take;
+      if has_traj && take > 0.0 then begin
+        (* [take > 0] implies [b > 0]. Proportional split of the
+           class's served work over its sources' backlog cells; with
+           [take = b] the cells drain to exactly zero. *)
+        let frac = take /. b in
+        let base = c * n in
+        for i = 0 to n - 1 do
+          let v = traj_cls.(base + i) in
+          if v > 0.0 then begin
+            let s = v *. frac in
+            traj_served.(i) <- traj_served.(i) +. s;
+            traj_cls.(base + i) <- v -. s
+          end
+        done
+      end
     done;
     st.prefix <- 0.0;
     for c = 0 to !top_class do
       st.prefix <- st.prefix +. class_backlog.(c);
+      if has_traj then traj_prefix.(c) <- st.prefix;
       match class_quant.(c) with
       | Some qs ->
         for j = 0 to Array.length qs - 1 do
@@ -285,6 +327,17 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
         done
       | None -> ()
     done;
+    (match trajectory with
+    | None -> ()
+    | Some f ->
+      (* A source's virtual delay is the post-service backlog of
+         classes at or above its current priority, over service —
+         the same quantity the per-class quantile estimators track,
+         sampled at the source's class of this slot. *)
+      for i = 0 to n - 1 do
+        traj_delay.(i) <- traj_prefix.(classes.(i)) /. service
+      done;
+      f ~slot:t ~served:traj_served ~delays:traj_delay);
     Online.add queue_stats st.q;
     for j = 0 to nq - 1 do
       Online.P2.add (snd q_quant.(j)) st.q

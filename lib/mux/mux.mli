@@ -72,6 +72,7 @@ val run :
   ?quantiles:float list ->
   ?probe:(int -> float -> unit) ->
   ?police:Police.t ->
+  ?trajectory:(slot:int -> served:float array -> delays:float array -> unit) ->
   service:float ->
   slots:int ->
   Source.t array ->
@@ -87,6 +88,22 @@ val run :
     recursion; every source still sees one pull per slot in slot
     order, so the report is bit-identical with and without a pool, at
     any domain count.
+
+    With [trajectory], a per-source service/delay trajectory is
+    exported: after every slot the sink is called with [served.(i)] —
+    the work of source [i] served during that slot under strict
+    priority across classes and fluid processor sharing within a
+    class (each source's share of its class's service is proportional
+    to its share of the class backlog) — and [delays.(i)], the
+    virtual delay (in slots) a source-[i] arrival of that slot's
+    priority class faces, i.e. the post-service backlog of classes at
+    or above it over [service]. Both arrays are reused across slots:
+    a sink that retains values must copy them. [Sum_i served.(i)]
+    equals the slot's aggregate served work up to rounding, and the
+    trajectory refines — never perturbs — the run: a run with a
+    trajectory sink is bit-identical to one without
+    ({!Ss_abr.Trajectory} is the standard consumer, feeding
+    adaptive-bitrate clients a bandwidth process per source).
 
     With [police], each slot's offered work is first reported to the
     conformance monitor ({!Police.observe}), then the policer's

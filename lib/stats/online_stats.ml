@@ -204,12 +204,18 @@ module P2 = struct
     if t.n = 0 then invalid_arg "Online_stats.P2.quantile: empty";
     if t.n > 5 then t.q.(2)
     else begin
-      (* Exact type-7 quantile on the sorted prefix. *)
+      (* Exact type-7 quantile on the sorted prefix. When the rank is
+         integral the answer is that order statistic itself: the
+         interpolation must not touch the neighbouring marker, whose
+         weight-zero contribution would still poison the result with
+         NaN if it holds an infinity (0 * inf = nan). *)
       let n = t.n in
       let h = t.p *. float_of_int (n - 1) in
       let lo = int_of_float (floor h) in
       let hi = Stdlib.min (lo + 1) (n - 1) in
       let w = h -. float_of_int lo in
-      ((1.0 -. w) *. t.q.(lo)) +. (w *. t.q.(hi))
+      if w <= 0.0 || hi = lo then t.q.(lo)
+      else if w >= 1.0 then t.q.(hi)
+      else ((1.0 -. w) *. t.q.(lo)) +. (w *. t.q.(hi))
     end
 end

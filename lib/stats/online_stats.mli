@@ -104,6 +104,9 @@ module P2 : sig
 
   val quantile : t -> float
   (** Current estimate. With five or fewer observations this is the
-      exact (type-7 interpolated) empirical quantile.
+      exact (type-7 interpolated) empirical quantile, clamped to the
+      order statistics themselves at integral ranks — never NaN for
+      non-NaN input, even when the sample prefix contains
+      infinities.
       @raise Invalid_argument on an empty estimator. *)
 end

@@ -42,6 +42,23 @@ let validate c =
   req (c.ar_coeff >= 0.0 && c.ar_coeff < 1.0) "ar_coeff outside [0,1)";
   req (c.ar_sigma >= 0.0) "ar_sigma < 0"
 
+let ladder ~levels c =
+  validate c;
+  if levels = [] then invalid_arg "Scene_source.ladder: no levels";
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+      if b <= a then invalid_arg "Scene_source.ladder: levels not strictly ascending"
+      else ascending rest
+    | _ -> ()
+  in
+  List.iter
+    (fun l ->
+      if not (l > 0.0 && l < infinity) then
+        invalid_arg "Scene_source.ladder: level must be positive and finite")
+    levels;
+  ascending levels;
+  List.map (fun l -> { c with mean_i_bytes = c.mean_i_bytes *. l }) levels
+
 let kind_factor c = function
   | Frame.I -> 1.0
   | Frame.P -> c.p_factor

@@ -45,5 +45,22 @@ val validate : config -> unit
 (** @raise Invalid_argument explaining the first violated
     constraint. *)
 
+val ladder : levels:float list -> config -> config list
+(** [ladder ~levels c] is the bitrate ladder of [c]: one config per
+    level, with [mean_i_bytes] scaled by that level and everything
+    else untouched. Because the frame-size process is multiplicative
+    in [mean_i_bytes] — scene lengths, activity levels and the AR(1)
+    modulation are all independent of it — each rung's marginal is
+    the base marginal rescaled (mean by the level, variance by its
+    square) while the autocorrelation structure and Hurst parameter
+    are preserved; generating two rungs from equal-seed generators
+    yields pointwise-proportional traces up to the integer rounding
+    and the 64-byte header floor. This is how the ABR layer
+    ({!Ss_abr.Ladder}) builds the renditions a streaming client
+    adapts across.
+    @raise Invalid_argument if [c] is invalid, [levels] is empty, not
+    strictly ascending, or contains a non-positive or non-finite
+    level. *)
+
 val generate : config -> Ss_stats.Rng.t -> Trace.t
 (** Sample a synthetic trace. Deterministic given the RNG state. *)

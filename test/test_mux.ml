@@ -121,6 +121,46 @@ let test_p2_small_n_exact () =
   (* type-7 0.9-quantile of {10,20} = 19 *)
   close "exact small-n 0.9" 19.0 (Online.P2.quantile t9)
 
+let test_p2_small_n_order_statistics () =
+  (* With fewer than five observations the estimate must be the exact
+     type-7 empirical quantile for every p — identical to
+     Descriptive.quantile on the sorted prefix. *)
+  let xs = [| 7.0; -2.0; 11.0; 4.0 |] in
+  for n = 1 to 4 do
+    let prefix = Array.sub xs 0 n in
+    List.iter
+      (fun p ->
+        let t = Online.P2.create ~p in
+        Array.iter (Online.P2.add t) prefix;
+        close ~eps:1e-12
+          (Printf.sprintf "n=%d p=%g" n p)
+          (D.quantile prefix p) (Online.P2.quantile t))
+      [ 0.1; 0.25; 0.5; 0.75; 0.9 ]
+  done
+
+let test_p2_small_n_infinity_regression () =
+  (* Regression: an infinite sample among the first five used to turn
+     a small-n quantile into NaN via 0 * infinity in the type-7
+     interpolation. At an integral rank the estimate must clamp to
+     the order statistic itself. *)
+  let t = Online.P2.create ~p:0.5 in
+  List.iter (Online.P2.add t) [ 1.0; 2.0; infinity ];
+  let q = Online.P2.quantile t in
+  if Float.is_nan q then Alcotest.fail "median of {1,2,inf} is NaN";
+  close "exact median despite infinity" 2.0 q;
+  (* A rank that genuinely interpolates toward the infinite order
+     statistic is infinite, not NaN. *)
+  let t9 = Online.P2.create ~p:0.9 in
+  List.iter (Online.P2.add t9) [ 1.0; 2.0; infinity ];
+  let q9 = Online.P2.quantile t9 in
+  if Float.is_nan q9 then Alcotest.fail "0.9-quantile is NaN";
+  close "interpolated toward infinity" infinity q9;
+  (* And a fully finite interpolation around the infinity stays
+     finite. *)
+  let t4 = Online.P2.create ~p:0.5 in
+  List.iter (Online.P2.add t4) [ 1.0; 2.0; 3.0; infinity ];
+  close "finite interior interpolation" 2.5 (Online.P2.quantile t4)
+
 let p2_vs_exact ~seed ~n ~p sample tolerance =
   let rng = Rng.create ~seed in
   let xs = Array.init n (fun _ -> sample rng) in
@@ -780,6 +820,211 @@ let test_mux_class_delay_priority_ordering () =
       q0 q1
   | l -> Alcotest.failf "expected classes 0 and 1, got %d classes" (List.length l)
 
+(* ------------------------------------------------------------------ *)
+(* Mux: per-source service/delay trajectory (?trajectory hook)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Capture the hook's (reused) per-slot arrays into slot-major copies. *)
+let capture_trajectory ~slots ~n =
+  let served = Array.make_matrix slots n 0.0 in
+  let delays = Array.make_matrix slots n 0.0 in
+  let sink ~slot ~served:s ~delays:d =
+    Array.blit s 0 served.(slot) 0 n;
+    Array.blit d 0 delays.(slot) 0 n
+  in
+  (served, delays, sink)
+
+let test_mux_trajectory_conservation () =
+  (* Two finite sources, one per priority class; once both depart the
+     queue drains, so each source's captured served work must sum to
+     exactly what it offered, and every slot's served total must
+     match the Lindley bookkeeping (q_{t-1} + arrivals - q_t). *)
+  let n0 = 60 in
+  let a0 = Array.init n0 (fun t -> float_of_int (1 + (t mod 5))) in
+  let a1 = Array.init n0 (fun t -> if t mod 3 = 0 then 4.0 else 0.5) in
+  let k1 = ref 0 in
+  let src0 = Source.of_array ~name:"s0" a0 in
+  let src1 =
+    Source.make ~name:"s1" ~mean:1.7 ~sigma2:0.5 ~hurst:0.5 (fun () ->
+        if !k1 >= n0 then raise Source.End_of_stream
+        else begin
+          let w = a1.(!k1) in
+          incr k1;
+          (w, 1)
+        end)
+  in
+  let slots = 200 and service = 3.0 in
+  let served, _, sink = capture_trajectory ~slots ~n:2 in
+  let q_path = Array.make slots 0.0 in
+  let r =
+    Mux.run ~trajectory:sink ~probe:(fun t q -> q_path.(t) <- q) ~service
+      ~slots [| src0; src1 |]
+  in
+  for i = 0 to 1 do
+    let total = ref 0.0 in
+    for t = 0 to slots - 1 do
+      total := !total +. served.(t).(i)
+    done;
+    close ~eps:1e-6
+      (Printf.sprintf "source %d served = admitted" i)
+      r.Mux.per_source.(i).Mux.admitted !total
+  done;
+  for t = 0 to slots - 1 do
+    let arrivals =
+      (if t < n0 then a0.(t) else 0.0) +. if t < n0 then a1.(t) else 0.0
+    in
+    let prev = if t = 0 then 0.0 else q_path.(t - 1) in
+    close ~eps:1e-9
+      (Printf.sprintf "slot %d conservation" t)
+      (prev +. arrivals -. q_path.(t))
+      (served.(t).(0) +. served.(t).(1))
+  done
+
+let test_mux_trajectory_does_not_perturb_report () =
+  (* The hook is strictly observational: a run with a sink attached
+     must produce the bit-identical report of a run without one. *)
+  let m = Lazy.force small_model in
+  let mk seed = Source.of_model ~order:32 m (Rng.create ~seed) in
+  let service = 2.1 *. m.Ss_core.Model.mean and slots = 3000 in
+  let plain = Mux.run ~service ~slots [| mk 41; mk 42 |] in
+  let _, _, sink = capture_trajectory ~slots ~n:2 in
+  let hooked = Mux.run ~trajectory:sink ~service ~slots [| mk 41; mk 42 |] in
+  let same l x y =
+    if Int64.bits_of_float x <> Int64.bits_of_float y then
+      Alcotest.failf "%s perturbed by trajectory hook: %.17g vs %.17g" l x y
+  in
+  same "mean queue" plain.Mux.mean_queue hooked.Mux.mean_queue;
+  same "max queue" plain.Mux.max_queue hooked.Mux.max_queue;
+  same "utilization" plain.Mux.carried_utilization hooked.Mux.carried_utilization;
+  List.iter2
+    (fun (p, d) (_, d') -> same (Printf.sprintf "delay q(%g)" p) d d')
+    plain.Mux.delay_quantiles hooked.Mux.delay_quantiles
+
+let test_mux_trajectory_single_source_delay_exact () =
+  (* With one class-0 source the virtual delay is the Lindley queue
+     over service, bit for bit. *)
+  let src = Source.of_array ~cycle:true (Array.init 37 (fun t -> float_of_int (t mod 7))) in
+  let slots = 500 and service = 3.1 in
+  let _, delays, sink = capture_trajectory ~slots ~n:1 in
+  let q_path = Array.make slots 0.0 in
+  let _ =
+    Mux.run ~trajectory:sink ~probe:(fun t q -> q_path.(t) <- q) ~service
+      ~slots [| src |]
+  in
+  for t = 0 to slots - 1 do
+    if Int64.bits_of_float delays.(t).(0)
+       <> Int64.bits_of_float (q_path.(t) /. service)
+    then
+      Alcotest.failf "slot %d: delay %.17g <> q/service %.17g" t
+        delays.(t).(0)
+        (q_path.(t) /. service)
+  done
+
+let test_mux_trajectory_golden () =
+  (* Fixed-seed golden values for the per-source trajectory — the
+     same numbers `vbrsim mux --csv` emits as `slot,source,served,
+     delay_slots` rows. Guards the serialization contract against
+     silent drift in the replay or the processor-sharing split. *)
+  let mk seed cls =
+    let rng = Rng.create ~seed in
+    Source.make ~name:"g" ~mean:1.0 ~sigma2:1.0 ~hurst:0.5 (fun () ->
+        (Rng.exponential rng ~rate:1.0, cls))
+  in
+  let slots = 48 in
+  let served, delays, sink = capture_trajectory ~slots ~n:2 in
+  let _ = Mux.run ~trajectory:sink ~service:1.9 ~slots [| mk 77 0; mk 78 1 |] in
+  let got =
+    List.concat_map
+      (fun t ->
+        List.concat_map
+          (fun i ->
+            [ Printf.sprintf "%d,%d,%g,%g" t i served.(t).(i) delays.(t).(i) ])
+          [ 0; 1 ])
+      [ 20; 21; 22; 23 ]
+  in
+  let expected =
+    [
+      "20,0,0.218989,0";
+      "20,1,1.68101,1.23982";
+      "21,0,1.9,0.111152";
+      "21,1,0,2.17226";
+      "22,0,0.531302,0";
+      "22,1,1.3687,1.69794";
+      "23,0,0.990778,0";
+      "23,1,0.909222,1.90169";
+    ]
+  in
+  List.iteri
+    (fun j g ->
+      let e = try List.nth expected j with _ -> "<missing>" in
+      if not (String.equal e g) then
+        Alcotest.failf "trajectory row %d: expected %s, got %s" j e g)
+    got
+
+let test_mux_class_delay_bruteforce_3class () =
+  (* Cross-check the streaming class-delay quantiles against a
+     brute-force O(slots^2) reference that recomputes the strict-
+     priority backlog recursion from slot 0 for every slot, on a
+     fixed-seed 3-class stream. The reference mirrors the multiplexer
+     float for float, so the comparison is exact. *)
+  let slots = 260 and service = 3.0 in
+  let rng = Rng.create ~seed:123 in
+  let w =
+    Array.init 3 (fun c ->
+        let mean = [| 0.9; 1.0; 1.3 |].(c) in
+        Array.init slots (fun _ -> Rng.exponential rng ~rate:(1.0 /. mean)))
+  in
+  let mk c =
+    let k = ref 0 in
+    Source.make
+      ~name:(Printf.sprintf "c%d" c)
+      ~mean:1.0 ~sigma2:1.0 ~hurst:0.5
+      (fun () ->
+        let j = !k in
+        incr k;
+        ((if j < slots then w.(c).(j) else 0.0), c))
+  in
+  let quantiles = [ 0.5; 0.9; 0.99 ] in
+  let r = Mux.run ~quantiles ~service ~slots [| mk 0; mk 1; mk 2 |] in
+  (* Reference estimators, fed in the same order the mux feeds its
+     own: per slot, classes 0..2, quantile levels in list order. *)
+  let fmin (a : float) b = if a <= b then a else b in
+  let est =
+    Array.init 3 (fun _ ->
+        Array.of_list (List.map (fun p -> Online.P2.create ~p) quantiles))
+  in
+  let backlog = Array.make 3 0.0 in
+  for t = 0 to slots - 1 do
+    (* Recompute the whole backlog state from scratch: O(slots^2). *)
+    Array.fill backlog 0 3 0.0;
+    for j = 0 to t do
+      let rem = ref service in
+      for c = 0 to 2 do
+        let b = backlog.(c) +. (0.0 +. w.(c).(j)) in
+        let take = fmin !rem b in
+        backlog.(c) <- b -. take;
+        rem := !rem -. take
+      done
+    done;
+    let prefix = ref 0.0 in
+    for c = 0 to 2 do
+      prefix := !prefix +. backlog.(c);
+      Array.iter (fun e -> Online.P2.add e (!prefix /. service)) est.(c)
+    done
+  done;
+  List.iter
+    (fun (c, qs) ->
+      List.iteri
+        (fun j (p, d) ->
+          close ~eps:0.0
+            (Printf.sprintf "class %d q(%g)" c p)
+            (Online.P2.quantile est.(c).(j))
+            d)
+        qs)
+    r.Mux.class_delay_quantiles;
+  Alcotest.(check int) "three classes tracked" 3
+    (List.length r.Mux.class_delay_quantiles)
+
 let test_mux_hot_loop_allocation () =
   (* This PR hoisted the per-slot closures and tuples out of the
      sequential admission loop; everything that still allocates is
@@ -1343,6 +1588,8 @@ let () =
           tc "matches Descriptive" test_online_matches_descriptive;
           tc "P2 invalid" test_p2_invalid;
           tc "P2 small-n exact" test_p2_small_n_exact;
+          tc "P2 small-n order statistics" test_p2_small_n_order_statistics;
+          tc "P2 small-n infinity regression" test_p2_small_n_infinity_regression;
           tc "P2 uniform quantiles" test_p2_uniform;
           tc "P2 exponential quantiles" test_p2_exponential;
           tc "Vt estimates FGN H" test_vt_estimates_fgn_hurst;
@@ -1382,6 +1629,11 @@ let () =
           tc "corrupt work isolated" test_mux_corrupt_work_is_isolated;
           tc "class delay = delay (1 class)" test_mux_class_delay_single_class_exact;
           tc "class delay priority order" test_mux_class_delay_priority_ordering;
+          tc "class delay = brute force (3 classes)" test_mux_class_delay_bruteforce_3class;
+          tc "trajectory conservation" test_mux_trajectory_conservation;
+          tc "trajectory does not perturb report" test_mux_trajectory_does_not_perturb_report;
+          tc "trajectory delay = q/service (1 source)" test_mux_trajectory_single_source_delay_exact;
+          tc "trajectory golden rows" test_mux_trajectory_golden;
           tc "hot loop allocation bound" test_mux_hot_loop_allocation;
         ] );
       ( "mux-is",

@@ -256,6 +256,53 @@ let test_scene_validate () =
   raises_invalid "p_factor" (fun () -> Scene.validate { Scene.default with p_factor = 0.0 });
   raises_invalid "ar_coeff" (fun () -> Scene.validate { Scene.default with ar_coeff = 1.0 })
 
+let test_scene_ladder_proportional () =
+  (* Equal-seed rungs of a bitrate ladder are pointwise proportional:
+     the generator is multiplicative in mean_i_bytes, so scaling it
+     rescales every frame by the same factor (up to the generator's
+     rounding/floor, hence the relative tolerance). *)
+  let cfg = { Scene.default with frames = 4096 } in
+  let rungs = Scene.ladder ~levels:[ 0.5; 1.0; 2.0 ] cfg in
+  Alcotest.(check int) "three rungs" 3 (List.length rungs);
+  let gen c = (Scene.generate c (Rng.create ~seed:21)).Trace.sizes in
+  match List.map gen rungs with
+  | [ lo; base; hi ] ->
+    Array.iteri
+      (fun i b ->
+        let rel x y = abs_float ((x /. y) -. 1.0) in
+        if rel lo.(i) (0.5 *. b) > 0.02 then
+          Alcotest.failf "frame %d: low rung not 0.5x (%g vs %g)" i lo.(i) b;
+        if rel hi.(i) (2.0 *. b) > 0.02 then
+          Alcotest.failf "frame %d: high rung not 2x (%g vs %g)" i hi.(i) b)
+      base
+  | _ -> Alcotest.fail "unexpected ladder shape"
+
+let test_scene_ladder_variance_ratio () =
+  (* A rung at level L has mean scaled by L and variance by L^2 —
+     the regression the ABR calibration relies on. *)
+  let cfg = { Scene.default with frames = 16_384 } in
+  match Scene.ladder ~levels:[ 1.0; 3.0 ] cfg with
+  | [ c1; c3 ] ->
+    let s1 = (Scene.generate c1 (Rng.create ~seed:22)).Trace.sizes in
+    let s3 = (Scene.generate c3 (Rng.create ~seed:22)).Trace.sizes in
+    close ~eps:0.02 "mean ratio" 3.0 (D.mean s3 /. D.mean s1);
+    close ~eps:0.2 "variance ratio" 9.0 (D.variance s3 /. D.variance s1);
+    (* The scaling must leave the correlation structure alone. *)
+    let a1 = D.acf s1 ~max_lag:24 and a3 = D.acf s3 ~max_lag:24 in
+    for k = 1 to 24 do
+      close ~eps:0.03 (Printf.sprintf "acf lag %d" k) a1.(k) a3.(k)
+    done
+  | _ -> Alcotest.fail "unexpected ladder shape"
+
+let test_scene_ladder_invalid () =
+  raises_invalid "empty levels" (fun () -> Scene.ladder ~levels:[] Scene.default);
+  raises_invalid "levels not ascending" (fun () ->
+      Scene.ladder ~levels:[ 1.0; 0.5 ] Scene.default);
+  raises_invalid "non-positive level" (fun () ->
+      Scene.ladder ~levels:[ 0.0; 1.0 ] Scene.default);
+  raises_invalid "invalid base config" (fun () ->
+      Scene.ladder ~levels:[ 1.0 ] { Scene.default with frames = 0 })
+
 (* ------------------------------------------------------------------ *)
 (* Toy codec                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -389,6 +436,9 @@ let () =
           tc "long range dependence" test_scene_long_range_dependence;
           tc "GOP periodicity in ACF" test_scene_gop_periodicity_in_acf;
           tc "validate" test_scene_validate;
+          tc "ladder proportional" test_scene_ladder_proportional;
+          tc "ladder variance ratio" test_scene_ladder_variance_ratio;
+          tc "ladder invalid" test_scene_ladder_invalid;
         ] );
       ( "toy-codec",
         [
