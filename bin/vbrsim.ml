@@ -62,6 +62,14 @@ let domains_arg =
   in
   Arg.(value & opt int (Pool.env_domains ()) & info [ "domains" ] ~docv:"INT" ~doc)
 
+let shards_arg =
+  let doc =
+    "Source shards for the multiplexer's staging layer (contiguous shards of sources, \
+     advanced block-wise and synchronized at a coarse per-block barrier). Reports are \
+     bit-identical for any value. Defaults to the pool size ($(b,--domains))."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"INT" ~doc)
+
 let backend_arg =
   let doc =
     "Background synthesis backend for model sources: $(b,hosking) streams the truncated \
@@ -486,7 +494,7 @@ let mux_cmd =
       print_estimate twist (Ss_mux.Mux_is.estimate ?pool (config ~twist) ~replications rng)
   in
   let run path utilization sources slots order backend buffer_norm epsilon composite priority
-      buffers csv seed max_lag domains is_mode twist horizon replications faults police
+      buffers csv seed max_lag domains shards is_mode twist horizon replications faults police
       police_window =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
@@ -499,6 +507,8 @@ let mux_cmd =
             invalid_arg "--is supports unified-model sources only (omit --composite)";
           if faults <> None || police then
             invalid_arg "--faults/--police are incompatible with --is";
+          if shards <> None then
+            invalid_arg "--shards applies to the mux engine, not --is";
           run_is ~pool ~trace ~utilization ~sources ~order ~backend ~buffer_norm ~buffers
             ~twist ~horizon ~replications ~seed ~max_lag
         end
@@ -588,8 +598,8 @@ let mux_cmd =
           in
           let trajectory = Option.map Ss_abr.Trajectory.sink capture in
           let report =
-            Ss_mux.Mux.run ?pool ?police:policer ?trajectory ~buffer:buffer_abs ~thresholds
-              ~service ~slots admitted
+            Ss_mux.Mux.run ?pool ?shards ?police:policer ?trajectory ~buffer:buffer_abs
+              ~thresholds ~service ~slots admitted
           in
           Format.printf "%a" Ss_mux.Mux.pp_report report;
           (match policer with
@@ -628,8 +638,8 @@ let mux_cmd =
     Term.(
       const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
       $ backend_arg $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg $ buffers_arg
-      $ csv_arg $ seed_arg $ max_lag_arg $ domains_arg $ is_arg $ twist_arg $ horizon_arg
-      $ replications_arg $ faults_arg $ police_arg $ police_window_arg)
+      $ csv_arg $ seed_arg $ max_lag_arg $ domains_arg $ shards_arg $ is_arg $ twist_arg
+      $ horizon_arg $ replications_arg $ faults_arg $ police_arg $ police_window_arg)
 
 (* --- abr --- *)
 

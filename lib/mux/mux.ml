@@ -38,6 +38,19 @@ let max_classes = 64
    per-block kernel setup over prefetch_slots * N slots. *)
 let prefetch_slots = 256
 
+(* Upper bound on staged elements (sources * block slots) for the
+   sharded engine: at N = 10^5 sources a long stage would pin
+   hundreds of MB, so the block shrinks as N grows (floor 8). At
+   small N the block stretches well past [prefetch_slots] (cap below)
+   instead: every block costs one barrier dispatch, and on a
+   few-core machine the dispatch wake-up is the whole cost of a
+   multi-domain pool, so fewer, longer blocks keep d>1 from losing
+   to d=1. The block size only sets staging granularity, never
+   arithmetic — the admission loop consumes the same per-slot values
+   at any block size, so results are independent of both constants. *)
+let staging_budget = 1 lsl 20
+let max_sharded_block = 2048
+
 (* All-float mutable record for the per-slot Lindley/admission state:
    float-only records are stored flat, so updating a field is an
    unboxed store — unlike [float ref], whose [:=] boxes a fresh float
@@ -58,8 +71,21 @@ type slot_state = {
 let fmin (a : float) b = if a <= b then a else b
 let fmax (a : float) b = if a >= b then a else b
 
-let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ]) ?probe
-    ?police ?trajectory ~service ~slots sources =
+(* ------------------------------------------------------------------ *)
+(* Reference engine (pre-shard pooled prefetch)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The pooled per-source prefetch engine, kept verbatim as the
+   oracle the sharded engine is tested bit-identical against (and as
+   the bench baseline the sharded speedup is measured from). Its
+   sequential admission loop defines the arithmetic — corrupt
+   handling, policing, class admission, Lindley step, quantiles — in
+   one fixed order; the sharded engine below executes the exact same
+   per-slot statement sequence over restaged data, which is what
+   makes the two engines (and any shard/domain count) bitwise
+   interchangeable. *)
+let run_reference ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ])
+    ?probe ?police ?trajectory ~service ~slots sources =
   if slots <= 0 then invalid_arg "Mux.run: slots <= 0";
   if service <= 0.0 then invalid_arg "Mux.run: service <= 0";
   if buffer < 0.0 then invalid_arg "Mux.run: buffer < 0";
@@ -395,6 +421,501 @@ let run ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 
             departed_at = (if departed_at.(i) < 0 then None else Some departed_at.(i));
           });
   }
+
+(* ------------------------------------------------------------------ *)
+(* Sharded engine                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-domain sub-muxes. The N sources are partitioned into [shards]
+   contiguous shards (shard s owns [s*n/shards, (s+1)*n/shards));
+   each shard advances all its sources a whole block of slots through
+   their block pulls — into a source-major region only it writes —
+   then transposes its columns of the block into slot-major rows.
+   Shards synchronize only at the per-block {!Ss_parallel.Barrier};
+   there is no per-slot or per-source cross-domain traffic.
+
+   The sequential admission loop then consumes the slot-major rows:
+   slot t's N arrivals are contiguous in memory, where the reference
+   engine strides by [block] (one cache line per source per slot once
+   N is large). That layout change — plus fusing the unbounded-buffer
+   admission pass into the accounting pass — is the whole single-
+   domain speedup; the arithmetic is the reference engine's statement
+   sequence verbatim.
+
+   Bit-identity, by construction, at any (shards, domains, block):
+   shards only decide WHICH task pulls a source's block and restages
+   it — per-source pull order is unchanged, staged values are copied,
+   never combined — and every floating-point reduction (class sums,
+   admitted work, Lindley step, quantiles) happens on the caller in
+   pinned source order, identical to the reference engine. Integer
+   per-source state merged at the barrier (departure flags and slots)
+   is written only by the owning shard. *)
+let run_sharded ?pool ~shards ~buffer ~thresholds ~quantiles ?police ?trajectory ~service
+    ~slots sources =
+  if slots <= 0 then invalid_arg "Mux.run: slots <= 0";
+  if service <= 0.0 then invalid_arg "Mux.run: service <= 0";
+  if buffer < 0.0 then invalid_arg "Mux.run: buffer < 0";
+  let n = Array.length sources in
+  if n = 0 then invalid_arg "Mux.run: no sources";
+  List.iter (fun b -> if b < 0.0 then invalid_arg "Mux.run: negative threshold") thresholds;
+  (match police with
+  | Some p when Police.size p <> n -> invalid_arg "Mux.run: policer sized for different sources"
+  | _ -> ());
+  let nshards = Stdlib.min shards n in
+  let block =
+    Stdlib.min slots (Stdlib.max 8 (Stdlib.min max_sharded_block (staging_budget / n)))
+  in
+  let departed = Array.make n false in
+  let departed_at = Array.make n (-1) in
+  (* Source-major staging (shard-local writes: source i owns
+     [i*sstride .. i*sstride + block - 1]) and its slot-major
+     transpose (slot b of the block owns [b*rstride .. b*rstride +
+     n - 1]). Both strides are padded past the logical row length:
+     block and n are routinely powers of two, and an exact
+     power-of-two byte stride makes every transpose-tile row alias
+     the same cache sets (the 8 KB-stride pathology), turning the
+     tiled transpose into pure conflict misses. One line of slack
+     breaks the aliasing; the pad cells are never read. *)
+  let sstride = block + 8 in
+  let rstride = n + 8 in
+  let wbuf = Array.make (sstride * n) 0.0 in
+  let cbuf = Array.make (sstride * n) 0 in
+  let wrow = Array.make (block * rstride) 0.0 in
+  let crow = Array.make (block * rstride) 0 in
+  let fill_source t0 bs i =
+    let off = i * sstride in
+    if departed.(i) then begin
+      Array.fill wbuf off bs 0.0;
+      Array.fill cbuf off bs 0
+    end
+    else
+      let f = Source.next_block sources.(i) wbuf cbuf ~off ~len:bs in
+      if f < bs then begin
+        departed.(i) <- true;
+        departed_at.(i) <- t0 + f;
+        Array.fill wbuf (off + f) (bs - f) 0.0;
+        Array.fill cbuf (off + f) (bs - f) 0
+      end
+  in
+  let shard_lo = Array.init (nshards + 1) (fun s -> s * n / nshards) in
+  let cur_t0 = ref 0 in
+  let cur_bs = ref 0 in
+  (* Per-shard, per-block: did every staged slot carry class 0? The
+     overwhelmingly common single-class case then skips the class
+     transpose (and the central loop skips the class row entirely) —
+     the staged class values are all equal, so nothing observable
+     depends on reading them. [crow_zeroed] is the invariant that a
+     shard's crow columns currently hold 0, letting consecutive
+     all-class-0 blocks skip even the zero-fill. *)
+  let shard_all0 = Array.make nshards false in
+  let crow_zeroed = Array.make nshards false in
+  (* One task per shard per block: pull every owned source, then
+     restage the shard's columns slot-major. The transpose is tiled
+     so each cache line of the source-major stage is read once and
+     each line of the slot-major stage written once, instead of one
+     miss per (source, slot). Neighbor shards share row cache lines
+     only at their column boundary — bounded false sharing, no
+     overlapping writes. *)
+  let tile = 32 in
+  let shard_task s =
+    let t0 = !cur_t0 and bs = !cur_bs in
+    let lo = shard_lo.(s) and hi = shard_lo.(s + 1) in
+    let all0 = ref true in
+    (* Fill, class-scan, and transpose one [tile]-wide group of
+       sources at a time so the scan and the transpose read the
+       freshly staged segments while they are still cache-hot,
+       instead of sweeping the whole multi-megabyte stage cold three
+       times per block. *)
+    let i0 = ref lo in
+    while !i0 < hi do
+      let i1 = Stdlib.min hi (!i0 + tile) in
+      for i = !i0 to i1 - 1 do
+        fill_source t0 bs i
+      done;
+      for i = !i0 to i1 - 1 do
+        let off = i * sstride in
+        let z = ref true in
+        for b = 0 to bs - 1 do
+          if Array.unsafe_get cbuf (off + b) <> 0 then z := false
+        done;
+        if not !z then all0 := false
+      done;
+      let b0 = ref 0 in
+      while !b0 < bs do
+        let b1 = Stdlib.min bs (!b0 + tile) in
+        for b = !b0 to b1 - 1 do
+          let row = b * rstride in
+          for i = !i0 to i1 - 1 do
+            Array.unsafe_set wrow (row + i) (Array.unsafe_get wbuf ((i * sstride) + b))
+          done
+        done;
+        b0 := b1
+      done;
+      i0 := i1
+    done;
+    shard_all0.(s) <- !all0;
+    if !all0 then begin
+      if not crow_zeroed.(s) then begin
+        for b = 0 to block - 1 do
+          Array.fill crow ((b * rstride) + lo) (hi - lo) 0
+        done;
+        crow_zeroed.(s) <- true
+      end
+    end
+    else begin
+      (* Rare multi-class block: restage the class row for the whole
+         shard range. Cold re-read of cbuf, but only workloads whose
+         classes actually vary pay for it. *)
+      crow_zeroed.(s) <- false;
+      let i0 = ref lo in
+      while !i0 < hi do
+        let i1 = Stdlib.min hi (!i0 + tile) in
+        let b0 = ref 0 in
+        while !b0 < bs do
+          let b1 = Stdlib.min bs (!b0 + tile) in
+          for b = !b0 to b1 - 1 do
+            let row = b * rstride in
+            for i = !i0 to i1 - 1 do
+              Array.unsafe_set crow (row + i) (Array.unsafe_get cbuf ((i * sstride) + b))
+            done
+          done;
+          b0 := b1
+        done;
+        i0 := i1
+      done
+    end
+  in
+  let barrier = Ss_parallel.Barrier.make ?pool ~tasks:nshards shard_task in
+  let base = ref 0 in
+  let filled = ref 0 in
+  let works = Array.make n 0.0 in
+  let classes = Array.make n 0 in
+  let class_sums = Array.make max_classes 0.0 in
+  let class_scale = Array.make max_classes 1.0 in
+  let class_adm = Array.make max_classes 0.0 in
+  let offered = Array.make n 0.0 in
+  let admitted = Array.make n 0.0 in
+  let lost = Array.make n 0.0 in
+  let peak = Array.make n 0.0 in
+  let corrupt = Array.make n 0 in
+  let throttled = Array.make n 0.0 in
+  let discarded = Array.make n 0.0 in
+  let queue_stats = Online.create () in
+  let q_quant = Array.of_list (List.map (fun p -> (p, Online.P2.create ~p)) quantiles) in
+  let d_quant = Array.of_list (List.map (fun p -> (p, Online.P2.create ~p)) quantiles) in
+  let nq = Array.length q_quant in
+  let class_backlog = Array.make max_classes 0.0 in
+  let class_quant : (float * Online.P2.t) array option array = Array.make max_classes None in
+  let top_class = ref (-1) in
+  let thr = Array.of_list thresholds in
+  let thr_hits = Array.make (Array.length thr) 0 in
+  let has_traj = trajectory <> None in
+  let traj_served = if has_traj then Array.make n 0.0 else [||] in
+  let traj_delay = if has_traj then Array.make n 0.0 else [||] in
+  let traj_cls = if has_traj then Array.make (max_classes * n) 0.0 else [||] in
+  let traj_prefix = if has_traj then Array.make max_classes 0.0 else [||] in
+  let unbounded = buffer = infinity in
+  let st = { q = 0.0; served = 0.0; adm = 0.0; room = 0.0; rem = 0.0; prefix = 0.0 } in
+  (* Fast lane: when a whole staged block carried only class 0 and no
+     per-source machinery (policing, finite-buffer replay, trajectory
+     capture) needs the staged values later, the accounting pass can
+     skip the class row and the dead works/classes stores. Every
+     floating-point addition it performs is the same value added to
+     the same accumulator in the same source order as the general
+     pass, so the lane is bitwise invisible. *)
+  let fast_ok = Option.is_none police && unbounded && not has_traj in
+  let blk_all0 = ref false in
+  for t = 0 to slots - 1 do
+    if t >= !base + !filled then begin
+      base := t;
+      let bs = Stdlib.min block (slots - t) in
+      filled := bs;
+      cur_t0 := t;
+      cur_bs := bs;
+      Ss_parallel.Barrier.run barrier;
+      blk_all0 :=
+        (let ok = ref true in
+         for s = 0 to nshards - 1 do
+           if not shard_all0.(s) then ok := false
+         done;
+         !ok)
+    end;
+    let row = (t - !base) * rstride in
+    st.adm <- 0.0;
+    if fast_ok && !blk_all0 then begin
+      for i = 0 to n - 1 do
+        let w0 = Array.unsafe_get wrow (row + i) in
+        let w =
+          if w0 <> w0 || w0 < 0.0 || w0 = infinity then begin
+            corrupt.(i) <- corrupt.(i) + 1;
+            0.0
+          end
+          else w0
+        in
+        offered.(i) <- offered.(i) +. w;
+        if w > peak.(i) then peak.(i) <- w;
+        class_sums.(0) <- class_sums.(0) +. w;
+        st.adm <- st.adm +. w;
+        admitted.(i) <- admitted.(i) +. w
+      done;
+      if !top_class < 0 then begin
+        class_quant.(0) <-
+          Some (Array.of_list (List.map (fun p -> (p, Online.P2.create ~p)) quantiles));
+        top_class := 0
+      end;
+      class_adm.(0) <- class_sums.(0);
+      class_sums.(0) <- 0.0
+    end
+    else begin
+    let max_class = ref 0 in
+    (* Accounting pass over slot t's contiguous row. Statement-for-
+       statement the reference engine's pass; under an unbounded
+       buffer the admission accumulation (reference pass two) is
+       fused in — each accumulator still sees its additions in the
+       same source order, so the fusion is bitwise invisible. *)
+    for i = 0 to n - 1 do
+      let w0 = Array.unsafe_get wrow (row + i) in
+      let c = Array.unsafe_get crow (row + i) in
+      let was_corrupt = w0 <> w0 || w0 < 0.0 || w0 = infinity in
+      let w =
+        if was_corrupt then begin
+          corrupt.(i) <- corrupt.(i) + 1;
+          (match police with Some p -> Police.note_corrupt p ~slot:t i | None -> ());
+          0.0
+        end
+        else w0
+      in
+      if c < 0 || c >= max_classes then
+        invalid_arg (Printf.sprintf "Mux.run: source %s yielded class %d" sources.(i).Source.name c);
+      (match police with
+      | None ->
+        works.(i) <- w;
+        classes.(i) <- c
+      | Some p ->
+        if Police.evicted p i then begin
+          discarded.(i) <- discarded.(i) +. w;
+          works.(i) <- 0.0;
+          classes.(i) <- c
+        end
+        else begin
+          if not was_corrupt then Police.observe p ~slot:t i w;
+          let cap = Police.cap p i in
+          if w > cap then begin
+            throttled.(i) <- throttled.(i) +. (w -. cap);
+            works.(i) <- cap
+          end
+          else works.(i) <- w;
+          let d = Police.demotion p i in
+          classes.(i) <- (if d = 0 then c else Stdlib.min (max_classes - 1) (c + d))
+        end);
+      let w = works.(i) in
+      let c = classes.(i) in
+      offered.(i) <- offered.(i) +. w;
+      if w > peak.(i) then peak.(i) <- w;
+      if c > !max_class then max_class := c;
+      class_sums.(c) <- class_sums.(c) +. w;
+      if unbounded then begin
+        st.adm <- st.adm +. w;
+        admitted.(i) <- admitted.(i) +. w
+      end
+    done;
+    if !max_class > !top_class then begin
+      for c = !top_class + 1 to !max_class do
+        class_quant.(c) <-
+          Some (Array.of_list (List.map (fun p -> (p, Online.P2.create ~p)) quantiles))
+      done;
+      top_class := !max_class
+    end;
+    if unbounded then
+      for c = 0 to !max_class do
+        class_adm.(c) <- class_sums.(c);
+        class_sums.(c) <- 0.0
+      done
+    else begin
+      st.room <- fmax 0.0 (buffer +. service -. st.q);
+      for c = 0 to !max_class do
+        let s = class_sums.(c) in
+        let f =
+          if s <= 0.0 then 0.0 else if s <= st.room then 1.0 else st.room /. s
+        in
+        class_scale.(c) <- f;
+        st.room <- fmax 0.0 (st.room -. (s *. f));
+        class_adm.(c) <- s *. f;
+        class_sums.(c) <- 0.0
+      done;
+      for i = 0 to n - 1 do
+        let w = works.(i) in
+        let a = w *. class_scale.(classes.(i)) in
+        st.adm <- st.adm +. a;
+        admitted.(i) <- admitted.(i) +. a;
+        lost.(i) <- lost.(i) +. (w -. a)
+      done
+    end
+    end;
+    if has_traj then
+      for i = 0 to n - 1 do
+        traj_served.(i) <- 0.0;
+        let a = works.(i) *. class_scale.(classes.(i)) in
+        let idx = (classes.(i) * n) + i in
+        traj_cls.(idx) <- traj_cls.(idx) +. a
+      done;
+    st.served <- st.served +. fmin service (st.q +. st.adm);
+    st.q <- fmax 0.0 (st.q +. st.adm -. service);
+    st.rem <- service;
+    for c = 0 to !top_class do
+      let b = class_backlog.(c) +. class_adm.(c) in
+      class_adm.(c) <- 0.0;
+      let take = fmin st.rem b in
+      class_backlog.(c) <- b -. take;
+      st.rem <- st.rem -. take;
+      if has_traj && take > 0.0 then begin
+        let frac = take /. b in
+        let base = c * n in
+        for i = 0 to n - 1 do
+          let v = traj_cls.(base + i) in
+          if v > 0.0 then begin
+            let s = v *. frac in
+            traj_served.(i) <- traj_served.(i) +. s;
+            traj_cls.(base + i) <- v -. s
+          end
+        done
+      end
+    done;
+    st.prefix <- 0.0;
+    for c = 0 to !top_class do
+      st.prefix <- st.prefix +. class_backlog.(c);
+      if has_traj then traj_prefix.(c) <- st.prefix;
+      match class_quant.(c) with
+      | Some qs ->
+        for j = 0 to Array.length qs - 1 do
+          Online.P2.add (snd qs.(j)) (st.prefix /. service)
+        done
+      | None -> ()
+    done;
+    (match trajectory with
+    | None -> ()
+    | Some f ->
+      for i = 0 to n - 1 do
+        traj_delay.(i) <- traj_prefix.(classes.(i)) /. service
+      done;
+      f ~slot:t ~served:traj_served ~delays:traj_delay);
+    Online.add queue_stats st.q;
+    for j = 0 to nq - 1 do
+      Online.P2.add (snd q_quant.(j)) st.q
+    done;
+    for j = 0 to nq - 1 do
+      Online.P2.add (snd d_quant.(j)) (st.q /. service)
+    done;
+    for j = 0 to Array.length thr - 1 do
+      if st.q > thr.(j) then thr_hits.(j) <- thr_hits.(j) + 1
+    done
+  done;
+  let fslots = float_of_int slots in
+  let total_offered = Array.fold_left ( +. ) 0.0 offered in
+  let total_lost = Array.fold_left ( +. ) 0.0 lost in
+  {
+    slots;
+    service;
+    buffer;
+    offered_utilization = total_offered /. fslots /. service;
+    carried_utilization = st.served /. (service *. fslots);
+    loss_fraction = (if total_offered > 0.0 then total_lost /. total_offered else 0.0);
+    mean_queue = Online.mean queue_stats;
+    max_queue = Online.max queue_stats;
+    queue_quantiles =
+      Array.to_list (Array.map (fun (p, p2) -> (p, Online.P2.quantile p2)) q_quant);
+    delay_quantiles =
+      Array.to_list (Array.map (fun (p, p2) -> (p, Online.P2.quantile p2)) d_quant);
+    class_delay_quantiles =
+      (let acc = ref [] in
+       for c = !top_class downto 0 do
+         match class_quant.(c) with
+         | Some qs when Array.for_all (fun (_, p2) -> Online.P2.count p2 > 0) qs ->
+           acc :=
+             (c, Array.to_list (Array.map (fun (p, p2) -> (p, Online.P2.quantile p2)) qs))
+             :: !acc
+         | _ -> ()
+       done;
+       !acc);
+    overflow =
+      List.mapi (fun j b -> (b, float_of_int thr_hits.(j) /. fslots)) thresholds;
+    per_source =
+      Array.init n (fun i ->
+          {
+            name = sources.(i).Source.name;
+            offered = offered.(i);
+            admitted = admitted.(i);
+            lost = lost.(i);
+            loss_fraction = (if offered.(i) > 0.0 then lost.(i) /. offered.(i) else 0.0);
+            mean_rate = offered.(i) /. fslots;
+            peak_rate = peak.(i);
+            corrupt_slots = corrupt.(i);
+            throttled = throttled.(i);
+            discarded = discarded.(i);
+            departed_at = (if departed_at.(i) < 0 then None else Some departed_at.(i));
+          });
+  }
+
+let run ?pool ?shards ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ])
+    ?probe ?police ?trajectory ~service ~slots sources =
+  (match shards with
+  | Some s when s < 1 -> invalid_arg "Mux.run: shards < 1"
+  | _ -> ());
+  match probe with
+  | Some _ ->
+    (* First-passage probes (the importance sampler's cutoff) need
+       the strict per-slot lock-step of the reference engine: a
+       probed run must be able to stop with no source advanced past
+       the crossing slot. Sharding is refused rather than silently
+       degraded. *)
+    (match shards with
+    | Some s when s > 1 -> invalid_arg "Mux.run: ~probe requires shards = 1 (strict lock-step)"
+    | _ -> ());
+    run_reference ?pool ~buffer ~thresholds ~quantiles ?probe ?police ?trajectory ~service
+      ~slots sources
+  | None ->
+    let shards =
+      match shards with
+      | Some s -> s
+      | None -> (match pool with Some p -> Ss_parallel.Pool.size p | None -> 1)
+    in
+    run_sharded ?pool ~shards ~buffer ~thresholds ~quantiles ?police ?trajectory ~service
+      ~slots sources
+
+(* ------------------------------------------------------------------ *)
+(* Report equality                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let pair_list_eq xs ys =
+  List.length xs = List.length ys
+  && List.for_all2 (fun (a1, b1) (a2, b2) -> feq a1 a2 && feq b1 b2) xs ys
+
+let equal_source_report a b =
+  String.equal a.name b.name && feq a.offered b.offered && feq a.admitted b.admitted
+  && feq a.lost b.lost
+  && feq a.loss_fraction b.loss_fraction
+  && feq a.mean_rate b.mean_rate && feq a.peak_rate b.peak_rate
+  && a.corrupt_slots = b.corrupt_slots
+  && feq a.throttled b.throttled && feq a.discarded b.discarded
+  && a.departed_at = b.departed_at
+
+let equal_report a b =
+  a.slots = b.slots && feq a.service b.service && feq a.buffer b.buffer
+  && feq a.offered_utilization b.offered_utilization
+  && feq a.carried_utilization b.carried_utilization
+  && feq a.loss_fraction b.loss_fraction
+  && feq a.mean_queue b.mean_queue && feq a.max_queue b.max_queue
+  && pair_list_eq a.queue_quantiles b.queue_quantiles
+  && pair_list_eq a.delay_quantiles b.delay_quantiles
+  && List.length a.class_delay_quantiles = List.length b.class_delay_quantiles
+  && List.for_all2
+       (fun (c1, qs1) (c2, qs2) -> c1 = c2 && pair_list_eq qs1 qs2)
+       a.class_delay_quantiles b.class_delay_quantiles
+  && pair_list_eq a.overflow b.overflow
+  && Array.length a.per_source = Array.length b.per_source
+  && Array.for_all2 equal_source_report a.per_source b.per_source
 
 let pp_report ppf r =
   let pct x = 100.0 *. x in

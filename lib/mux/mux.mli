@@ -67,6 +67,7 @@ type report = {
 
 val run :
   ?pool:Ss_parallel.Pool.t ->
+  ?shards:int ->
   ?buffer:float ->
   ?thresholds:float list ->
   ?quantiles:float list ->
@@ -82,12 +83,25 @@ val run :
     empty) are the queue levels whose exceedance fractions the report
     records; [quantiles] (default [0.5; 0.9; 0.99]) are the P²
     levels; [probe] (for tests/tracing) is called after every slot
-    with the slot index and the updated queue length. With [pool] the
-    sources are advanced in per-slot blocks across domains (each
-    source owned by one task) ahead of the sequential Lindley
-    recursion; every source still sees one pull per slot in slot
-    order, so the report is bit-identical with and without a pool, at
-    any domain count.
+    with the slot index and the updated queue length.
+
+    {b Sharded engine.} The sources are partitioned into [shards]
+    contiguous shards (default: the pool's domain count, or 1); each
+    shard advances all its sources one whole staged block of slots
+    through their block pulls and restages them slot-major, shards
+    synchronizing only at a coarse per-block barrier
+    ({!Ss_parallel.Barrier} — no per-slot or per-source cross-domain
+    traffic). The sequential admission loop then consumes each slot's
+    arrivals from one contiguous row. Results are {b bit-identical}
+    at any shard count, any domain count, and to {!run_reference}:
+    shards only choose which task pulls and restages a source's
+    block, while every floating-point reduction runs on the caller in
+    pinned source order. With [shards] larger than the source count,
+    the excess shards are empty (clamped). A [probe] needs the strict
+    per-slot lock-step of the reference engine (the importance
+    sampler stops runs mid-slot), so probed runs are delegated to
+    {!run_reference} verbatim; combining [probe] with an explicit
+    [shards > 1] raises [Invalid_argument].
 
     With [trajectory], a per-source service/delay trajectory is
     exported: after every slot the sink is called with [served.(i)] —
@@ -115,9 +129,39 @@ val run :
     bit-identical to an unpoliced one. Policer calls happen on the
     sequential admission loop in slot order, composing with [pool].
     @raise Invalid_argument if [slots <= 0], [service <= 0],
-    [buffer < 0], no sources, a quantile outside (0,1), a negative
-    threshold, a source yields a class outside [0, 63], or [police]
-    was created for a different number of sources. *)
+    [buffer < 0], [shards < 1], no sources, a quantile outside (0,1),
+    a negative threshold, a source yields a class outside [0, 63], or
+    [police] was created for a different number of sources. *)
+
+val run_reference :
+  ?pool:Ss_parallel.Pool.t ->
+  ?buffer:float ->
+  ?thresholds:float list ->
+  ?quantiles:float list ->
+  ?probe:(int -> float -> unit) ->
+  ?police:Police.t ->
+  ?trajectory:(slot:int -> served:float array -> delays:float array -> unit) ->
+  service:float ->
+  slots:int ->
+  Source.t array ->
+  report
+(** The pre-shard pooled-prefetch engine, kept verbatim: with [pool]
+    each source is one fan-out item per staged block (source-major
+    staging, the admission loop striding across it), every source
+    still seeing one pull per slot in slot order. This is the
+    bit-identity oracle the sharded {!run} is tested against and the
+    baseline its speedup is benchmarked from; the two agree bitwise
+    on every field of the report for identical inputs. Prefer {!run}
+    everywhere else — the reference engine's per-slot strided reads
+    and per-source fan-out items are exactly what the sharded engine
+    exists to remove. Raises as {!run} (minus [shards]). *)
+
+val equal_report : report -> report -> bool
+(** Bitwise report equality: every float field (including nested
+    quantile/overflow/per-source entries) compared by IEEE-754 bit
+    pattern ([nan] equals [nan], [0.] differs from [-0.]), integer
+    and name fields exactly. The equality the shard/domain-count
+    identity tests and the CI smoke gate assert. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Multi-line text report: link summary, queue/delay statistics

@@ -110,20 +110,37 @@ let fingerprint ~acf ~order =
 (* Bounded LRU under a mutex, shared by the table and plan caches.
    Values are deterministic functions of the key, so eviction only
    costs a rebuild — a re-fit after eviction is bit-identical (unit
-   tested). Builds happen outside the lock (construction is
-   O(order^2)); if two domains race, they build identical values and
-   the first insert wins. *)
+   tested). Builds happen OUTSIDE the lock (construction is
+   O(order^2)), inserted if-absent on completion, so a cold start
+   never serializes distinct keys behind one Durbin–Levinson fit —
+   N shards warming N different models fit concurrently. Same-key
+   racers do not duplicate the fit either: the first requester
+   registers the key as [pending] and builds; later requesters wait
+   on the condition variable and pick up the winner's entry, so
+   concurrent lookups of one key always yield one shared (physically
+   equal) table. A failed build unregisters the key, wakes the
+   waiters, and lets the next requester retry. *)
 module Cache = struct
   type 'a entry = { value : 'a; mutable last_use : int }
 
   type 'a t = {
     tbl : (string * int, 'a entry) Hashtbl.t;
+    pending : (string * int, unit) Hashtbl.t;  (* keys being built *)
+    built : Condition.t;  (* a pending build completed or failed *)
     mutex : Mutex.t;
     mutable cap : int;
     mutable tick : int;
   }
 
-  let create cap = { tbl = Hashtbl.create 8; mutex = Mutex.create (); cap; tick = 0 }
+  let create cap =
+    {
+      tbl = Hashtbl.create 8;
+      pending = Hashtbl.create 4;
+      built = Condition.create ();
+      mutex = Mutex.create ();
+      cap;
+      tick = 0;
+    }
 
   let evict_lru_locked t =
     let victim =
@@ -152,27 +169,53 @@ module Cache = struct
     n
 
   let find_or_build t key build =
-    let hit =
+    let claim =
       Mutex.lock t.mutex;
-      let r =
+      let rec decide () =
         match Hashtbl.find_opt t.tbl key with
         | Some e ->
           t.tick <- t.tick + 1;
           e.last_use <- t.tick;
-          Some e.value
-        | None -> None
+          `Hit e.value
+        | None ->
+          if Hashtbl.mem t.pending key then begin
+            (* Someone is fitting this key right now: wait for the
+               completion broadcast instead of burning a domain on a
+               duplicate O(order^2) fit, then re-check (the winner's
+               entry is normally there; if the build failed or the
+               entry was already evicted, retry as a builder). *)
+            Condition.wait t.built t.mutex;
+            decide ()
+          end
+          else begin
+            Hashtbl.add t.pending key ();
+            `Build
+          end
       in
+      let r = decide () in
       Mutex.unlock t.mutex;
       r
     in
-    match hit with
-    | Some v -> v
-    | None ->
-      let v = build () in
+    match claim with
+    | `Hit v -> v
+    | `Build ->
+      let v =
+        try build ()
+        with e ->
+          Mutex.lock t.mutex;
+          Hashtbl.remove t.pending key;
+          Condition.broadcast t.built;
+          Mutex.unlock t.mutex;
+          raise e
+      in
       Mutex.lock t.mutex;
+      Hashtbl.remove t.pending key;
       let winner =
         match Hashtbl.find_opt t.tbl key with
         | Some e ->
+          (* Unreachable while pending dedup holds (only the claimant
+             inserts this key), kept as insert-if-absent so a racing
+             insert could never shadow an entry. *)
           t.tick <- t.tick + 1;
           e.last_use <- t.tick;
           e.value
@@ -184,6 +227,7 @@ module Cache = struct
           Hashtbl.add t.tbl key { value = v; last_use = t.tick };
           v
       in
+      Condition.broadcast t.built;
       Mutex.unlock t.mutex;
       winner
 end

@@ -183,7 +183,12 @@ val background_stream_twisted :
 val table_for : acf:Ss_fractal.Acf.t -> order:int -> Ss_fractal.Hosking.Table.t
 (** The cached Hosking table backing model sources at this (ACF,
     order) pair — the table a streaming likelihood accumulator must
-    be planned against.
+    be planned against. Safe to call from any domain: the
+    Durbin–Levinson fit runs outside the cache lock (distinct keys
+    fit concurrently on a cold start — shards warming different
+    models never serialize), and same-key racers wait for the first
+    fit instead of duplicating it, so concurrent lookups of one key
+    return one shared, physically equal table.
     @raise Invalid_argument if [order < 1] or [order > 19_999]. *)
 
 val plan_for : acf:Ss_fractal.Acf.t -> n:int -> Ss_fractal.Davies_harte.plan

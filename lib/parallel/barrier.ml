@@ -1,0 +1,29 @@
+(* Per-block barrier over a fixed set of shard tasks. The multiplexer
+   dispatches the same [tasks] closures once per staged block — the
+   closures are compiled at [make] time (via [Pool.static_for]), and
+   [run] returns only when every task of the block has completed, so
+   the caller can merge shard aggregates knowing no shard is still
+   writing. One task per shard keeps the fan-out coarse: the pool is
+   touched once per block, never once per slot or per source. *)
+
+type t = { tasks : int; dispatch : unit -> unit }
+
+let make ?pool ~tasks f =
+  if tasks < 1 then invalid_arg "Barrier.make: tasks < 1";
+  let dispatch =
+    match pool with
+    | Some p when Pool.size p > 1 && tasks > 1 -> Pool.static_for p ~n:tasks f
+    | _ ->
+      (* Sequential path: the caller executes every task in shard
+         order. Tasks must be insensitive to execution order (they
+         write disjoint state), so this is the same arithmetic the
+         pooled dispatch produces. *)
+      fun () ->
+        for s = 0 to tasks - 1 do
+          f s
+        done
+  in
+  { tasks; dispatch }
+
+let tasks t = t.tasks
+let run t = t.dispatch ()

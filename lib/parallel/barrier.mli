@@ -1,0 +1,36 @@
+(** Coarse per-block barrier over a fixed set of shard tasks.
+
+    A barrier is a prebuilt fan-out: [make ?pool ~tasks f] compiles
+    one closure per task index once, and every [run] executes
+    [f 0 .. f (tasks - 1)] exactly once each, returning only when all
+    of them have completed. The sharded multiplexer uses one task per
+    shard and one [run] per staged block, so cross-domain
+    synchronization happens once per block — never per slot or per
+    source.
+
+    Determinism contract (same as {!Pool.static_for}): task [s]
+    always runs the same closure, and tasks must only write state
+    disjoint per task index. Any cross-task reduction belongs on the
+    calling domain after [run] returns, in task order — under that
+    discipline the results are bit-identical with or without a pool,
+    at any domain count. Without a pool (or with a 1-domain pool, or
+    a single task) [run] executes the tasks sequentially on the
+    caller in task order. *)
+
+type t
+
+val make : ?pool:Pool.t -> tasks:int -> (int -> unit) -> t
+(** [make ?pool ~tasks f] prebuilds the fan-out. The closures capture
+    [f] once; state [f] reads may change between [run]s (the
+    multiplexer's current-block cursor does). With [pool], [run]
+    dispatches through {!Pool.static_for} and raises
+    [Invalid_argument] after {!Pool.shutdown}.
+    @raise Invalid_argument if [tasks < 1]. *)
+
+val tasks : t -> int
+(** Number of tasks per [run]. *)
+
+val run : t -> unit
+(** Execute every task once; returns when all have completed. Must
+    not be invoked concurrently with itself or other batches on the
+    same pool (the library never does). *)

@@ -102,6 +102,13 @@ let with_pool ~domains f =
 
 let check_alive t name = if not t.alive then invalid_arg ("Pool." ^ name ^ ": pool shut down")
 
+(* On a machine with no real parallelism, waking worker domains for a
+   batch only adds scheduler round-trips at every join — the caller
+   claims items from the same atomic counter either way, so running
+   the whole batch on the calling domain is the identical computation
+   minus the oversubscription tax. *)
+let hw_parallelism = Domain.recommended_domain_count ()
+
 let run t thunks =
   check_alive t "run";
   let n = Array.length thunks in
@@ -130,7 +137,7 @@ let run t thunks =
             record ()
       done
     in
-    if t.size = 1 || n = 1 then work ()
+    if t.size = 1 || n = 1 || hw_parallelism <= 1 then work ()
     else begin
       Mutex.lock t.mutex;
       t.next_id <- t.next_id + 1;

@@ -575,6 +575,44 @@ let test_source_table_cache_lru_eviction () =
         after);
   raises_invalid "capacity < 1" (fun () -> Source.set_table_cache_capacity 0)
 
+let test_source_table_cache_concurrent_lookups () =
+  (* Cold-start contention: the Durbin-Levinson fit happens outside
+     the cache mutex, and same-key racers wait for the first fit
+     instead of duplicating it — so simultaneous lookups of one key
+     from many domains must all return the one physically-shared
+     table and grow the cache by exactly one entry, while distinct
+     keys fit concurrently into distinct entries. *)
+  Source.set_table_cache_capacity 64;
+  Fun.protect
+    ~finally:(fun () -> Source.set_table_cache_capacity 16)
+    (fun () ->
+      let acf = Acf.fgn ~h:0.7123 in
+      let order = 96 in
+      let len0 = Source.table_cache_length () in
+      let started = Atomic.make 0 in
+      let lookup () =
+        Atomic.incr started;
+        (* Line the domains up on the key so the pending-build window
+           is actually contested. *)
+        while Atomic.get started < 4 do
+          Domain.cpu_relax ()
+        done;
+        Source.table_for ~acf ~order
+      in
+      let workers = Array.init 3 (fun _ -> Domain.spawn lookup) in
+      let mine = lookup () in
+      let all = Array.append [| mine |] (Array.map Domain.join workers) in
+      Array.iteri
+        (fun i t ->
+          if not (t == all.(0)) then Alcotest.failf "lookup %d returned a distinct table" i)
+        all;
+      Alcotest.(check int) "one entry added" (len0 + 1) (Source.table_cache_length ());
+      let d1 = Domain.spawn (fun () -> Source.table_for ~acf:(Acf.fgn ~h:0.81) ~order:64) in
+      let t2 = Source.table_for ~acf:(Acf.fgn ~h:0.63) ~order:64 in
+      let t1 = Domain.join d1 in
+      if t1 == t2 then Alcotest.fail "distinct keys shared a table";
+      Alcotest.(check int) "two more entries" (len0 + 3) (Source.table_cache_length ()))
+
 (* ------------------------------------------------------------------ *)
 (* Mux                                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -1034,9 +1072,9 @@ let test_mux_hot_loop_allocation () =
      (well under 1 on a non-flambda build). *)
   let arr = Array.init 96 (fun i -> float_of_int (1 + (i mod 7))) in
   let mk () = Source.of_array ~cycle:true arr in
-  let measure sources =
+  let measure ?shards sources =
     let run slots =
-      Mux.run ~quantiles:[] ~service:(3.0 *. float_of_int (Array.length sources))
+      Mux.run ?shards ~quantiles:[] ~service:(3.0 *. float_of_int (Array.length sources))
         ~slots sources
     in
     let (_ : Mux.report) = run 1024 in
@@ -1047,6 +1085,7 @@ let test_mux_hot_loop_allocation () =
   in
   let one = measure [| mk () |] in
   let three = measure [| mk (); mk (); mk () |] in
+  let sharded = measure ~shards:4 [| mk (); mk (); mk () |] in
   (* ~6 words/slot of per-slot module-boundary float boxing remain on
      a non-flambda build (queue/delay accumulators); bound it with
      headroom. *)
@@ -1054,7 +1093,176 @@ let test_mux_hot_loop_allocation () =
   (* The admission loop must be allocation-free per source: tripling
      the sources may not add per-slot allocation beyond noise. *)
   if three -. one > 1.0 then
-    Alcotest.failf "admission loop allocates per source: %.2f vs %.2f words/slot" three one
+    Alcotest.failf "admission loop allocates per source: %.2f vs %.2f words/slot" three one;
+  (* Splitting the staging across shards may not reintroduce per-slot
+     allocation either: shard state is per-run, blocks amortize. *)
+  if sharded -. three > 1.0 then
+    Alcotest.failf "sharding allocates per slot: %.2f vs %.2f words/slot" sharded three
+
+(* ------------------------------------------------------------------ *)
+(* Sharded engine: bit-identity across shard counts                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Mixed population for the shard-identity tests: cycling replays,
+   finite sources that depart mid-run, multi-class pulls, and sources
+   that emit corrupt slots — every per-source staging path the
+   sharded engine must reproduce. Stateful, so rebuilt from the seed
+   for every run. *)
+let shard_sources ~n ~seed =
+  let rng = Rng.create ~seed in
+  Array.init n (fun i ->
+      let len = 48 + (i mod 17) in
+      let arr =
+        Array.init len (fun _ ->
+            Rng.exponential rng ~rate:(1.0 /. (0.5 +. float_of_int (i mod 3))))
+      in
+      let name = Printf.sprintf "s%d" i in
+      match i mod 7 with
+      | 3 -> Source.of_array ~name ~cycle:false arr (* departs after len slots *)
+      | 5 ->
+          let k = ref 0 in
+          Source.make ~name ~mean:1.0 ~sigma2:1.0 ~hurst:0.5 (fun () ->
+              let j = !k in
+              incr k;
+              (arr.(j mod len), j mod 3))
+      | 6 ->
+          let k = ref 0 in
+          Source.make ~name ~mean:1.0 ~sigma2:1.0 ~hurst:0.5 (fun () ->
+              let j = !k in
+              incr k;
+              ( (if j mod 29 = 7 then nan
+                 else if j mod 31 = 5 then -1.0
+                 else arr.(j mod len)),
+                0 ))
+      | _ -> Source.of_array ~name ~cycle:true arr)
+
+let test_mux_sharded_bit_identity () =
+  (* The sharded engine must reproduce the reference engine bitwise at
+     every shard count — including counts that do not divide the
+     source count — on a finite buffer with thresholds, departures,
+     corrupt slots and several priority classes in play. *)
+  List.iter
+    (fun n ->
+      let slots = 300 in
+      let service = 1.1 *. float_of_int n in
+      let buffer = 4.0 *. float_of_int n in
+      let thresholds = [ 0.0; 1.0; 0.5 *. float_of_int n ] in
+      let reference =
+        Mux.run_reference ~buffer ~thresholds ~service ~slots
+          (shard_sources ~n ~seed:(1000 + n))
+      in
+      List.iter
+        (fun shards ->
+          let r =
+            Mux.run ~shards ~buffer ~thresholds ~service ~slots
+              (shard_sources ~n ~seed:(1000 + n))
+          in
+          if not (Mux.equal_report reference r) then
+            Alcotest.failf "n=%d shards=%d differs from the reference engine" n shards)
+        [ 1; 2; 4; 7 ])
+    [ 5; 64; 513 ]
+
+let test_mux_sharded_pool_bit_identity () =
+  (* Shards dispatched over a real domain pool: still bitwise equal to
+     the sequential reference engine, at divisible and non-divisible
+     shard counts and at the default shard count (the pool size). *)
+  let n = 64 and slots = 400 in
+  let service = 1.05 *. float_of_int n and buffer = 5.0 *. float_of_int n in
+  let mk () = shard_sources ~n ~seed:7064 in
+  let reference = Mux.run_reference ~buffer ~service ~slots (mk ()) in
+  let pool = Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun shards ->
+          let r = Mux.run ~pool ?shards ~buffer ~service ~slots (mk ()) in
+          if not (Mux.equal_report reference r) then
+            Alcotest.failf "pooled shards=%s differs from the reference engine"
+              (match shards with Some s -> string_of_int s | None -> "default"))
+        [ None; Some 2; Some 7 ])
+
+let test_mux_sharded_police_fault_identity () =
+  (* Policing and fault injection run on the central sequential loop,
+     so they compose with sharding bit-identically: the whole report
+     of a policed, fault-injected run is shard-count-invariant. *)
+  let n = 64 and slots = 2048 in
+  let service = 1.02 *. float_of_int n and buffer = 3.0 *. float_of_int n in
+  let spec =
+    [
+      (Some 0, [ Fault.Drift { start = 256; ramp = 0; factor = 6.0 } ]);
+      (Some 9, [ Fault.Stall { start = 100; len = 40 } ]);
+      (None, [ Fault.Corrupt { rate = 0.01 } ]);
+    ]
+  in
+  let config = { Police.default with Police.window = 64; warmup_windows = 1 } in
+  let run shards =
+    let srcs =
+      Fault.wrap_all ~rng:(Rng.create ~seed:6501) spec (shard_sources ~n ~seed:6500)
+    in
+    let p = Police.create ~config (Array.map Admission.descr_of_source srcs) in
+    match shards with
+    | None -> Mux.run_reference ~police:p ~buffer ~service ~slots srcs
+    | Some s -> Mux.run ~shards:s ~police:p ~buffer ~service ~slots srcs
+  in
+  let reference = run None in
+  List.iter
+    (fun s ->
+      if not (Mux.equal_report reference (run (Some s))) then
+        Alcotest.failf "policed faulted run differs at shards=%d" s)
+    [ 1; 4; 7 ]
+
+let test_mux_sharded_trajectory_identity () =
+  (* The trajectory export runs on the central loop over the staged
+     rows: identical per-slot served/delay vectors at any shard
+     count. *)
+  let n = 9 and slots = 500 in
+  let service = 1.2 *. float_of_int n in
+  let capture shards =
+    let rows = ref [] in
+    let sink ~slot ~served ~delays =
+      rows := (slot, Array.copy served, Array.copy delays) :: !rows
+    in
+    let r = Mux.run ~shards ~trajectory:sink ~service ~slots (shard_sources ~n ~seed:900) in
+    (r, List.rev !rows)
+  in
+  let r1, t1 = capture 1 in
+  let r4, t4 = capture 4 in
+  if not (Mux.equal_report r1 r4) then Alcotest.fail "trajectory run reports differ";
+  Alcotest.(check int) "every slot exported" slots (List.length t1);
+  List.iter2
+    (fun (s1, w1, d1) (s4, w4, d4) ->
+      Alcotest.(check int) "slot order" s1 s4;
+      Array.iteri
+        (fun i v ->
+          if bits v <> bits w4.(i) then Alcotest.failf "served differs, slot %d source %d" s1 i)
+        w1;
+      Array.iteri
+        (fun i v ->
+          if bits v <> bits d4.(i) then Alcotest.failf "delay differs, slot %d source %d" s1 i)
+        d1)
+    t1 t4
+
+let test_mux_sharded_probe_dispatch () =
+  (* A probe needs the reference engine's strict per-slot lock-step
+     (the importance sampler stops runs mid-slot), so probed runs
+     delegate to it and an explicit multi-shard request is refused. *)
+  let mk () = shard_sources ~n:5 ~seed:800 in
+  let service = 6.0 and slots = 200 in
+  let path_ref = Array.make slots 0.0 and path_run = Array.make slots 0.0 in
+  let r_ref =
+    Mux.run_reference ~probe:(fun t q -> path_ref.(t) <- q) ~service ~slots (mk ())
+  in
+  let r_run = Mux.run ~probe:(fun t q -> path_run.(t) <- q) ~service ~slots (mk ()) in
+  if not (Mux.equal_report r_ref r_run) then
+    Alcotest.fail "probed run differs from the reference engine";
+  Array.iteri
+    (fun t q -> if bits q <> bits path_run.(t) then Alcotest.failf "probe path slot %d" t)
+    path_ref;
+  raises_invalid "probe + shards > 1" (fun () ->
+      ignore (Mux.run ~shards:2 ~probe:(fun _ _ -> ()) ~service ~slots (mk ())));
+  raises_invalid "shards < 1" (fun () ->
+      ignore (Mux.run ~shards:0 ~service ~slots (mk ())))
 
 (* ------------------------------------------------------------------ *)
 (* Mux_is: importance-sampled shared-buffer overflow                    *)
@@ -1612,6 +1820,7 @@ let () =
           tc "Davies-Harte contract" test_source_dh_backend_contract;
           tc "Davies-Harte statistics" test_source_dh_backend_statistics;
           tc "table cache LRU eviction" test_source_table_cache_lru_eviction;
+          tc "table cache concurrent lookups" test_source_table_cache_concurrent_lookups;
         ] );
       ( "mux",
         [
@@ -1635,6 +1844,11 @@ let () =
           tc "trajectory delay = q/service (1 source)" test_mux_trajectory_single_source_delay_exact;
           tc "trajectory golden rows" test_mux_trajectory_golden;
           tc "hot loop allocation bound" test_mux_hot_loop_allocation;
+          tc "sharded bit-identity" test_mux_sharded_bit_identity;
+          tc "sharded bit-identity over pool" test_mux_sharded_pool_bit_identity;
+          tc "sharded + police + faults identical" test_mux_sharded_police_fault_identity;
+          tc "sharded trajectory identical" test_mux_sharded_trajectory_identity;
+          tc "probe dispatch / refusal" test_mux_sharded_probe_dispatch;
         ] );
       ( "mux-is",
         [

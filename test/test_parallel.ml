@@ -9,6 +9,7 @@
 module Rng = Ss_stats.Rng
 module Pool = Ss_parallel.Pool
 module Fanout = Ss_parallel.Fanout
+module Barrier = Ss_parallel.Barrier
 module Acf = Ss_fractal.Acf
 module Hosking = Ss_fractal.Hosking
 module Mc = Ss_queueing.Mc
@@ -163,6 +164,66 @@ let test_static_for () =
   let trigger = Pool.static_for p ~n:4 (fun _ -> ()) in
   Pool.shutdown p;
   raises_invalid "trigger after shutdown" (fun () -> trigger ())
+
+(* ------------------------------------------------------------------ *)
+(* Barrier: coarse per-block shard dispatch                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_barrier_runs_every_task () =
+  (* Every task index runs exactly once per dispatch, sequentially
+     (no pool), on a degenerate 1-domain pool, and on a real pool. *)
+  let with_pool domains k =
+    match domains with
+    | None -> k None
+    | Some d ->
+        let p = Pool.create ~domains:d in
+        Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> k (Some p))
+  in
+  List.iter
+    (fun domains ->
+      with_pool domains (fun pool ->
+          let tasks = 7 in
+          let marks = Array.init tasks (fun _ -> Atomic.make 0) in
+          let b = Barrier.make ?pool ~tasks (fun s -> Atomic.incr marks.(s)) in
+          Alcotest.(check int) "tasks" tasks (Barrier.tasks b);
+          Barrier.run b;
+          Barrier.run b;
+          Array.iteri
+            (fun s c ->
+              if Atomic.get c <> 2 then
+                Alcotest.failf "task %d ran %d times over 2 dispatches" s (Atomic.get c))
+            marks))
+    [ None; Some 1; Some 3 ]
+
+let test_barrier_is_a_barrier () =
+  (* run returns only once every task has finished: tasks write
+     disjoint slots and the caller must observe all of them right
+     after run — the determinism contract the sharded mux stages
+     blocks under. *)
+  let p = Pool.create ~domains:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let n = 11 in
+  let out = Array.make n 0.0 in
+  let b = Barrier.make ~pool:p ~tasks:n (fun s -> out.(s) <- float_of_int (s * s)) in
+  for round = 1 to 3 do
+    Array.fill out 0 n 0.0;
+    Barrier.run b;
+    Array.iteri
+      (fun s v ->
+        if v <> float_of_int (s * s) then
+          Alcotest.failf "round %d: slot %d unwritten at return" round s)
+      out
+  done
+
+let test_barrier_invalid_and_shutdown () =
+  raises_invalid "tasks < 1" (fun () -> Barrier.make ~tasks:0 (fun _ -> ()));
+  let b = Barrier.make ~tasks:3 (fun s -> if s = 1 then invalid_arg "boom" else ()) in
+  raises_invalid "task exception propagates" (fun () -> Barrier.run b);
+  let p = Pool.create ~domains:2 in
+  let b = Barrier.make ~pool:p ~tasks:4 (fun _ -> ()) in
+  Barrier.run b;
+  Pool.shutdown p;
+  raises_invalid "run after pool shutdown" (fun () -> Barrier.run b)
 
 (* ------------------------------------------------------------------ *)
 (* Fanout determinism                                                   *)
@@ -399,6 +460,12 @@ let () =
           tc "fold order fixed" test_pool_fold_order;
           tc "parallel_for covers range" test_parallel_for_covers_range;
           tc "static_for reusable batch" test_static_for;
+        ] );
+      ( "barrier",
+        [
+          tc "every task once per dispatch" test_barrier_runs_every_task;
+          tc "returns after all tasks" test_barrier_is_a_barrier;
+          tc "invalid / shutdown" test_barrier_invalid_and_shutdown;
         ] );
       ( "fanout",
         [
