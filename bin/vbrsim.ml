@@ -74,16 +74,36 @@ let backend_arg =
   let doc =
     "Background synthesis backend for model sources: $(b,hosking) streams the truncated \
      Durbin-Levinson recursion (open-ended, O(order) memory); $(b,davies-harte) synthesizes \
-     the whole fixed horizon exactly at every lag in O(n log n) via circulant embedding. \
-     $(b,davies-harte) is incompatible with importance sampling ($(b,--is), nonzero \
+     the whole fixed horizon exactly at every lag in O(n log n) via circulant embedding; \
+     $(b,paxson) is the approximate half-size-circulant FFT sampler — about twice the \
+     davies-harte synthesis throughput, statistically (not bitwise) faithful. The \
+     materializing backends are incompatible with importance sampling ($(b,--is), nonzero \
      $(b,--twist)), which needs per-step innovations."
   in
-  Arg.(value & opt string "hosking" & info [ "backend" ] ~docv:"hosking|davies-harte" ~doc)
+  Arg.(
+    value & opt string "hosking" & info [ "backend" ] ~docv:"hosking|davies-harte|paxson" ~doc)
 
 let parse_backend = function
   | "hosking" -> `Hosking
   | "davies-harte" | "dh" -> `Davies_harte
-  | s -> invalid_arg (Printf.sprintf "bad backend %S (expected hosking or davies-harte)" s)
+  | "paxson" -> `Paxson
+  | s ->
+    invalid_arg (Printf.sprintf "bad backend %S (expected hosking, davies-harte or paxson)" s)
+
+let precision_arg =
+  let doc =
+    "Arithmetic tier for model sources: $(b,exact) (default) keeps sample paths bitwise \
+     reproducible against the committed fixtures; $(b,relaxed) swaps in the reassociated \
+     4-accumulator AR dot kernel and the erf-free normal CDF (absolute error < 7.5e-8) — \
+     faster, statistically equivalent, but seed-incompatible with the exact tier. Refused \
+     with $(b,--is): the likelihood accumulator replays exact-tier arithmetic."
+  in
+  Arg.(value & opt string "exact" & info [ "precision" ] ~docv:"exact|relaxed" ~doc)
+
+let parse_precision = function
+  | "exact" -> `Exact
+  | "relaxed" -> `Relaxed
+  | s -> invalid_arg (Printf.sprintf "bad precision %S (expected exact or relaxed)" s)
 
 let csv_arg =
   let doc =
@@ -493,14 +513,15 @@ let mux_cmd =
       in
       print_estimate twist (Ss_mux.Mux_is.estimate ?pool (config ~twist) ~replications rng)
   in
-  let run path utilization sources slots order backend buffer_norm epsilon composite priority
-      buffers csv seed max_lag domains shards is_mode twist horizon replications faults police
-      police_window =
+  let run path utilization sources slots order backend precision buffer_norm epsilon composite
+      priority buffers csv seed max_lag domains shards is_mode twist horizon replications
+      faults police police_window =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
         Pool.with_pool ~domains @@ fun pool ->
         if priority && not composite then invalid_arg "--priority requires --composite";
         let backend = parse_backend backend in
+        let precision = parse_precision precision in
         let trace = Trace.load path in
         if is_mode then begin
           if composite then
@@ -509,6 +530,10 @@ let mux_cmd =
             invalid_arg "--faults/--police are incompatible with --is";
           if shards <> None then
             invalid_arg "--shards applies to the mux engine, not --is";
+          if precision = `Relaxed then
+            invalid_arg
+              "--precision relaxed is incompatible with --is (the likelihood accumulator \
+               replays exact-tier arithmetic)";
           run_is ~pool ~trace ~utilization ~sources ~order ~backend ~buffer_norm ~buffers
             ~twist ~horizon ~replications ~seed ~max_lag
         end
@@ -516,16 +541,18 @@ let mux_cmd =
         if twist <> None || horizon <> None then
           invalid_arg "--twist/--horizon require --is";
         let rng = Rng.create ~seed in
-        (* The Davies-Harte backend synthesizes a fixed-length path;
+        (* The materializing backends synthesize a fixed-length path;
            the simulation length is its natural horizon. *)
-        let horizon = match backend with `Hosking -> None | `Davies_harte -> Some slots in
+        let horizon =
+          match backend with `Hosking -> None | `Davies_harte | `Paxson -> Some slots
+        in
         let mk =
           if composite then begin
             let m = Mpeg.fit trace in
             fun i ->
               Ss_mux.Source.of_mpeg
                 ~name:(Printf.sprintf "src%02d" i)
-                ~order ~backend ?horizon
+                ~order ~backend ~precision ?horizon
                 ~phase:(i mod Gop.length m.Mpeg.gop)
                 ~priority m (Rng.split rng)
           end
@@ -533,7 +560,7 @@ let mux_cmd =
             let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
             fun i ->
               Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order ~backend
-                ?horizon model (Rng.split rng)
+                ~precision ?horizon model (Rng.split rng)
           end
         in
         let srcs = Array.init sources mk in
@@ -637,9 +664,10 @@ let mux_cmd =
   Cmd.v (Cmd.info "mux" ~doc)
     Term.(
       const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
-      $ backend_arg $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg $ buffers_arg
-      $ csv_arg $ seed_arg $ max_lag_arg $ domains_arg $ shards_arg $ is_arg $ twist_arg
-      $ horizon_arg $ replications_arg $ faults_arg $ police_arg $ police_window_arg)
+      $ backend_arg $ precision_arg $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg
+      $ buffers_arg $ csv_arg $ seed_arg $ max_lag_arg $ domains_arg $ shards_arg $ is_arg
+      $ twist_arg $ horizon_arg $ replications_arg $ faults_arg $ police_arg
+      $ police_window_arg)
 
 (* --- abr --- *)
 
@@ -706,22 +734,25 @@ let abr_cmd =
            | Some l -> l
            | None -> invalid_arg (Printf.sprintf "bad ladder level %S" x))
   in
-  let run path utilization sources slots order backend seed max_lag domains clients chunks
-      chunk_frames max_buffer policies levels faults =
+  let run path utilization sources slots order backend precision seed max_lag domains clients
+      chunks chunk_frames max_buffer policies levels faults =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
         let policies = parse_policies policies in
         if policies = [] then invalid_arg "no policies given";
         Pool.with_pool ~domains @@ fun pool ->
         let backend = parse_backend backend in
+        let precision = parse_precision precision in
         let trace = Trace.load path in
         let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
         let rng = Rng.create ~seed in
-        let horizon = match backend with `Hosking -> None | `Davies_harte -> Some slots in
+        let horizon =
+          match backend with `Hosking -> None | `Davies_harte | `Paxson -> Some slots
+        in
         let srcs =
           Array.init sources (fun i ->
               Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order ~backend
-                ?horizon model (Rng.split rng))
+                ~precision ?horizon model (Rng.split rng))
         in
         let srcs =
           match faults with
@@ -783,8 +814,9 @@ let abr_cmd =
   Cmd.v (Cmd.info "abr" ~doc)
     Term.(
       const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
-      $ backend_arg $ seed_arg $ max_lag_arg $ domains_arg $ clients_arg $ chunks_arg
-      $ chunk_frames_arg $ max_buffer_arg $ policies_arg $ levels_arg $ faults_arg)
+      $ backend_arg $ precision_arg $ seed_arg $ max_lag_arg $ domains_arg $ clients_arg
+      $ chunks_arg $ chunk_frames_arg $ max_buffer_arg $ policies_arg $ levels_arg
+      $ faults_arg)
 
 (* --- fastsim --- *)
 
@@ -824,6 +856,12 @@ let fastsim_cmd =
           | `Davies_harte ->
             `Davies_harte
               (Ss_fractal.Davies_harte.plan ~acf:(Model.background_acf model) ~n:horizon)
+          | `Paxson ->
+            (* Plain-MC replication over an approximate synthesis would
+               bias the estimate; fastsim only replicates exact paths. *)
+            invalid_arg
+              "fastsim: backend paxson is approximate and cannot drive estimation; use \
+               hosking or davies-harte"
         in
         let config ~twist =
           Is.make_config ~table ~arrival ~service ~buffer ~horizon ~twist ~backend ()

@@ -26,7 +26,11 @@ let chunk_sizes ~chunk_frames ~chunks sizes =
 let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
 
 let of_trace ?(levels = [ 0.3; 0.55; 1.0; 1.8; 3.0 ]) ~chunk_frames trace =
-  if levels = [] then invalid_arg "Ladder.of_trace: no levels";
+  (* An ABR ladder with a single rung leaves the policies nothing to
+     adapt across; reject it exactly as [of_traces] does. *)
+  (match levels with
+  | [] | [ _ ] -> invalid_arg "Ladder.of_trace: need at least two levels"
+  | _ -> ());
   let rec ascending = function
     | a :: (b :: _ as rest) ->
       if b <= a then invalid_arg "Ladder.of_trace: levels not strictly ascending"

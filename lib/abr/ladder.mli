@@ -23,9 +23,10 @@ type t = {
 val of_trace : ?levels:float list -> chunk_frames:int -> Ss_video.Trace.t -> t
 (** Scale one trace into a ladder. [levels] (default
     [0.3; 0.55; 1.0; 1.8; 3.0]) are the per-rendition factors,
-    strictly ascending and positive.
-    @raise Invalid_argument on bad levels, [chunk_frames <= 0] or a
-    trace shorter than one chunk. *)
+    strictly ascending and positive; like {!of_traces}, at least two
+    are required (a one-rung ladder leaves nothing to adapt across).
+    @raise Invalid_argument on bad or fewer than two levels,
+    [chunk_frames <= 0] or a trace shorter than one chunk. *)
 
 val of_traces : chunk_frames:int -> Ss_video.Trace.t list -> t
 (** One trace per rendition, lowest rate first. All traces must share

@@ -83,6 +83,32 @@ let ar_dot row win ~top ~k =
   done;
   !s
 
+(* Fast-math variant of [ar_dot]: four independent accumulators give
+   the compiler/CPU four parallel dependency chains, roughly doubling
+   throughput on long rows — at the price of REASSOCIATING the sum,
+   so the result differs from [ar_dot] in the last ulps and is only
+   eligible for the opt-in relaxed precision tier (never the default
+   paths, whose fixtures are bitwise). Same access pattern and
+   contract as [ar_dot] otherwise. *)
+let ar_dot_relaxed row win ~top ~k =
+  let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
+  let j = ref 1 in
+  let limit = k - 3 in
+  while !j <= limit do
+    let j0 = !j in
+    s0 := !s0 +. (Array.unsafe_get row (j0 - 1) *. Array.unsafe_get win (top - j0));
+    s1 := !s1 +. (Array.unsafe_get row j0 *. Array.unsafe_get win (top - j0 - 1));
+    s2 := !s2 +. (Array.unsafe_get row (j0 + 1) *. Array.unsafe_get win (top - j0 - 2));
+    s3 := !s3 +. (Array.unsafe_get row (j0 + 2) *. Array.unsafe_get win (top - j0 - 3));
+    j := j0 + 4
+  done;
+  let s = ref ((!s0 +. !s2) +. (!s1 +. !s3)) in
+  while !j <= k do
+    s := !s +. (Array.unsafe_get row (!j - 1) *. Array.unsafe_get win (top - !j));
+    incr j
+  done;
+  !s
+
 module Table = struct
   type t = {
     rows : float array array;  (* rows.(k-1) = [| phi_{k,1}; ...; phi_{k,k} |] *)
@@ -151,15 +177,16 @@ module Block = struct
   type t = {
     table : Table.t;
     order : int;
+    relaxed : bool;  (* steady-state dot kernel: reassociated 4-acc sum *)
     ring : float array;  (* length 2 * order *)
     mutable k : int;  (* values generated so far *)
     mutable scratch : float array;  (* batched innovations, grown on demand *)
   }
 
-  let create ~table ~order =
+  let create ?(relaxed = false) ~table ~order () =
     if order < 1 || order >= Table.length table then
       invalid_arg "Hosking.Block.create: order outside [1, table length)";
-    { table; order; ring = Array.make (2 * order) 0.0; k = 0; scratch = [||] }
+    { table; order; relaxed; ring = Array.make (2 * order) 0.0; k = 0; scratch = [||] }
 
   let generated t = t.k
 
@@ -181,6 +208,7 @@ module Block = struct
     let stds = t.table.Table.stds in
     let frozen_row = if Array.length rows >= order then Array.unsafe_get rows (order - 1) else [||] in
     let frozen_std = Array.unsafe_get stds order in
+    let relaxed = t.relaxed in
     let k = ref t.k in
     let p = ref (t.k mod order) in
     for i = 0 to len - 1 do
@@ -189,11 +217,14 @@ module Block = struct
       let m =
         if kc >= order then
           let top = if pp = 0 then 2 * order else pp + order in
-          ar_dot frozen_row ring ~top ~k:order
+          if relaxed then ar_dot_relaxed frozen_row ring ~top ~k:order
+          else ar_dot frozen_row ring ~top ~k:order
         else if kc = 0 then 0.0
         else
           (* pre-steady-state: pp = kc, so the window top is kc + order *)
-          ar_dot (Array.unsafe_get rows (kc - 1)) ring ~top:(pp + order) ~k:kc
+          let row = Array.unsafe_get rows (kc - 1) in
+          if relaxed then ar_dot_relaxed row ring ~top:(pp + order) ~k:kc
+          else ar_dot row ring ~top:(pp + order) ~k:kc
       in
       let std = if kc >= order then frozen_std else Array.unsafe_get stds kc in
       let x = m +. (std *. Array.unsafe_get g i) in

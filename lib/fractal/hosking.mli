@@ -73,9 +73,14 @@ module Block : sig
       {!generate_truncated} / [Source.background_stream] on the same
       generator state, bit for bit, at any block-size split. *)
 
-  val create : table:Table.t -> order:int -> t
+  val create : ?relaxed:bool -> table:Table.t -> order:int -> unit -> t
   (** Fresh state over a shared coefficient table. O(order) resident
-      memory. @raise Invalid_argument if [order] outside
+      memory. With [relaxed:true] (default false) the conditional-mean
+      dot products run through {!ar_dot_relaxed} instead of {!ar_dot}:
+      roughly 2x faster on long rows but REASSOCIATED floating-point
+      summation, so the stream is only statistically — not bitwise —
+      equivalent to the exact tier (and seed-incompatible with its
+      fixtures). @raise Invalid_argument if [order] outside
       [1, Table.length table - 1] (the table must also hold the
       frozen row/std at index [order]). *)
 
@@ -89,6 +94,21 @@ module Block : sig
       @raise Invalid_argument if the range lies outside the
       buffer. *)
 end
+
+val ar_dot : float array -> float array -> top:int -> k:int -> float
+(** [ar_dot row win ~top ~k = sum_{j=1..k} row.(j-1) *. win.(top-j)],
+    4-way unrolled behind a single accumulator so the summation order
+    is exactly the naive left-to-right loop's — the bit-identity
+    contract of every default code path. No bounds checks; the caller
+    guarantees [row] holds [k] coefficients and [win.(top-k..top-1)]
+    is readable. *)
+
+val ar_dot_relaxed : float array -> float array -> top:int -> k:int -> float
+(** Fast-math variant of {!ar_dot}: four independent accumulators
+    (reassociated sum, ~2x throughput on long rows), combined as
+    [(s0+s2)+(s1+s3)] plus a left-to-right remainder. Differs from
+    {!ar_dot} in the last ulps; only the opt-in relaxed precision tier
+    may use it. *)
 
 val generate : Table.t -> Ss_stats.Rng.t -> float array
 (** Sample one path of the table's full length. *)

@@ -1,0 +1,76 @@
+module Rng = Ss_stats.Rng
+module Fft = Ss_fft.Fft
+
+(* Paxson-style approximate FFT synthesis. The circulant has the same
+   shape as Davies–Harte's embedding — m = next_pow2 (2n), folded
+   first row c_j = r(min(j, m-j)), so every lag a path can exhibit
+   carries the model correlation — but where Davies–Harte refuses an
+   ACF whose embedding is not nonnegative definite, this plan clips
+   the negative eigenvalues to zero and carries on, recording the
+   clipped-mass ratio as a diagnostic. (An earlier half-size variant,
+   m = next_pow2 n, mirrored the correlation beyond m/2 and showed a
+   measurable ~0.02 downward variance–time Hurst bias at H = 0.8; the
+   full embedding removes it.) The clipping makes the output law
+   approximate, so the backend is judged statistically (sample ACF,
+   variance–time Hurst), never bitwise. A path costs one m-point FFT
+   and m Gaussians — O(n log n) versus Hosking's O(n * order) — which
+   is the right trade for bulk background traffic. *)
+type plan = {
+  n : int;  (* requested path length *)
+  m : int;  (* circulant size, a power of two >= max (2n) 4 *)
+  sqrt_f : float array;  (* sqrt of the clipped circulant eigenvalues *)
+  clipped_ratio : float;  (* clipped negative mass / positive mass *)
+}
+
+let plan ~acf ~n =
+  if n <= 0 then invalid_arg "Paxson.plan: n <= 0";
+  let m = Stdlib.max 4 (Fft.next_pow2 (2 * n)) in
+  let re = Array.make m 0.0 in
+  let im = Array.make m 0.0 in
+  (* Folded first row: c_j = r(min(j, m-j)); symmetric, so the DFT is
+     real and gives the circulant eigenvalues. *)
+  for j = 0 to m - 1 do
+    re.(j) <- acf.Acf.r (Stdlib.min j (m - j))
+  done;
+  Fft.forward re im;
+  let neg_mass = Array.fold_left (fun a l -> if l < 0.0 then a -. l else a) 0.0 re in
+  let pos_mass = Array.fold_left (fun a l -> if l > 0.0 then a +. l else a) 0.0 re in
+  if not (pos_mass > 0.0) then invalid_arg "Paxson.plan: degenerate spectrum";
+  (* Unlike Davies_harte.plan this never refuses: clipping error is
+     part of the approximation contract. Callers that care inspect
+     [clipped_ratio]; the statistical gates bound its effect. *)
+  let sqrt_f = Array.map (fun l -> sqrt (Stdlib.max l 0.0)) re in
+  { n; m; sqrt_f; clipped_ratio = neg_mass /. pos_mass }
+
+let plan_length p = p.n
+let clipped_ratio p = p.clipped_ratio
+
+let generate_into p rng dst =
+  if Array.length dst < p.n then
+    invalid_arg "Paxson.generate_into: buffer shorter than the plan";
+  let m = p.m in
+  let half_m = m / 2 in
+  let scale = 1.0 /. sqrt (float_of_int m) in
+  let re = Array.make m 0.0 in
+  let im = Array.make m 0.0 in
+  (* Hermitian random spectrum over the m-point grid — structurally
+     the Davies–Harte sampler at half size: a_0 and a_{m/2} real,
+     a_k = conj(a_{m-k}), so the FFT output is real. *)
+  re.(0) <- p.sqrt_f.(0) *. Rng.gaussian rng *. scale;
+  re.(half_m) <- p.sqrt_f.(half_m) *. Rng.gaussian rng *. scale;
+  let half = scale /. sqrt 2.0 in
+  for k = 1 to half_m - 1 do
+    let u = Rng.gaussian rng and v = Rng.gaussian rng in
+    let s = p.sqrt_f.(k) *. half in
+    re.(k) <- s *. u;
+    im.(k) <- s *. v;
+    re.(m - k) <- s *. u;
+    im.(m - k) <- -.s *. v
+  done;
+  Fft.forward re im;
+  Array.blit re 0 dst 0 p.n
+
+let generate p rng =
+  let dst = Array.make p.n 0.0 in
+  generate_into p rng dst;
+  dst

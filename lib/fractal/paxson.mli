@@ -1,0 +1,46 @@
+(** Paxson-style approximate FFT synthesis of long-range dependent
+    Gaussian paths ("Fast, Approximate Synthesis of Fractional
+    Gaussian Noise for Generating Self-Similar Network Traffic").
+
+    The circulant has the Davies–Harte shape — size
+    [m = next_pow2 (2n)], folded first row [c_j = r(min(j, m-j))], so
+    every lag a path can exhibit carries the model correlation — but
+    where {!Davies_harte} refuses an autocorrelation whose embedding
+    is not nonnegative definite, this sampler clips the negative
+    eigenvalues to zero and carries on (the clipped-mass ratio is
+    exposed as a diagnostic). One m-point FFT per path keeps it
+    O(n log n), far below Hosking's O(n * order). The output is
+    statistically faithful (sample ACF at short and medium lags,
+    variance–time Hurst — gated in the test suite and in
+    [throughput-smoke]) but deliberately NOT bitwise comparable to the
+    exact backends: use it for bulk background traffic where the law,
+    not the sample path, matters. Importance sampling refuses it, like
+    Davies–Harte, because no per-step innovations exist. *)
+
+type plan
+(** Precomputed eigenvalue data for a given autocorrelation and
+    length; reusable across paths. *)
+
+val plan : acf:Acf.t -> n:int -> plan
+(** Build a plan for paths of length [n]. Never refuses an
+    autocorrelation: negative folded-circulant eigenvalues are clipped
+    (see {!clipped_ratio}) — the clipping error is part of the
+    approximation contract. @raise Invalid_argument if [n <= 0] or
+    the spectrum is degenerate (no positive mass). *)
+
+val plan_length : plan -> int
+
+val clipped_ratio : plan -> float
+(** Clipped negative eigenvalue mass over positive mass — 0 when the
+    folded circulant was positive semidefinite; the induced covariance
+    error is bounded by this ratio. *)
+
+val generate : plan -> Ss_stats.Rng.t -> float array
+(** Sample an approximately stationary zero-mean unit-variance path
+    of length [plan_length]. Consumes [m] Gaussians. *)
+
+val generate_into : plan -> Ss_stats.Rng.t -> float array -> unit
+(** Sample into the first [plan_length] entries of an existing
+    buffer — bit-identical to {!generate} on the same generator
+    state. @raise Invalid_argument if the buffer is shorter than
+    [plan_length]. *)

@@ -10,14 +10,22 @@ type t = {
 
 let clamp_gauss x = if x > 8.0 then 8.0 else if x < -8.0 then -8.0 else x
 
-let make dist =
+let make_with_cdf cdf dist =
   let h x =
-    let p = Special.normal_cdf (clamp_gauss x) in
+    let p = cdf (clamp_gauss x) in
     (* normal_cdf(+-8) is strictly inside (0,1) in double precision,
-       so the quantile domain is respected. *)
+       so the quantile domain is respected (the relaxed CDF's tail
+       term is likewise strictly positive at |x| = 8). *)
     dist.Dist.quantile p
   in
   { dist; h }
+
+let make dist = make_with_cdf Special.normal_cdf dist
+
+(* The relaxed tier rebuilds [h] over the erf-free CDF; same clamp,
+   same quantile, so outputs differ by at most ~7.5e-8 in probability
+   before inversion. *)
+let relax t = make_with_cdf Special.normal_cdf_relaxed t.dist
 
 let dist t = t.dist
 let apply1 t x = t.h x

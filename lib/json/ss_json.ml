@@ -1,0 +1,161 @@
+(* Minimal JSON emission/validation helpers for the BENCH_* artifacts.
+
+   The bench writers assemble JSON by Printf; the one classical trap
+   is that OCaml's %g/%f print non-finite floats as "nan"/"inf",
+   which no strict JSON parser accepts — and several recorded cells
+   are legitimately undefined (a relative half-width when zero MC
+   hits were recorded, a ratio over an empty denominator). [float_str]
+   is the single choke point: finite values format as before,
+   non-finite ones become JSON null. [validate] is a strict RFC 8259
+   checker (no NaN/Infinity tokens, no trailing commas) used by the
+   test suite and the CI artifact gate. *)
+
+let float_str ?decimals v =
+  if Float.is_finite v then
+    match decimals with
+    | Some d -> Printf.sprintf "%.*f" d v
+    | None -> Printf.sprintf "%.6g" v
+  else "null"
+
+(* --- strict validator: a tiny recursive-descent RFC 8259 parser --- *)
+
+exception Bad of int * string
+
+let validate s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then pos := !pos + l
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let digits () =
+    let start = !pos in
+    while (match peek () with Some c when is_digit c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected digit"
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some c when is_digit c -> digits ()
+    | _ -> fail "expected digit");
+    (match peek () with
+    | Some '.' ->
+      advance ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let string_lit () =
+    expect '"';
+    let closed = ref false in
+    while not !closed do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+        advance ();
+        closed := true
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some c when is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') ->
+              advance ()
+            | _ -> fail "bad \\u escape"
+          done
+        | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some _ -> advance ()
+    done
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a JSON value"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some '}' ->
+          advance ();
+          continue := false
+        | _ -> fail "expected ',' or '}'"
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some ']' ->
+          advance ();
+          continue := false
+        | _ -> fail "expected ',' or ']'"
+      done
+    end
+  in
+  try
+    value ();
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok ()
+  with Bad (at, msg) -> Error (Printf.sprintf "%s at offset %d" msg at)
+
+let validate_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  validate content

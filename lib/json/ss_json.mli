@@ -1,0 +1,23 @@
+(** JSON emission and validation helpers for the machine-readable
+    BENCH_* artifacts.
+
+    OCaml's [%g]/[%f] render non-finite floats as bare [nan]/[inf]
+    tokens, which strict JSON parsers reject — and bench cells are
+    legitimately non-finite now and then (a relative half-width over
+    zero recorded hits, a ratio with an empty denominator). All bench
+    float cells route through {!float_str}, and {!validate} gives the
+    tests and CI a strict acceptance check on the written files. *)
+
+val float_str : ?decimals:int -> float -> string
+(** Format a float as a JSON number token: [%.6g] by default,
+    [%.*f] when [decimals] is given — or the literal [null] when the
+    value is not finite (nan, +-infinity). *)
+
+val validate : string -> (unit, string) result
+(** Strict RFC 8259 check of a complete JSON document: rejects
+    [nan]/[inf]/[Infinity] tokens, trailing commas, unquoted keys,
+    trailing garbage. [Error msg] carries the offset of the first
+    violation. *)
+
+val validate_file : string -> (unit, string) result
+(** {!validate} over a file's contents. *)

@@ -29,14 +29,17 @@ let make_config ~model ~sources ?(order = 256) ?(backend = `Hosking) ~service ~b
     ~twist ?profile ?scales () =
   (match (backend : Source.backend) with
   | `Hosking -> ()
-  | `Davies_harte ->
+  | (`Davies_harte | `Paxson) as b ->
     (* The likelihood ratio is accumulated from the per-step Hosking
-       innovations; the materializing Davies-Harte synthesis never
-       produces them, so importance sampling cannot run on it. *)
+       innovations; the materializing syntheses (exact Davies-Harte,
+       approximate Paxson) never produce them, so importance sampling
+       cannot run on them. *)
+    let name = match b with `Davies_harte -> "`Davies_harte" | `Paxson -> "`Paxson" in
     invalid_arg
-      "Mux_is.make_config: backend `Davies_harte cannot drive importance sampling (the \
-       streaming likelihood needs per-step Hosking innovations); use the default `Hosking \
-       backend");
+      (Printf.sprintf
+         "Mux_is.make_config: backend %s cannot drive importance sampling (the streaming \
+          likelihood needs per-step Hosking innovations); use the default `Hosking backend"
+         name));
   if sources <= 0 then invalid_arg "Mux_is.make_config: sources <= 0";
   if service <= 0.0 then invalid_arg "Mux_is.make_config: service <= 0";
   if buffer < 0.0 then invalid_arg "Mux_is.make_config: buffer < 0";

@@ -3,6 +3,7 @@ module Quad = Ss_stats.Quadrature
 module Acf = Ss_fractal.Acf
 module Hosking = Ss_fractal.Hosking
 module Davies_harte = Ss_fractal.Davies_harte
+module Paxson = Ss_fractal.Paxson
 module Transform = Ss_fractal.Transform
 module Gop = Ss_video.Gop
 module Frame = Ss_video.Frame
@@ -20,7 +21,8 @@ type t = {
   pull_block : float array -> int array -> int -> int -> int;
 }
 
-type backend = [ `Hosking | `Davies_harte ]
+type backend = [ `Hosking | `Davies_harte | `Paxson ]
+type precision = [ `Exact | `Relaxed ]
 
 (* Default block implementation over a scalar pull: one call per slot
    in slot order, so adapted sources consume their state (and their
@@ -235,6 +237,7 @@ end
 let default_cache_capacity = 16
 let table_cache : Hosking.Table.t Cache.t = Cache.create default_cache_capacity
 let plan_cache : Davies_harte.plan Cache.t = Cache.create default_cache_capacity
+let paxson_plan_cache : Paxson.plan Cache.t = Cache.create default_cache_capacity
 let set_table_cache_capacity cap = Cache.set_capacity table_cache cap
 let table_cache_length () = Cache.length table_cache
 
@@ -250,6 +253,12 @@ let plan_for ~acf ~n =
   Cache.find_or_build plan_cache
     (fingerprint ~acf ~order:n, n)
     (fun () -> Davies_harte.plan ~acf ~n)
+
+let paxson_plan_for ~acf ~n =
+  if n < 1 then invalid_arg "Source.paxson_plan_for: n < 1";
+  Cache.find_or_build paxson_plan_cache
+    (fingerprint ~acf ~order:n, n)
+    (fun () -> Paxson.plan ~acf ~n)
 
 (* Shared truncated-Hosking core. [shift]/[probe] hook in the
    importance sampler: the *untwisted* value is kept in [hist] (so
@@ -295,35 +304,16 @@ let check_horizon who horizon =
 (* Background block filler: [fill buf off len] appends up to [len]
    fresh background values, returning the count (short only once a
    finite horizon is exhausted). The Hosking backend streams through
-   the cache-blocked ring kernel; the Davies–Harte backend
-   materializes the whole fixed-horizon path exactly (O(n log n))
-   on first use and replays it. *)
-let bg_filler ~who ~acf ~order ~backend ~horizon rng =
-  match backend with
-  | `Hosking ->
-    let table = table_for ~acf ~order in
-    let blk = Hosking.Block.create ~table ~order in
-    let remaining = ref (match horizon with None -> max_int | Some h -> h) in
-    fun buf off len ->
-      let take = if len < !remaining then len else !remaining in
-      Hosking.Block.fill blk rng buf ~off ~len:take;
-      remaining := !remaining - take;
-      take
-  | `Davies_harte ->
-    let n =
-      match horizon with
-      | Some h -> h
-      | None ->
-        invalid_arg
-          (who
-         ^ ": backend `Davies_harte synthesizes a fixed-length path; pass ~horizon (or use \
-            `Hosking for open-ended streaming)")
-    in
+   the cache-blocked ring kernel (relaxed dot kernel when the source
+   runs the fast-math tier); the Davies–Harte and Paxson backends
+   materialize the whole fixed-horizon path (exactly resp.
+   approximately, both O(n log n)) on first use and replay it. *)
+let bg_filler ~who ~acf ~order ~backend ~horizon ~relaxed rng =
+  let materialized n generate =
     if order < 1 || order > 19_999 then invalid_arg (who ^ ": order outside [1, 19999]");
-    let plan = plan_for ~acf ~n in
     (* Lazy so construction consumes no randomness — like the Hosking
        streams, the generator state only advances on pulls. *)
-    let path = lazy (Davies_harte.generate plan rng) in
+    let path = lazy (generate rng) in
     let pos = ref 0 in
     fun buf off len ->
       let xs = Lazy.force path in
@@ -331,6 +321,35 @@ let bg_filler ~who ~acf ~order ~backend ~horizon rng =
       Array.blit xs !pos buf off take;
       pos := !pos + take;
       take
+  in
+  let require_horizon backend_name =
+    match horizon with
+    | Some h -> h
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "%s: backend %s synthesizes a fixed-length path; pass ~horizon (or use `Hosking \
+            for open-ended streaming)"
+           who backend_name)
+  in
+  match backend with
+  | `Hosking ->
+    let table = table_for ~acf ~order in
+    let blk = Hosking.Block.create ~relaxed ~table ~order () in
+    let remaining = ref (match horizon with None -> max_int | Some h -> h) in
+    fun buf off len ->
+      let take = if len < !remaining then len else !remaining in
+      Hosking.Block.fill blk rng buf ~off ~len:take;
+      remaining := !remaining - take;
+      take
+  | `Davies_harte ->
+    let n = require_horizon "`Davies_harte" in
+    let plan = plan_for ~acf ~n in
+    materialized n (Davies_harte.generate plan)
+  | `Paxson ->
+    let n = require_horizon "`Paxson" in
+    let plan = paxson_plan_for ~acf ~n in
+    materialized n (Paxson.generate plan)
 
 (* Per-slot marginal moments of a transform, by Gauss-Hermite
    quadrature on the standard-normal background. *)
@@ -350,11 +369,15 @@ let of_model_gen ~name ~order ~shift ~probe model rng =
   let pull () = (Stdlib.max 0.0 (Transform.apply1 h (bg ())), 0) in
   make ~name ~mean:model.Model.mean ~sigma2 ~hurst:model.Model.hurst pull
 
-let of_model ?(name = "model") ?(order = 512) ?(backend = `Hosking) ?horizon model rng =
+let of_model ?(name = "model") ?(order = 512) ?(backend = `Hosking) ?(precision = `Exact)
+    ?horizon model rng =
   check_horizon "Source.of_model" horizon;
+  let relaxed = precision = `Relaxed in
   let acf = Model.background_acf model in
-  let fill_bg = bg_filler ~who:"Source.of_model" ~acf ~order ~backend ~horizon rng in
-  let h = model.Model.transform in
+  let fill_bg = bg_filler ~who:"Source.of_model" ~acf ~order ~backend ~horizon ~relaxed rng in
+  let h =
+    if relaxed then Transform.relax model.Model.transform else model.Model.transform
+  in
   let _, sigma2 = transform_moments h in
   (* Same per-slot arithmetic as the scalar path: transform, then the
      zero clamp of [of_model_gen]. The clamp is [Stdlib.max 0.0 w]
@@ -381,17 +404,32 @@ let of_model ?(name = "model") ?(order = 512) ?(backend = `Hosking) ?horizon mod
 let of_model_twisted ?(name = "model-is") ?(order = 512) ~shift ?probe model rng =
   of_model_gen ~name ~order ~shift:(Some shift) ~probe model rng
 
-let of_mpeg ?(name = "mpeg") ?(order = 512) ?(backend = `Hosking) ?horizon ?(phase = 0)
-    ?(priority = false) m rng =
+let of_mpeg ?(name = "mpeg") ?(order = 512) ?(backend = `Hosking) ?(precision = `Exact)
+    ?horizon ?(phase = 0) ?(priority = false) m rng =
   if phase < 0 then invalid_arg "Source.of_mpeg: phase < 0";
   check_horizon "Source.of_mpeg" horizon;
+  let relaxed = precision = `Relaxed in
   let gop = m.Mpeg.gop in
-  let fill_bg = bg_filler ~who:"Source.of_mpeg" ~acf:m.Mpeg.background ~order ~backend ~horizon rng in
+  let fill_bg =
+    bg_filler ~who:"Source.of_mpeg" ~acf:m.Mpeg.background ~order ~backend ~horizon ~relaxed
+      rng
+  in
   let klass kind =
     if not priority then 0
     else match kind with Frame.I -> 0 | Frame.P -> 1 | Frame.B -> 2
   in
-  let transform kind = Ss_video.Composite.transform m.Mpeg.composite kind in
+  let transform =
+    let exact kind = Ss_video.Composite.transform m.Mpeg.composite kind in
+    if not relaxed then exact
+    else begin
+      (* Relax each per-kind transform once up front — [transform] is
+         called per slot in the block loop. *)
+      let ti = Transform.relax (exact Frame.I) in
+      let tp = Transform.relax (exact Frame.P) in
+      let tb = Transform.relax (exact Frame.B) in
+      function Frame.I -> ti | Frame.P -> tp | Frame.B -> tb
+    end
+  in
   (* GOP-pattern-averaged per-slot moments: the process is
      cyclostationary, so average E[h_k] and E[h_k^2] over one
      pattern. *)

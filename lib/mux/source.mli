@@ -47,14 +47,33 @@ type t = {
           either buffer. *)
 }
 
-type backend = [ `Hosking | `Davies_harte ]
+type backend = [ `Hosking | `Davies_harte | `Paxson ]
 (** Background-synthesis backend for model sources. [`Hosking]
     (default) streams the truncated Durbin–Levinson recursion —
     open-ended, O(order) memory, exact to lag [order]. [`Davies_harte]
     materializes the whole fixed-[horizon] background path exactly
     (every lag, not just the first [order]) in O(horizon log horizon)
     via circulant embedding; it requires [~horizon] and the source
-    departs cleanly when the horizon is exhausted. *)
+    departs cleanly when the horizon is exhausted. [`Paxson] is the
+    approximate half-size-circulant FFT sampler
+    ({!Ss_fractal.Paxson}): the same fixed-[horizon] contract as
+    [`Davies_harte] at roughly twice its synthesis throughput, but
+    only statistically faithful (gated on sample ACF and
+    variance–time Hurst, never bitwise) — meant for bulk background
+    traffic. Both materializing backends are refused by
+    {!Mux_is.make_config}: approximate or not, they produce no
+    per-step innovations for the streaming likelihood. *)
+
+type precision = [ `Exact | `Relaxed ]
+(** Arithmetic tier for model sources. [`Exact] (default) keeps every
+    committed fixture bitwise: single-accumulator AR dot kernel,
+    erf-backed [normal_cdf]. [`Relaxed] swaps in the 4-accumulator
+    reassociated dot kernel ({!Ss_fractal.Hosking.ar_dot_relaxed})
+    and the erf-free CDF ({!Ss_stats.Special.normal_cdf_relaxed},
+    absolute error < 7.5e-8) — measurably faster, statistically
+    equivalent, but NOT bit-compatible: relaxed runs have their own
+    fixture set and the same seed produces different (equally valid)
+    sample paths than the exact tier. *)
 
 val make :
   ?pull_block:(float array -> int array -> int -> int -> int) ->
@@ -92,6 +111,7 @@ val of_model :
   ?name:string ->
   ?order:int ->
   ?backend:backend ->
+  ?precision:precision ->
   ?horizon:int ->
   Ss_core.Model.t ->
   Ss_stats.Rng.t ->
@@ -107,13 +127,17 @@ val of_model :
     slightly negative in the far tail; {!Mux.run} rejects negative
     work).
 
-    With [backend:`Davies_harte] the background is synthesized
-    exactly over the whole (mandatory) [horizon] by circulant
-    embedding — see {!backend}. With a [horizon] under the default
-    [`Hosking] backend the source simply departs after that many
-    slots.
+    With [backend:`Davies_harte] ([`Paxson]) the background is
+    synthesized exactly (approximately) over the whole (mandatory)
+    [horizon] by circulant embedding — see {!backend}. With a
+    [horizon] under the default [`Hosking] backend the source simply
+    departs after that many slots. [precision:`Relaxed] swaps in the
+    fast-math tier — see {!precision}; it only affects the Hosking
+    kernel and the marginal transform, so it composes with every
+    backend.
     @raise Invalid_argument if [order < 1] or [order > 19_999], if
-    [horizon < 1], or if [backend:`Davies_harte] without [horizon]. *)
+    [horizon < 1], or if a materializing backend ([`Davies_harte],
+    [`Paxson]) is requested without [horizon]. *)
 
 val of_model_twisted :
   ?name:string ->
@@ -142,6 +166,7 @@ val of_mpeg :
   ?name:string ->
   ?order:int ->
   ?backend:backend ->
+  ?precision:precision ->
   ?horizon:int ->
   ?phase:int ->
   ?priority:bool ->
@@ -154,10 +179,12 @@ val of_mpeg :
     (default 0) staggers GOP alignment across sources. With
     [priority:true], I frames are class 0, P class 1, B class 2;
     otherwise every slot is class 0. [mean]/[sigma2] are the
-    GOP-pattern-averaged per-slot moments. [backend]/[horizon] govern
-    the background synthesis exactly as in {!of_model}.
+    GOP-pattern-averaged per-slot moments. [backend]/[precision]/
+    [horizon] govern the background synthesis exactly as in
+    {!of_model} (under [`Relaxed] the three per-kind transforms are
+    relaxed once up front, not per slot).
     @raise Invalid_argument if [phase < 0], [order] out of range,
-    [horizon < 1], or [backend:`Davies_harte] without [horizon]. *)
+    [horizon < 1], or a materializing backend without [horizon]. *)
 
 val background_stream :
   acf:Ss_fractal.Acf.t -> order:int -> Ss_stats.Rng.t -> unit -> float
@@ -196,6 +223,12 @@ val plan_for : acf:Ss_fractal.Acf.t -> n:int -> Ss_fractal.Davies_harte.plan
     sources at this (ACF, horizon) pair.
     @raise Invalid_argument if [n < 1] or the ACF is not embeddable
     at this length (see {!Ss_fractal.Davies_harte.plan}). *)
+
+val paxson_plan_for : acf:Ss_fractal.Acf.t -> n:int -> Ss_fractal.Paxson.plan
+(** The cached Paxson plan backing [`Paxson] model sources at this
+    (ACF, horizon) pair — same cache discipline as {!plan_for}.
+    @raise Invalid_argument if [n < 1] (Paxson plans never refuse on
+    eigenvalue clipping; see {!Ss_fractal.Paxson.clipped_ratio}). *)
 
 val set_table_cache_capacity : int -> unit
 (** Bound on the number of Hosking tables retained by the process

@@ -177,6 +177,26 @@ let erf x =
 let normal_pdf x = exp ((-0.5 *. x *. x) -. log_sqrt_2pi)
 let normal_cdf x = 0.5 *. erfc (-.x /. sqrt_2)
 
+(* Erf-free fast normal CDF: Abramowitz & Stegun 26.2.17, a degree-5
+   polynomial in t = 1/(1 + 0.2316419 |x|) times the normal density,
+   |error| < 7.5e-8 absolute on the whole real line. One exp and five
+   multiply-adds, versus the series/continued-fraction loops behind
+   [erfc] — this is the relaxed-tier hot-path CDF for the marginal
+   transform, where 1e-7 absolute error in the probability is far
+   below the statistical gates' resolution. *)
+let normal_cdf_relaxed x =
+  let ax = abs_float x in
+  let t = 1.0 /. (1.0 +. (0.2316419 *. ax)) in
+  let poly =
+    t
+    *. (0.319381530
+       +. (t
+          *. (-0.356563782
+             +. (t *. (1.781477937 +. (t *. (-1.821255978 +. (t *. 1.330274429))))))))
+  in
+  let tail = normal_pdf ax *. poly in
+  if x >= 0.0 then 1.0 -. tail else tail
+
 (* Acklam's inverse normal CDF approximation. *)
 let acklam p =
   let a =

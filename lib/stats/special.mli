@@ -41,6 +41,13 @@ val gamma_q : float -> float -> float
 val normal_cdf : float -> float
 (** Standard normal cumulative distribution [Phi(x)]. *)
 
+val normal_cdf_relaxed : float -> float
+(** Fast approximate [Phi(x)]: Abramowitz & Stegun 26.2.17 (erf-free,
+    one [exp] plus a degree-5 polynomial), absolute error below
+    [7.5e-8] everywhere. The relaxed precision tier's hot-path CDF;
+    default paths keep {!normal_cdf} so committed fixtures stay
+    bitwise. *)
+
 val normal_pdf : float -> float
 (** Standard normal density [phi(x)]. *)
 

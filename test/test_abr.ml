@@ -105,6 +105,23 @@ let test_ladder_invalid () =
   raises_invalid "rates not ascending" (fun () ->
       Ladder.of_traces ~chunk_frames:30 [ flat_trace ~bytes:900.0 (); tr; tr ])
 
+let test_ladder_level_boundary () =
+  (* A one-entry ladder has nothing to adapt between, and of_traces
+     already refuses a single rendition — of_trace must agree instead
+     of silently building a degenerate ladder. *)
+  let tr = flat_trace () in
+  raises_invalid "empty levels" (fun () ->
+      Ladder.of_trace ~levels:[] ~chunk_frames:30 tr);
+  raises_invalid "single level" (fun () ->
+      Ladder.of_trace ~levels:[ 1.0 ] ~chunk_frames:30 tr);
+  (* Two levels is the smallest real ladder, on both constructors. *)
+  let l = Ladder.of_trace ~levels:[ 0.5; 1.0 ] ~chunk_frames:30 tr in
+  Alcotest.(check int) "of_trace two levels" 2 (Array.length l.Ladder.rates);
+  let l' =
+    Ladder.of_traces ~chunk_frames:30 [ flat_trace ~bytes:500.0 (); tr ]
+  in
+  Alcotest.(check int) "of_traces two renditions" 2 (Array.length l'.Ladder.rates)
+
 (* ------------------------------------------------------------------ *)
 (* Policies                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -276,6 +293,42 @@ let test_client_invalid () =
   raises_invalid "bad window" (fun () ->
       run ~config:{ Client.default with throughput_window = 0 } ())
 
+(* The bandwidth trace wraps: a client joining at the last slot must
+   walk past the end and around without reading out of bounds or
+   producing non-finite results, for any trace length and policy. *)
+let prop_client_wraps_past_trace_end =
+  QCheck.Test.make ~count:150 ~name:"client wraps past end of trace"
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 2 64) (int_range 1 20_000))
+        (int_bound 2) (int_bound 2))
+    (fun (cells, back, policy_idx) ->
+      let bandwidth = Array.of_list (List.map float_of_int cells) in
+      let len = Array.length bandwidth in
+      (* Join at or just before the final slot, so nearly every chunk
+         download crosses the wrap point. *)
+      let start = len - 1 - min back (len - 1) in
+      let delays = Array.init len (fun t -> float_of_int (t mod 3)) in
+      let policy =
+        match policy_idx with
+        | 0 -> Policy.fixed 0
+        | 1 -> Policy.rate ()
+        | _ -> Policy.bba ()
+      in
+      let r =
+        Client.run
+          ~config:{ Client.default with chunks = 25 }
+          ~policy ~ladder:(small_ladder ()) ~bandwidth ~delays ~slot_s:0.1
+          ~start ()
+      in
+      Float.is_finite r.Client.qoe
+      && Float.is_finite r.Client.startup_s
+      && r.Client.startup_s >= 0.0
+      && r.Client.rebuffer_s >= 0.0
+      && r.Client.rebuffer_ratio >= 0.0
+      && r.Client.rebuffer_ratio <= 1.0
+      && r.Client.mean_level >= 0.0)
+
 (* ------------------------------------------------------------------ *)
 (* Fleet                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -388,6 +441,7 @@ let () =
           tc "of_trace scaling" test_ladder_of_trace_scaling;
           tc "of_traces" test_ladder_of_traces;
           tc "invalid" test_ladder_invalid;
+          tc "level count boundary" test_ladder_level_boundary;
         ] );
       ( "policy",
         [
@@ -402,6 +456,7 @@ let () =
           tc "QoE decomposition" test_client_qoe_decomposition;
           tc "virtual delay adds latency" test_client_delay_adds_latency;
           tc "invalid" test_client_invalid;
+          QCheck_alcotest.to_alcotest prop_client_wraps_past_trace_end;
         ] );
       ( "fleet",
         [

@@ -1,0 +1,105 @@
+(* Tests for ss_json: the float formatter behind every BENCH_*.json
+   cell and the strict RFC 8259 validator used by the CI artifact
+   gate. The one bug class this guards: OCaml's %g/%f print
+   non-finite floats as bare nan/inf tokens, which no strict JSON
+   parser accepts. *)
+
+module J = Ss_json
+
+let check_ok name s =
+  match J.validate s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: expected valid, got %s" name msg
+
+let check_bad name s =
+  match J.validate s with
+  | Ok () -> Alcotest.failf "%s: expected rejection" name
+  | Error _ -> ()
+
+let test_float_str_finite () =
+  Alcotest.(check string) "default %.6g" "1.5" (J.float_str 1.5);
+  Alcotest.(check string) "negative" "-0.25" (J.float_str (-0.25));
+  Alcotest.(check string) "decimals" "0.3333" (J.float_str ~decimals:4 (1.0 /. 3.0));
+  Alcotest.(check string) "zero decimals" "42" (J.float_str ~decimals:0 41.7);
+  Alcotest.(check string) "tiny" "1e-30" (J.float_str 1e-30)
+
+let test_float_str_nonfinite () =
+  Alcotest.(check string) "nan" "null" (J.float_str nan);
+  Alcotest.(check string) "inf" "null" (J.float_str infinity);
+  Alcotest.(check string) "-inf" "null" (J.float_str neg_infinity);
+  Alcotest.(check string) "nan with decimals" "null" (J.float_str ~decimals:3 nan)
+
+let test_float_str_round_trips () =
+  (* Whatever float_str emits must itself be a valid JSON value. *)
+  List.iter
+    (fun v -> check_ok (Printf.sprintf "float_str %h" v) (J.float_str v))
+    [ 0.0; -0.0; 1.5; -273.15; 6.02e23; 1e-300; nan; infinity; neg_infinity ]
+
+let test_validate_accepts () =
+  List.iter
+    (fun (name, s) -> check_ok name s)
+    [
+      ("object", {|{"a": 1, "b": [1.5, -2e-3, null, true, false], "c": {"d": "x"}}|});
+      ("bare number", "-12.5e+3");
+      ("bare string", {|"hi \n é"|});
+      ("empty object", "{}");
+      ("empty array", "[ ]");
+      ("leading/trailing ws", "  [1, 2]\n");
+      ("null cell", {|{"rel_halfwidth_95": null}|});
+    ]
+
+let test_validate_rejects () =
+  List.iter
+    (fun (name, s) -> check_bad name s)
+    [
+      ("bare nan token", {|{"p": nan}|});
+      ("bare inf token", {|{"p": inf}|});
+      ("Infinity token", "[Infinity]");
+      ("NaN token", "[NaN]");
+      ("trailing comma object", {|{"a": 1,}|});
+      ("trailing comma array", "[1, 2,]");
+      ("unquoted key", "{a: 1}");
+      ("single quotes", "{'a': 1}");
+      ("trailing garbage", "{} {}");
+      ("unterminated string", {|"abc|});
+      ("leading plus", "+1");
+      ("bare dot", ".5");
+      ("lone minus", "-");
+      ("control char in string", "\"a\nb\"");
+      ("empty input", "");
+      ("truncated object", {|{"a": 1|});
+    ]
+
+let test_validate_file () =
+  let path = Filename.temp_file "ss_json_test" ".json" in
+  let oc = open_out path in
+  output_string oc (Printf.sprintf "{\"v\": %s}\n" (J.float_str nan));
+  close_out oc;
+  (match J.validate_file path with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "round-trip file: %s" msg);
+  let oc = open_out path in
+  output_string oc "{\"v\": nan}\n";
+  close_out oc;
+  (match J.validate_file path with
+  | Ok () -> Alcotest.fail "bare nan in file must be rejected"
+  | Error _ -> ());
+  Sys.remove path
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_json"
+    [
+      ( "float_str",
+        [
+          tc "finite" test_float_str_finite;
+          tc "non-finite to null" test_float_str_nonfinite;
+          tc "round trips validator" test_float_str_round_trips;
+        ] );
+      ( "validate",
+        [
+          tc "accepts strict JSON" test_validate_accepts;
+          tc "rejects invalid" test_validate_rejects;
+          tc "file round trip" test_validate_file;
+        ] );
+    ]

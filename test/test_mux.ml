@@ -552,6 +552,93 @@ let test_source_dh_backend_statistics () =
     lags;
   close ~eps:0.03 "variance-time H" hurst (!h_acc /. float_of_int reps)
 
+let test_source_paxson_backend_contract () =
+  let m = Lazy.force small_model in
+  raises_invalid "Paxson without horizon" (fun () ->
+      Source.of_model ~backend:`Paxson m (Rng.create ~seed:1));
+  raises_invalid "bad horizon" (fun () ->
+      Source.of_model ~backend:`Paxson ~horizon:0 m (Rng.create ~seed:1));
+  let horizon = 200 in
+  let mk () =
+    Source.of_model ~order:64 ~backend:`Paxson ~horizon m (Rng.create ~seed:4316)
+  in
+  (* Same materialized-backend contract as Davies-Harte: scalar and
+     block consumption agree bit for bit and the source departs
+     cleanly at its horizon. *)
+  let scalar = mk () in
+  let expect = Array.init horizon (fun _ -> fst (Source.next scalar)) in
+  (match Source.next scalar with
+  | exception Source.End_of_stream -> ()
+  | _ -> Alcotest.fail "Paxson source did not depart at its horizon");
+  List.iter
+    (fun bs ->
+      let s = mk () in
+      let wbuf = Array.make (horizon + bs) nan and cbuf = Array.make (horizon + bs) 0 in
+      let got = ref 0 and short = ref false in
+      while not !short do
+        let f = Source.next_block s wbuf cbuf ~off:!got ~len:bs in
+        got := !got + f;
+        if f < bs then short := true
+      done;
+      Alcotest.(check int) "horizon slots" horizon !got;
+      Alcotest.(check int) "drained source fills 0" 0
+        (Source.next_block s wbuf cbuf ~off:0 ~len:bs);
+      for i = 0 to horizon - 1 do
+        if bits wbuf.(i) <> bits expect.(i) then
+          Alcotest.failf "Paxson block %d slot %d differs from scalar" bs i
+      done)
+    [ 1; 7; 64 ];
+  (* All arrivals are marginal workloads: finite and non-negative. *)
+  Array.iteri
+    (fun i w ->
+      if not (Float.is_finite w) || w < 0.0 then
+        Alcotest.failf "Paxson arrival %d invalid: %g" i w)
+    expect
+
+let test_source_relaxed_precision () =
+  (* The relaxed tier is a different arithmetic, not a different
+     process: same seed must give the same marginals up to rounding
+     drift of the reassociated kernel and the erf-free CDF, and the
+     tier itself must be deterministic. *)
+  let m = Lazy.force small_model in
+  let n = 256 in
+  let take s = Array.init n (fun _ -> fst (Source.next s)) in
+  let mk precision =
+    Source.of_model ~order:32 ~precision m (Rng.create ~seed:4317)
+  in
+  let exact = take (mk `Exact) and relaxed = take (mk `Relaxed) in
+  let relaxed' = take (mk `Relaxed) in
+  for i = 0 to n - 1 do
+    if bits relaxed.(i) <> bits relaxed'.(i) then
+      Alcotest.failf "relaxed tier not deterministic at slot %d" i;
+    let tol = 1e-5 *. (1.0 +. abs_float exact.(i)) in
+    if abs_float (exact.(i) -. relaxed.(i)) > tol then
+      Alcotest.failf "slot %d: exact %.17g vs relaxed %.17g" i exact.(i) relaxed.(i)
+  done;
+  (* `Exact` is the default: an explicit request is bit-identical to
+     omitting the argument (this is the committed-fixture guarantee). *)
+  let default = take (Source.of_model ~order:32 m (Rng.create ~seed:4317)) in
+  let explicit = take (mk `Exact) in
+  for i = 0 to n - 1 do
+    if bits default.(i) <> bits explicit.(i) then
+      Alcotest.failf "explicit `Exact differs from default at slot %d" i
+  done;
+  (* The tier composes with MPEG sources and materializing backends. *)
+  let mp = Lazy.force small_mpeg in
+  let s = Source.of_mpeg ~order:16 ~precision:`Relaxed mp (Rng.create ~seed:4318) in
+  for _ = 1 to 64 do
+    let w, _ = Source.next s in
+    if not (Float.is_finite w) || w < 0.0 then Alcotest.fail "relaxed mpeg arrival invalid"
+  done;
+  let s =
+    Source.of_model ~backend:`Paxson ~precision:`Relaxed ~horizon:32 m
+      (Rng.create ~seed:4319)
+  in
+  for _ = 1 to 32 do
+    let w, _ = Source.next s in
+    if not (Float.is_finite w) || w < 0.0 then Alcotest.fail "relaxed paxson arrival invalid"
+  done
+
 let test_source_table_cache_lru_eviction () =
   (* Eviction is invisible except for rebuild cost: a re-fit after the
      LRU bound forces a table out is bit-identical. *)
@@ -704,6 +791,55 @@ let test_mux_fifo_shares_loss () =
   let a = r.Mux.per_source.(0) and b = r.Mux.per_source.(1) in
   close ~eps:1e-9 "equal sharing" a.Mux.loss_fraction b.Mux.loss_fraction;
   if a.Mux.loss_fraction <= 0.0 then Alcotest.fail "expected loss under overload"
+
+let test_mux_zero_buffer_semantics () =
+  (* buffer = 0.0 is the bufferless-statistical-multiplexing limit,
+     not a degenerate case: the admission room of a slot is
+     [buffer + service - q] = [service] (q can never build up), so
+     every slot loses exactly [max 0 (offered - service)], the queue
+     stays pinned at zero, and per-source loss follows the fluid
+     proportional split. Pinned against hand-computed totals and the
+     reference engine so the sharded path cannot drift. *)
+  let a0 = [| 1.0; 3.0; 0.5; 2.0; 0.0; 4.0 |] in
+  let a1 = [| 0.5; 1.0; 2.5; 0.0; 1.0; 2.0 |] in
+  let slots = Array.length a0 in
+  let service = 2.0 in
+  let mk () = [| Source.of_array ~name:"s0" a0; Source.of_array ~name:"s1" a1 |] in
+  let r = Mux.run ~buffer:0.0 ~service ~slots (mk ()) in
+  (* Queue never builds: q' = max 0 (admitted - service) <= 0. *)
+  close ~eps:0.0 "mean queue" 0.0 r.Mux.mean_queue;
+  close ~eps:0.0 "max queue" 0.0 r.Mux.max_queue;
+  (* Hand-computed per-slot loss: max 0 (offered - service), split
+     proportionally to each source's offered work. *)
+  let lost0 = ref 0.0 and lost1 = ref 0.0 in
+  for t = 0 to slots - 1 do
+    let o = a0.(t) +. a1.(t) in
+    if o > service then begin
+      let drop_frac = (o -. service) /. o in
+      lost0 := !lost0 +. (a0.(t) *. drop_frac);
+      lost1 := !lost1 +. (a1.(t) *. drop_frac)
+    end
+  done;
+  let s0 = r.Mux.per_source.(0) and s1 = r.Mux.per_source.(1) in
+  close ~eps:1e-12 "source 0 loss" !lost0 s0.Mux.lost;
+  close ~eps:1e-12 "source 1 loss" !lost1 s1.Mux.lost;
+  let offered = Array.fold_left ( +. ) 0.0 a0 +. Array.fold_left ( +. ) 0.0 a1 in
+  close ~eps:1e-12 "aggregate loss fraction" ((!lost0 +. !lost1) /. offered)
+    r.Mux.loss_fraction;
+  (* Work conservation survives the boundary. *)
+  close ~eps:1e-12 "conservation s0" s0.Mux.offered (s0.Mux.admitted +. s0.Mux.lost);
+  close ~eps:1e-12 "conservation s1" s1.Mux.offered (s1.Mux.admitted +. s1.Mux.lost);
+  (* Sharded engine and reference engine agree bitwise at the
+     boundary, at every shard count. *)
+  let reference = Mux.run_reference ~buffer:0.0 ~service ~slots (mk ()) in
+  if not (Mux.equal_report reference r) then
+    Alcotest.fail "zero-buffer: default run differs from reference";
+  List.iter
+    (fun shards ->
+      let sharded = Mux.run ~shards ~buffer:0.0 ~service ~slots (mk ()) in
+      if not (Mux.equal_report reference sharded) then
+        Alcotest.failf "zero-buffer: %d-shard run differs from reference" shards)
+    [ 1; 2; 3 ]
 
 let test_mux_overflow_curve_monotone () =
   let rng = Rng.create ~seed:54 in
@@ -1369,6 +1505,15 @@ let test_mux_is_invalid () =
           ~buffer:5.0 ~slots:50 ~twist:0.0 ()
       in
       ());
+  (* Same refusal for the approximate Paxson backend: its circulant
+     synthesis is materialized whole, so there are no per-step
+     innovations for the likelihood accumulator either. *)
+  raises_invalid "Paxson backend refused" (fun () ->
+      let (_ : Mux_is.config) =
+        Mux_is.make_config ~model:m ~sources:2 ~backend:`Paxson ~service:3.0
+          ~buffer:5.0 ~slots:50 ~twist:0.0 ()
+      in
+      ());
   raises_invalid "bad replications" (fun () ->
       let (_ : Mc.estimate) =
         Mux_is.estimate (mux_is_small ()) ~replications:0 (Rng.create ~seed:1)
@@ -1819,6 +1964,8 @@ let () =
           tc "interleaved block/scalar" test_source_block_scalar_interleave_coherent;
           tc "Davies-Harte contract" test_source_dh_backend_contract;
           tc "Davies-Harte statistics" test_source_dh_backend_statistics;
+          tc "Paxson contract" test_source_paxson_backend_contract;
+          tc "relaxed precision tier" test_source_relaxed_precision;
           tc "table cache LRU eviction" test_source_table_cache_lru_eviction;
           tc "table cache concurrent lookups" test_source_table_cache_concurrent_lookups;
         ] );
@@ -1830,6 +1977,7 @@ let () =
           tc "underloaded: lossless" test_mux_no_loss_when_underloaded;
           tc "priority shields high class" test_mux_priority_shields_high_class;
           tc "fifo shares loss" test_mux_fifo_shares_loss;
+          tc "zero-buffer semantics" test_mux_zero_buffer_semantics;
           tc "overflow curve monotone" test_mux_overflow_curve_monotone;
           tc "quantiles ordered" test_mux_queue_quantiles_ordered;
           tc "P2 vs exact on LRD stream" test_mux_p2_quantiles_vs_exact_on_lrd_stream;

@@ -246,6 +246,23 @@ let test_normal_cdf_symmetry () =
   close ~eps:1e-13 "Phi(0)" 0.5 (Special.normal_cdf 0.0);
   close_rel ~eps:1e-10 "Phi(1.96)" 0.9750021048517795 (Special.normal_cdf 1.96)
 
+let test_normal_cdf_relaxed_accuracy () =
+  (* A&S 26.2.17 polynomial: |Phi_relaxed - Phi| < 7.5e-8 everywhere,
+     exact symmetry by construction. *)
+  let x = ref (-8.0) in
+  while !x <= 8.0 do
+    let exact = Special.normal_cdf !x and fast = Special.normal_cdf_relaxed !x in
+    if abs_float (exact -. fast) > 8e-8 then
+      Alcotest.failf "relaxed cdf at %g: |%.12g - %.12g| > 8e-8" !x fast exact;
+    x := !x +. 0.01
+  done;
+  close ~eps:8e-8 "relaxed Phi(0)" 0.5 (Special.normal_cdf_relaxed 0.0);
+  List.iter
+    (fun x ->
+      close ~eps:1e-15 "relaxed symmetry" 1.0
+        (Special.normal_cdf_relaxed x +. Special.normal_cdf_relaxed (-.x)))
+    [ 0.3; 1.0; 2.5; 6.0 ]
+
 let test_normal_quantile_roundtrip () =
   List.iter
     (fun p ->
@@ -849,6 +866,7 @@ let () =
           tc "gamma_p reference" test_gamma_p_reference;
           tc "gamma P+Q" test_gamma_p_q_complementarity;
           tc "normal cdf symmetry" test_normal_cdf_symmetry;
+          tc "normal cdf relaxed" test_normal_cdf_relaxed_accuracy;
           tc "normal quantile roundtrip" test_normal_quantile_roundtrip;
           tc "normal quantile known" test_normal_quantile_known;
           tc "log normal pdf" test_log_normal_pdf;
