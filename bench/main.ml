@@ -1690,6 +1690,87 @@ let throughput () =
       pf "# n=%d: sharded/reference speedup %.2fx (d1), d4/d1 %.2fx (paired medians)\n" n
         m_ref m_d4)
     [ 64; 1024; 8192 ];
+  (* E. Checkpoint overhead: the 8-source mux slot loop with the
+     periodic snapshot hook armed. Arming the hook caps the staging
+     block at [every] (so snapshots cannot be skipped), which by
+     itself shifts cache behavior — so the per-[every] baseline is a
+     run with a NO-OP hook at the same cadence (same block layout,
+     nothing serialized, nothing written), and the reported overhead
+     isolates what a snapshot actually costs: serializing the full
+     engine + source state and atomically replacing a scratch file.
+     The acceptance gate lives at every=8192 (< 5%); no hook may
+     perturb the arithmetic, so the mean queue is asserted bitwise
+     across every variant. *)
+  let ck_path = Filename.temp_file "ss-bench" ".ckpt" in
+  let ck_ratios =
+    let order = 64 in
+    let slots = 131072 in
+    let run_once ?checkpoint () =
+      let rng = rng_for "tp-ckpt-mux" in
+      let srcs =
+        Array.init 8 (fun i ->
+            Ss_mux.Source.of_model ~name:(Printf.sprintf "c%d" i) ~order m (Rng.split rng))
+      in
+      time_it (fun () ->
+          (Ss_mux.Mux.run ?checkpoint ~service ~slots srcs).Ss_mux.Mux.mean_queue)
+    in
+    let q0, t0 = best_of (fun () -> run_once ()) in
+    sink := !sink +. q0;
+    row ~section:"ckpt" ~name:"mux-ckpt-unhooked" ~order ~n:slots ~domains:1 t0;
+    List.map
+      (fun every ->
+        let hook save = { Ss_mux.Mux.every; save } in
+        let noop = hook (fun ~slot:_ _fill -> ()) in
+        let saving =
+          hook (fun ~slot:_ fill ->
+              Ss_checkpoint.to_file ~path:ck_path ~kind:"bench-mux" ~meta:"" fill)
+        in
+        (* Snapshot cost is sub-ms, well under the run-to-run noise of
+           a 0.2 s cell — so pair the noop and saving runs inside each
+           round and gate on the MEDIAN of per-round ratios, as the
+           mux-scaling section does: one round's host-noise phase hits
+           both sides, moving times but not the ratio. *)
+        let rounds = 7 in
+        let ratios = Array.make rounds 0.0 in
+        let t_n = ref infinity and t_s = ref infinity in
+        for k = 0 to rounds - 1 do
+          (* Alternate which side goes first so position bias (cache
+             warmth, GC phase) cancels across rounds. *)
+          let (q_n, tn), (q_s, ts) =
+            if k land 1 = 0 then
+              let a = run_once ~checkpoint:noop () in
+              let b = run_once ~checkpoint:saving () in
+              (a, b)
+            else
+              let b = run_once ~checkpoint:saving () in
+              let a = run_once ~checkpoint:noop () in
+              (a, b)
+          in
+          if not (feq q_n q0 && feq q_s q0) then
+            failwith "throughput: checkpointed mux disagrees with the baseline";
+          if tn < !t_n then t_n := tn;
+          if ts < !t_s then t_s := ts;
+          ratios.(k) <- ts /. tn
+        done;
+        row ~section:"ckpt"
+          ~name:(Printf.sprintf "mux-ckpt-noop-every-%d" every)
+          ~order ~n:slots ~domains:1 !t_n;
+        row ~section:"ckpt"
+          ~name:(Printf.sprintf "mux-ckpt-every-%d" every)
+          ~order ~n:slots ~domains:1 !t_s;
+        Array.sort compare ratios;
+        let pct = 100.0 *. (ratios.(rounds / 2) -. 1.0) in
+        pf "# every=%d: checkpoint overhead %.2f%% (%d snapshots, paired median)%s\n" every
+          pct
+          ((slots - 1) / every)
+          (if every = 8192 then
+             if pct < 5.0 then " (< 5% gate: ok)" else " (< 5% gate: EXCEEDED)"
+           else "");
+        (Printf.sprintf "checkpoint_overhead_pct_every_%d" every, pct))
+      [ 1024; 8192 ]
+  in
+  (try Sys.remove ck_path with Sys_error _ -> ());
+  scaling_ratios := !scaling_ratios @ ck_ratios;
   let rs = List.rev !rows in
   let buf = Buffer.create 2048 in
   Printf.bprintf buf "{\n  \"machine\": %s,\n  \"block\": %d,\n  \"rows\": [\n" (machine_json ())
@@ -1978,6 +2059,65 @@ let throughput_smoke () =
     failwith "throughput-smoke: 4-shard mux below 0.95x the single-shard rate";
   pf "# shard=4 == shard=1 (bitwise), d4 >= 0.95x d1\n"
   end
+
+(* checkpoint-smoke: the cheap CI gate over the crash-safe snapshot
+   path. One fixed-seed mux run — police and fault injection active,
+   so every serialized subsystem carries live state — with the
+   periodic snapshot hook armed must agree bitwise with the
+   uncheckpointed baseline (Mux.equal_report), and a run resumed from
+   the mid-run snapshot must reproduce the uninterrupted report
+   bitwise, including when the resumed run uses a different shard
+   count than the one that wrote the snapshot. *)
+let checkpoint_smoke () =
+  pf "# checkpoint-smoke: snapshot/resume bit-identity on the mux slot loop\n";
+  let m = model () in
+  let n = 4 and order = 64 and slots = 4096 in
+  let service = float_of_int n *. m.Model.mean /. 0.7 in
+  let buffer = 30.0 *. m.Model.mean in
+  let faults = Ss_mux.Fault.parse "*:burst@0.002+40x2.5;0:corrupt@0.001" in
+  let mk () =
+    let rng = rng_for "ckpt-smoke" in
+    let srcs =
+      Array.init n (fun i ->
+          Ss_mux.Source.of_model ~name:(Printf.sprintf "s%d" i) ~order m (Rng.split rng))
+    in
+    Ss_mux.Fault.wrap_all ~rng:(Rng.split rng) faults srcs
+  in
+  let run ?shards ?checkpoint ?resume () =
+    let srcs = mk () in
+    let policer =
+      Ss_mux.Police.create
+        ~config:{ Ss_mux.Police.default with window = 512 }
+        (Array.map Ss_mux.Admission.descr_of_source srcs)
+    in
+    Ss_mux.Mux.run ?shards ?checkpoint ?resume ~police:policer ~buffer ~service ~slots srcs
+  in
+  let base = run () in
+  let path = Filename.temp_file "ss-smoke" ".ckpt" in
+  let every = 1500 in
+  let ck =
+    {
+      Ss_mux.Mux.every;
+      save =
+        (fun ~slot:_ fill -> Ss_checkpoint.to_file ~path ~kind:"bench-smoke" ~meta:"" fill);
+    }
+  in
+  let armed = run ~checkpoint:ck () in
+  if not (Ss_mux.Mux.equal_report base armed) then
+    failwith "checkpoint-smoke: snapshot hook perturbed the run";
+  pf "# armed == baseline (bitwise), snapshots every %d slots\n" every;
+  let resume_with shards =
+    let _, r = Ss_checkpoint.of_file ~path ~kind:"bench-smoke" in
+    let resumed = run ~shards ~resume:r () in
+    if not (Ss_mux.Mux.equal_report base resumed) then
+      failwith
+        (Printf.sprintf "checkpoint-smoke: resumed run (shards=%d) differs from baseline" shards)
+  in
+  resume_with 1;
+  resume_with 4;
+  (try Sys.remove path with Sys_error _ -> ());
+  pf "# resume (shards=1 and shards=4) == uninterrupted (bitwise)\n";
+  pf "# mean_queue=%.6g loss=%.3g\n" base.Ss_mux.Mux.mean_queue base.Ss_mux.Mux.loss_fraction
 
 (* ------------------------------------------------------------------ *)
 (* abr: streaming-client fleets over mux trajectories                  *)
@@ -2287,6 +2427,7 @@ let experiments =
     ("perf-parallel", perf_parallel);
     ("throughput", throughput);
     ("throughput-smoke", throughput_smoke);
+    ("checkpoint-smoke", checkpoint_smoke);
     ("abr", abr);
     ("abr-smoke", abr_smoke);
   ]

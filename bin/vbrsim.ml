@@ -147,6 +147,80 @@ let wrap f =
   | Sys_error msg ->
     Printf.eprintf "vbrsim: %s\n" msg;
     1
+  | Ss_checkpoint.Corrupt msg ->
+    Printf.eprintf "vbrsim: corrupt or mismatched checkpoint: %s\n" msg;
+    1
+
+(* --- checkpoint/resume plumbing (mux and abr) --- *)
+
+let checkpoint_every_arg =
+  let doc =
+    "Snapshot the full simulation state every $(docv) slots (rounded up to the engine's \
+     staging block) into $(b,--checkpoint-file). Requires $(b,--checkpoint-file)."
+  in
+  Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"SLOTS" ~doc)
+
+let checkpoint_file_arg =
+  let doc =
+    "Checkpoint file path. Snapshots are published atomically (temp file + rename), so a \
+     crash mid-write never leaves a torn checkpoint."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint-file" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from a checkpoint file written by $(b,--checkpoint-every). The run must be \
+     launched with the same parameters (trace, seed, sources, ...); the resumed run is \
+     bitwise identical to the uninterrupted one, at any $(b,--domains)/$(b,--shards)."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let allow_clipping_arg =
+  let doc =
+    "Proceed even when the approximate Paxson backend clips more than 1% of its circulant \
+     spectrum mass for this model (the synthesis would be statistically distorted; refused \
+     by default)."
+  in
+  Arg.(value & flag & info [ "allow-clipping" ] ~doc)
+
+(* Checkpoint framing shared by mux and abr: the [meta] channel of the
+   container carries a fingerprint of every run parameter the snapshot
+   depends on (including a digest of the input trace), so resuming
+   under different parameters is refused up front with both
+   fingerprints shown — never a garbage restore. Shard/domain counts
+   are deliberately NOT part of the fingerprint: snapshots are
+   engine-layout independent. *)
+let checkpoint_plumbing ~kind ~meta ~checkpoint_every ~checkpoint_file ~resume ~save_extra
+    ~restore_extra =
+  let save =
+    match (checkpoint_every, checkpoint_file) with
+    | None, None -> None
+    | Some every, Some path ->
+      if every < 1 then invalid_arg "--checkpoint-every must be positive";
+      Some
+        ( every,
+          fun fill ->
+            Ss_checkpoint.to_file ~path ~kind ~meta (fun w ->
+                save_extra w;
+                fill w) )
+    | Some _, None -> invalid_arg "--checkpoint-every requires --checkpoint-file"
+    | None, Some _ -> invalid_arg "--checkpoint-file requires --checkpoint-every"
+  in
+  let resume_reader =
+    match resume with
+    | None -> None
+    | Some path ->
+      let saved_meta, r = Ss_checkpoint.of_file ~path ~kind in
+      if not (String.equal saved_meta meta) then
+        raise
+          (Ss_checkpoint.Corrupt
+             (Printf.sprintf
+                "%s: run parameters differ from the checkpoint's\n  checkpoint: %s\n  this run:   %s"
+                path saved_meta meta));
+      restore_extra r;
+      Some r
+  in
+  (save, resume_reader)
 
 (* --- synth --- *)
 
@@ -515,11 +589,12 @@ let mux_cmd =
   in
   let run path utilization sources slots order backend precision buffer_norm epsilon composite
       priority buffers csv seed max_lag domains shards is_mode twist horizon replications
-      faults police police_window =
+      faults police police_window checkpoint_every checkpoint_file resume allow_clipping =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
         Pool.with_pool ~domains @@ fun pool ->
         if priority && not composite then invalid_arg "--priority requires --composite";
+        let backend_s = backend and precision_s = precision in
         let backend = parse_backend backend in
         let precision = parse_precision precision in
         let trace = Trace.load path in
@@ -530,6 +605,10 @@ let mux_cmd =
             invalid_arg "--faults/--police are incompatible with --is";
           if shards <> None then
             invalid_arg "--shards applies to the mux engine, not --is";
+          if checkpoint_every <> None || checkpoint_file <> None || resume <> None then
+            invalid_arg
+              "--checkpoint-every/--checkpoint-file/--resume are incompatible with --is \
+               (importance-sampled replications carry likelihood state outside the snapshot)";
           if precision = `Relaxed then
             invalid_arg
               "--precision relaxed is incompatible with --is (the likelihood accumulator \
@@ -540,29 +619,48 @@ let mux_cmd =
         else begin
         if twist <> None || horizon <> None then
           invalid_arg "--twist/--horizon require --is";
+        let meta =
+          Printf.sprintf
+            "mux trace=%s u=%g sources=%d slots=%d order=%d backend=%s precision=%s \
+             buffer=%s epsilon=%g composite=%b priority=%b buffers=%s csv=%b faults=%s \
+             police=%b police-window=%d seed=%d max-lag=%d"
+            (Digest.to_hex (Digest.file path))
+            utilization sources slots order backend_s precision_s
+            (match buffer_norm with None -> "unbounded" | Some b -> Printf.sprintf "%g" b)
+            epsilon composite priority buffers (csv <> None)
+            (match faults with None -> "-" | Some s -> s)
+            police police_window seed max_lag
+        in
         let rng = Rng.create ~seed in
         (* The materializing backends synthesize a fixed-length path;
            the simulation length is its natural horizon. *)
         let horizon =
           match backend with `Hosking -> None | `Davies_harte | `Paxson -> Some slots
         in
-        let mk =
+        let mk, bg_acf =
           if composite then begin
             let m = Mpeg.fit trace in
-            fun i ->
-              Ss_mux.Source.of_mpeg
-                ~name:(Printf.sprintf "src%02d" i)
-                ~order ~backend ~precision ?horizon
-                ~phase:(i mod Gop.length m.Mpeg.gop)
-                ~priority m (Rng.split rng)
+            ( (fun i ->
+                Ss_mux.Source.of_mpeg
+                  ~name:(Printf.sprintf "src%02d" i)
+                  ~order ~backend ~precision ?horizon
+                  ~phase:(i mod Gop.length m.Mpeg.gop)
+                  ~priority m (Rng.split rng)),
+              m.Mpeg.background )
           end
           else begin
             let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
-            fun i ->
-              Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order ~backend
-                ~precision ?horizon model (Rng.split rng)
+            ( (fun i ->
+                Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order ~backend
+                  ~precision ?horizon model (Rng.split rng)),
+              Model.background_acf model )
           end
         in
+        (match backend with
+        | `Paxson ->
+          ignore
+            (Ss_mux.Source.paxson_clipping_check ~acf:bg_acf ~n:slots ~allow:allow_clipping)
+        | `Hosking | `Davies_harte -> ());
         let srcs = Array.init sources mk in
         let srcs =
           (* Zero-fault runs never enter the wrapper, so they stay
@@ -624,9 +722,23 @@ let mux_cmd =
                    ~slot_s:(1.0 /. trace.Trace.fps))
           in
           let trajectory = Option.map Ss_abr.Trajectory.sink capture in
+          let ck_save, ck_resume =
+            checkpoint_plumbing ~kind:"vbrsim-mux" ~meta ~checkpoint_every ~checkpoint_file
+              ~resume
+              ~save_extra:(fun w ->
+                match capture with Some c -> Ss_abr.Trajectory.save c w | None -> ())
+              ~restore_extra:(fun r ->
+                match capture with Some c -> Ss_abr.Trajectory.restore c r | None -> ())
+          in
+          let checkpoint =
+            Option.map
+              (fun (every, writer) ->
+                { Ss_mux.Mux.every; save = (fun ~slot:_ fill -> writer fill) })
+              ck_save
+          in
           let report =
-            Ss_mux.Mux.run ?pool ?shards ?police:policer ?trajectory ~buffer:buffer_abs
-              ~thresholds ~service ~slots admitted
+            Ss_mux.Mux.run ?pool ?shards ?police:policer ?trajectory ?checkpoint
+              ?resume:ck_resume ~buffer:buffer_abs ~thresholds ~service ~slots admitted
           in
           Format.printf "%a" Ss_mux.Mux.pp_report report;
           (match policer with
@@ -667,7 +779,8 @@ let mux_cmd =
       $ backend_arg $ precision_arg $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg
       $ buffers_arg $ csv_arg $ seed_arg $ max_lag_arg $ domains_arg $ shards_arg $ is_arg
       $ twist_arg $ horizon_arg $ replications_arg $ faults_arg $ police_arg
-      $ police_window_arg)
+      $ police_window_arg $ checkpoint_every_arg $ checkpoint_file_arg $ resume_arg
+      $ allow_clipping_arg)
 
 (* --- abr --- *)
 
@@ -735,20 +848,44 @@ let abr_cmd =
            | None -> invalid_arg (Printf.sprintf "bad ladder level %S" x))
   in
   let run path utilization sources slots order backend precision seed max_lag domains clients
-      chunks chunk_frames max_buffer policies levels faults =
+      chunks chunk_frames max_buffer policies levels faults checkpoint_every checkpoint_file
+      resume allow_clipping =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
+        let policies_s = policies in
         let policies = parse_policies policies in
         if policies = [] then invalid_arg "no policies given";
         Pool.with_pool ~domains @@ fun pool ->
+        let backend_s = backend and precision_s = precision in
         let backend = parse_backend backend in
         let precision = parse_precision precision in
         let trace = Trace.load path in
         let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
+        (* The fingerprint covers the mux phase only: the fleet phase
+           re-runs deterministically from the same parameters, so a
+           resume mid-fleet restarts the fleets from the completed mux
+           trajectory. *)
+        let meta =
+          Printf.sprintf
+            "abr trace=%s u=%g sources=%d slots=%d order=%d backend=%s precision=%s \
+             clients=%d chunks=%d chunk-frames=%d max-buffer=%g policies=%s levels=%s \
+             faults=%s seed=%d max-lag=%d"
+            (Digest.to_hex (Digest.file path))
+            utilization sources slots order backend_s precision_s clients chunks chunk_frames
+            max_buffer policies_s levels
+            (match faults with None -> "-" | Some s -> s)
+            seed max_lag
+        in
         let rng = Rng.create ~seed in
         let horizon =
           match backend with `Hosking -> None | `Davies_harte | `Paxson -> Some slots
         in
+        (match backend with
+        | `Paxson ->
+          ignore
+            (Ss_mux.Source.paxson_clipping_check ~acf:(Model.background_acf model) ~n:slots
+               ~allow:allow_clipping)
+        | `Hosking | `Davies_harte -> ());
         let srcs =
           Array.init sources (fun i ->
               Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order ~backend
@@ -764,9 +901,21 @@ let abr_cmd =
         let service = float_of_int sources *. per_mean /. utilization in
         let slot_s = 1.0 /. trace.Trace.fps in
         let capture = Ss_abr.Trajectory.create ~slots ~sources ~slot_s in
+        let ck_save, ck_resume =
+          checkpoint_plumbing ~kind:"vbrsim-abr" ~meta ~checkpoint_every ~checkpoint_file
+            ~resume
+            ~save_extra:(fun w -> Ss_abr.Trajectory.save capture w)
+            ~restore_extra:(fun r -> Ss_abr.Trajectory.restore capture r)
+        in
+        let checkpoint =
+          Option.map
+            (fun (every, writer) ->
+              { Ss_mux.Mux.every; save = (fun ~slot:_ fill -> writer fill) })
+            ck_save
+        in
         let report =
-          Ss_mux.Mux.run ?pool ~trajectory:(Ss_abr.Trajectory.sink capture) ~service ~slots
-            srcs
+          Ss_mux.Mux.run ?pool ~trajectory:(Ss_abr.Trajectory.sink capture) ?checkpoint
+            ?resume:ck_resume ~service ~slots srcs
         in
         Format.printf
           "# mux: %d sources, utilization %.2f, service %.1f B/slot, mean queue %.1f B@."
@@ -816,7 +965,8 @@ let abr_cmd =
       const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
       $ backend_arg $ precision_arg $ seed_arg $ max_lag_arg $ domains_arg $ clients_arg
       $ chunks_arg $ chunk_frames_arg $ max_buffer_arg $ policies_arg $ levels_arg
-      $ faults_arg)
+      $ faults_arg $ checkpoint_every_arg $ checkpoint_file_arg $ resume_arg
+      $ allow_clipping_arg)
 
 (* --- fastsim --- *)
 

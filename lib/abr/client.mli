@@ -40,6 +40,22 @@ type result = {
   qoe_switch : float;
 }
 
+type state
+(** All mutable playback state of one client (trace position, buffer,
+    accumulators, throughput window) — a snapshot point between
+    chunks. *)
+
+val make_state : ?config:config -> start:int -> unit -> state
+(** Fresh state for a client joining at slot [start].
+    @raise Invalid_argument on an invalid config. *)
+
+val save_state : state -> Ss_checkpoint.W.t -> unit
+val restore_state : state -> Ss_checkpoint.R.t -> unit
+(** Checkpoint codec for a mid-stream client. {!restore_state}
+    overwrites a state built with the same config in place; resuming
+    {!run} with it continues bitwise where the snapshot stopped.
+    @raise Ss_checkpoint.Corrupt on structure mismatch. *)
+
 val run :
   ?config:config ->
   policy:Policy.t ->
@@ -48,6 +64,8 @@ val run :
   ?delays:float array ->
   slot_s:float ->
   start:int ->
+  ?state:state ->
+  ?stop_after:int ->
   unit ->
   result
 (** Stream [config.chunks] chunks. [bandwidth.(t)] is bytes
@@ -55,5 +73,21 @@ val run :
     per-slot request queueing delay in slots, [slot_s] the slot
     duration in seconds and [start] the slot the client joins at.
     Deterministic: equal inputs give bit-identical results.
+
+    With [state], playback continues from the supplied (possibly
+    restored) snapshot and [start] is ignored — the position lives in
+    the state. With [stop_after], streaming pauses after chunk
+    [stop_after - 1], leaving [state] ready to snapshot or continue;
+    the returned result is only meaningful once all chunks have
+    streamed. Running to completion in one call or across any split
+    of [stop_after] points yields bit-identical results (enforced by
+    test).
     @raise Invalid_argument on an invalid config, empty or all-zero
-    bandwidth, a [delays] length mismatch or [start] out of range. *)
+    bandwidth, a [delays] length mismatch, [start] out of range, a
+    state whose throughput window disagrees with [config], or
+    [stop_after] outside [next chunk, chunks]. *)
+
+val save_result : result -> Ss_checkpoint.W.t -> unit
+val read_result : Ss_checkpoint.R.t -> result
+(** Codec for completed-client results ({!Fleet}'s checkpoint stores
+    the finished prefix of its fleet). *)

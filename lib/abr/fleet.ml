@@ -60,20 +60,90 @@ let summarize values =
     q90 = quantile_sorted sorted 0.9;
   }
 
+module Ck = Ss_checkpoint
+
+type checkpoint = {
+  every : int;  (* clients between snapshots *)
+  save : clients_done:int -> (Ck.W.t -> unit) -> unit;
+}
+
+let save_prefix ~policy_name ~clients ~clients_done results w =
+  Ck.W.tag w "abr-fleet";
+  Ck.W.string w policy_name;
+  Ck.W.int w clients;
+  Ck.W.int w clients_done;
+  for j = 0 to clients_done - 1 do
+    match results.(j) with
+    | Some res -> Client.save_result res w
+    | None -> assert false
+  done
+
+let restore_prefix ~policy_name ~clients results r =
+  Ck.R.tag r "abr-fleet";
+  let fail fmt = Printf.ksprintf (fun s -> raise (Ck.Corrupt ("fleet: " ^ s))) fmt in
+  let saved_policy = Ck.R.string r in
+  if saved_policy <> policy_name then
+    fail "checkpoint ran policy %s, this run uses %s" saved_policy policy_name;
+  let saved_clients = Ck.R.int r in
+  if saved_clients <> clients then
+    fail "checkpoint has %d clients, this run has %d" saved_clients clients;
+  let clients_done = Ck.R.int r in
+  if clients_done < 0 || clients_done > clients then
+    fail "finished-client count %d outside [0, %d]" clients_done clients;
+  for j = 0 to clients_done - 1 do
+    results.(j) <- Some (Client.read_result r)
+  done;
+  clients_done
+
 let run ?pool ~rng ~clients ~policy ~ladder ~trajectory ?(config = Client.default)
-    () =
+    ?checkpoint ?resume () =
   if clients <= 0 then invalid_arg "Fleet.run: clients <= 0";
+  (match checkpoint with
+  | Some ck when ck.every < 1 -> invalid_arg "Fleet.run: checkpoint interval < 1"
+  | _ -> ());
   let nsrc = trajectory.Trajectory.sources in
   if trajectory.Trajectory.filled < trajectory.Trajectory.slots then
     invalid_arg "Fleet.run: trajectory not fully filled";
+  let run_client sub j =
+    let src = j mod nsrc in
+    let bandwidth = Trajectory.bandwidth trajectory src in
+    let delays = Trajectory.delay trajectory src in
+    let start = Rng.int_range sub 0 (Array.length bandwidth - 1) in
+    Client.run ~config ~policy ~ladder ~bandwidth ~delays
+      ~slot_s:trajectory.Trajectory.slot_s ~start ()
+  in
   let results =
-    Fanout.map ?pool ~rng ~n:clients (fun sub j ->
-        let src = j mod nsrc in
-        let bandwidth = Trajectory.bandwidth trajectory src in
-        let delays = Trajectory.delay trajectory src in
-        let start = Rng.int_range sub 0 (Array.length bandwidth - 1) in
-        Client.run ~config ~policy ~ladder ~bandwidth ~delays
-          ~slot_s:trajectory.Trajectory.slot_s ~start ())
+    match (checkpoint, resume) with
+    | None, None -> Fanout.map ?pool ~rng ~n:clients run_client
+    | _ ->
+      (* Checkpointing lane: {!Fanout.map} is [Rng.split_n] plus an
+         indexed map, so this sequential loop over the same splits is
+         bit-identical to the pooled fan-out — and a resumed run only
+         replays the splits, never the finished clients. Snapshot
+         granularity is one whole client (each client is
+         self-contained); the saved prefix is the completed results in
+         client order. *)
+      let subs = Rng.split_n rng clients in
+      let out : Client.result option array = Array.make clients None in
+      let start_j =
+        match resume with
+        | None -> 0
+        | Some r -> restore_prefix ~policy_name:policy.Policy.name ~clients out r
+      in
+      let last = ref start_j in
+      for j = start_j to clients - 1 do
+        out.(j) <- Some (run_client subs.(j) j);
+        match checkpoint with
+        | Some ck when j + 1 - !last >= ck.every && j + 1 < clients ->
+          last := j + 1;
+          ck.save ~clients_done:(j + 1)
+            (save_prefix ~policy_name:policy.Policy.name ~clients ~clients_done:(j + 1)
+               out)
+        | _ -> ()
+      done;
+      Array.map
+        (function Some res -> res | None -> assert false)
+        out
   in
   let metric f = Array.map f results in
   let nf = float_of_int clients in

@@ -35,6 +35,16 @@ val summarize : float array -> summary
 (** Moments plus exact type-7 sample quantiles.
     @raise Invalid_argument on an empty array. *)
 
+type checkpoint = {
+  every : int;  (** clients between snapshots *)
+  save : clients_done:int -> (Ss_checkpoint.W.t -> unit) -> unit;
+      (** handed the number of finished clients and a serializer for
+          their results prefix; the callback owns framing and I/O *)
+}
+(** Periodic snapshot hook for {!run}. Granularity is one whole
+    client: each client is self-contained, so the snapshot is the
+    completed results in client order plus the count. *)
+
 val run :
   ?pool:Ss_parallel.Pool.t ->
   rng:Ss_stats.Rng.t ->
@@ -43,11 +53,23 @@ val run :
   ladder:Ladder.t ->
   trajectory:Trajectory.t ->
   ?config:Client.config ->
+  ?checkpoint:checkpoint ->
+  ?resume:Ss_checkpoint.R.t ->
   unit ->
   report * Client.result array
 (** Run [clients] independent clients against the trajectory and
     summarize. Advances [rng] by [clients] splits on the caller.
-    @raise Invalid_argument if [clients <= 0] or the trajectory is
-    not fully filled. *)
+
+    With [checkpoint] or [resume], the fleet runs on a sequential
+    lane over the same {!Ss_stats.Rng.split_n} substreams the pooled
+    fan-out would use, so results stay bit-identical to an
+    uncheckpointed (or pooled) run; a resumed fleet — over the same
+    [rng] seed, trajectory and policy — replays only the RNG splits,
+    skips the restored finished clients, and returns a report bitwise
+    equal to the uninterrupted one's (enforced by test).
+    @raise Invalid_argument if [clients <= 0], the trajectory is not
+    fully filled, or a checkpoint interval is < 1.
+    @raise Ss_checkpoint.Corrupt when [resume] disagrees with the
+    reconstructed fleet (policy, client count) or is malformed. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -39,3 +39,46 @@ let bandwidth t i =
 let delay t i =
   if i < 0 || i >= t.sources then invalid_arg "Trajectory.delay: source out of range";
   t.delays.(i)
+
+module Ck = Ss_checkpoint
+
+(* Only the filled prefix is serialized: rows past [filled] are still
+   the zeros [create] wrote, and the restoring capture is freshly
+   created, so they need no bytes. *)
+let save t w =
+  Ck.W.tag w "trajectory";
+  Ck.W.int w t.slots;
+  Ck.W.int w t.sources;
+  Ck.W.float w t.slot_s;
+  Ck.W.int w t.filled;
+  for i = 0 to t.sources - 1 do
+    for s = 0 to t.filled - 1 do
+      Ck.W.float w t.served.(i).(s)
+    done;
+    for s = 0 to t.filled - 1 do
+      Ck.W.float w t.delays.(i).(s)
+    done
+  done
+
+let restore t r =
+  Ck.R.tag r "trajectory";
+  let fail fmt = Printf.ksprintf (fun s -> raise (Ck.Corrupt ("trajectory: " ^ s))) fmt in
+  let check name saved live =
+    if saved <> live then fail "checkpoint has %s %d, capture has %d" name saved live
+  in
+  check "slots" (Ck.R.int r) t.slots;
+  check "sources" (Ck.R.int r) t.sources;
+  let slot_s = Ck.R.float r in
+  if Int64.bits_of_float slot_s <> Int64.bits_of_float t.slot_s then
+    fail "checkpoint has slot_s %.17g, capture has %.17g" slot_s t.slot_s;
+  let filled = Ck.R.int r in
+  if filled < 0 || filled > t.slots then fail "filled %d outside [0, %d]" filled t.slots;
+  for i = 0 to t.sources - 1 do
+    for s = 0 to filled - 1 do
+      t.served.(i).(s) <- Ck.R.float r
+    done;
+    for s = 0 to filled - 1 do
+      t.delays.(i).(s) <- Ck.R.float r
+    done
+  done;
+  t.filled <- filled

@@ -35,3 +35,11 @@ val bandwidth : t -> int -> float array
 val delay : t -> int -> float array
 (** Source [i]'s virtual-delay trace, in slots (no copy).
     @raise Invalid_argument on an out-of-range source. *)
+
+val save : t -> Ss_checkpoint.W.t -> unit
+val restore : t -> Ss_checkpoint.R.t -> unit
+(** Checkpoint codec for a partially filled capture: the filled
+    prefix of every source's served/delay rows. {!restore} requires a
+    capture created with the same [slots]/[sources]/[slot_s] and
+    overwrites it in place.
+    @raise Ss_checkpoint.Corrupt on dimension mismatch. *)

@@ -1,0 +1,259 @@
+(* Versioned, checksummed snapshot container for crash-safe
+   checkpoint/resume, plus the little-endian codec every stateful
+   layer serializes itself through. The container is deliberately
+   paranoid: magic, format version, a job kind, a caller meta string
+   (parameter fingerprint), an explicit payload length and a CRC32
+   over the whole record — a checkpoint that cannot be trusted
+   bit-for-bit is worse than no checkpoint, so every mismatch is a
+   refusal with a distinct, actionable error, never a best-effort
+   partial restore. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt msg -> Some (Printf.sprintf "Ss_checkpoint.Corrupt(%S)" msg)
+    | _ -> None)
+
+(* --- CRC32 (IEEE 802.3, reflected) ------------------------------- *)
+
+module Crc32 = struct
+  let table =
+    lazy
+      (Array.init 256 (fun i ->
+           let c = ref (Int32.of_int i) in
+           for _ = 0 to 7 do
+             if Int32.logand !c 1l <> 0l then
+               c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else c := Int32.shift_right_logical !c 1
+           done;
+           !c))
+
+  let update crc s pos len =
+    let table = Lazy.force table in
+    let crc = ref (Int32.logxor crc 0xFFFFFFFFl) in
+    for i = pos to pos + len - 1 do
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code (String.unsafe_get s i)))) 0xFFl) in
+      crc := Int32.logxor (Array.unsafe_get table idx) (Int32.shift_right_logical !crc 8)
+    done;
+    Int32.logxor !crc 0xFFFFFFFFl
+
+  let string s = update 0l s 0 (String.length s)
+end
+
+(* --- writer ------------------------------------------------------- *)
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let contents (w : t) = Buffer.contents w
+  let u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+  let i64 w v = Buffer.add_int64_le w v
+  let int w v = Buffer.add_int64_le w (Int64.of_int v)
+  let float w v = Buffer.add_int64_le w (Int64.bits_of_float v)
+  let bool w v = u8 w (if v then 1 else 0)
+
+  let string w s =
+    int w (String.length s);
+    Buffer.add_string w s
+
+  let float_array w a =
+    int w (Array.length a);
+    Array.iter (fun v -> float w v) a
+
+  let int_array w a =
+    int w (Array.length a);
+    Array.iter (fun v -> int w v) a
+
+  let option w f = function
+    | None -> bool w false
+    | Some v ->
+      bool w true;
+      f w v
+
+  (* Section tags make a layout mismatch (a file written by a run with
+     different options) fail with a named section instead of a CRC-valid
+     garbage restore. *)
+  let tag w name =
+    u8 w 0xA5;
+    string w name
+end
+
+(* --- reader ------------------------------------------------------- *)
+
+module R = struct
+  type t = { buf : string; mutable pos : int }
+
+  let of_string buf = { buf; pos = 0 }
+
+  let need r n who =
+    if r.pos + n > String.length r.buf then
+      corrupt "truncated checkpoint payload (reading %s at offset %d)" who r.pos
+
+  let u8 r =
+    need r 1 "byte";
+    let v = Char.code r.buf.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let i64 r =
+    need r 8 "int64";
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.buf.[r.pos + i]))
+    done;
+    r.pos <- r.pos + 8;
+    !v
+
+  let int r = Int64.to_int (i64 r)
+  let float r = Int64.float_of_bits (i64 r)
+
+  let bool r =
+    match u8 r with
+    | 0 -> false
+    | 1 -> true
+    | v -> corrupt "malformed checkpoint: bool byte 0x%02x" v
+
+  let string r =
+    let n = int r in
+    if n < 0 || r.pos + n > String.length r.buf then
+      corrupt "truncated checkpoint payload (string of length %d at offset %d)" n r.pos;
+    let s = String.sub r.buf r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let len_checked r who =
+    let n = int r in
+    if n < 0 || r.pos + (8 * n) > String.length r.buf then
+      corrupt "truncated checkpoint payload (%s of length %d at offset %d)" who n r.pos;
+    n
+
+  let float_array r =
+    let n = len_checked r "float array" in
+    Array.init n (fun _ -> float r)
+
+  let float_array_into r a =
+    let n = len_checked r "float array" in
+    if n <> Array.length a then
+      corrupt "checkpoint state mismatch: float array of length %d, expected %d" n
+        (Array.length a);
+    for i = 0 to n - 1 do
+      a.(i) <- float r
+    done
+
+  let int_array r =
+    let n = len_checked r "int array" in
+    Array.init n (fun _ -> int r)
+
+  let int_array_into r a =
+    let n = len_checked r "int array" in
+    if n <> Array.length a then
+      corrupt "checkpoint state mismatch: int array of length %d, expected %d" n
+        (Array.length a);
+    for i = 0 to n - 1 do
+      a.(i) <- int r
+    done
+
+  let option r f = if bool r then Some (f r) else None
+
+  let tag r name =
+    (match u8 r with
+    | 0xA5 -> ()
+    | v -> corrupt "checkpoint section %S missing (found byte 0x%02x)" name v);
+    let found = string r in
+    if not (String.equal found name) then
+      corrupt
+        "checkpoint section mismatch: expected %S, found %S (file written with different \
+         options?)"
+        name found
+end
+
+(* --- file container ----------------------------------------------- *)
+
+let magic = "SSCK"
+let format_version = 1
+
+(* Header layout: magic (4) | version (8) | kind | meta | payload
+   length (8) | payload | crc32 (8, zero-extended) over everything
+   before the crc field. *)
+
+let encode ~kind ~meta payload =
+  let b = Buffer.create (String.length payload + 64) in
+  Buffer.add_string b magic;
+  Buffer.add_int64_le b (Int64.of_int format_version);
+  Buffer.add_int64_le b (Int64.of_int (String.length kind));
+  Buffer.add_string b kind;
+  Buffer.add_int64_le b (Int64.of_int (String.length meta));
+  Buffer.add_string b meta;
+  Buffer.add_int64_le b (Int64.of_int (String.length payload));
+  Buffer.add_string b payload;
+  let crc = Crc32.string (Buffer.contents b) in
+  Buffer.add_int64_le b (Int64.logand (Int64.of_int32 crc) 0xFFFFFFFFL);
+  Buffer.contents b
+
+let decode ~kind s =
+  let r = R.of_string s in
+  let header who f = try f () with Corrupt _ -> corrupt "truncated checkpoint file (%s)" who in
+  (let m =
+     header "magic" (fun () ->
+         R.need r 4 "magic";
+         let m = String.sub s 0 4 in
+         r.R.pos <- 4;
+         m)
+   in
+   if not (String.equal m magic) then
+     corrupt "not a checkpoint file (bad magic %S, expected %S)" m magic);
+  (let v = header "format version" (fun () -> R.int r) in
+   if v <> format_version then
+     corrupt "unsupported checkpoint format version %d (this build reads version %d)" v
+       format_version);
+  let file_kind = header "kind" (fun () -> R.string r) in
+  if not (String.equal file_kind kind) then
+    corrupt "checkpoint kind mismatch: file holds a %S snapshot, expected %S" file_kind kind;
+  let meta = header "meta" (fun () -> R.string r) in
+  let plen = header "payload length" (fun () -> R.int r) in
+  if plen < 0 || r.R.pos + plen + 8 > String.length s then
+    corrupt "truncated checkpoint file (payload of %d bytes missing)" plen;
+  let payload_pos = r.R.pos in
+  r.R.pos <- payload_pos + plen;
+  let stored_crc = Int64.to_int32 (R.i64 r) in
+  if r.R.pos <> String.length s then
+    corrupt "trailing garbage after checkpoint record (%d extra bytes)"
+      (String.length s - r.R.pos);
+  let computed = Crc32.update 0l s 0 (payload_pos + plen) in
+  if not (Int32.equal stored_crc computed) then
+    corrupt "checkpoint CRC mismatch (stored 0x%08lx, computed 0x%08lx): file is corrupted"
+      stored_crc computed;
+  (meta, R.of_string (String.sub s payload_pos plen))
+
+let to_file ~path ~kind ~meta fill =
+  let w = W.create () in
+  fill w;
+  let record = encode ~kind ~meta (W.contents w) in
+  (* Atomic publish: write the whole record to a sibling temp file,
+     fsync-free but rename-atomic on POSIX, so a crash mid-write can
+     never leave a half-written file under the checkpoint name. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try output_string oc record
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let of_file ~path ~kind =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> corrupt "cannot open checkpoint file: %s" msg
+  in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode ~kind s

@@ -236,6 +236,28 @@ module Block = struct
       k := kc + 1
     done;
     t.k <- t.k + len
+
+  (* Checkpoint state is the ring window plus the position counter —
+     O(order), never O(horizon). The coefficient table is re-derived
+     from the descriptor on resume; [scratch] is pure scratch. *)
+  let save t w =
+    let module W = Ss_checkpoint.W in
+    W.tag w "hosking-block";
+    W.int w t.order;
+    W.int w t.k;
+    W.float_array w t.ring
+
+  let restore t r =
+    let module R = Ss_checkpoint.R in
+    R.tag r "hosking-block";
+    let order = R.int r in
+    if order <> t.order then
+      raise
+        (Ss_checkpoint.Corrupt
+           (Printf.sprintf "hosking-block: checkpoint order %d, generator order %d" order
+              t.order));
+    t.k <- R.int r;
+    R.float_array_into r t.ring
 end
 
 let generate_into table rng buf =

@@ -93,6 +93,15 @@ module Block : sig
       exactly one Gaussian per value.
       @raise Invalid_argument if the range lies outside the
       buffer. *)
+
+  val save : t -> Ss_checkpoint.W.t -> unit
+  val restore : t -> Ss_checkpoint.R.t -> unit
+  (** Checkpoint codec: O(order) state (ring window + position), never
+      the coefficient table — that is re-derived from the descriptor
+      on resume. {!restore} requires a generator created with the same
+      [order] and overwrites it in place.
+      @raise Ss_checkpoint.Corrupt on order mismatch or malformed
+      data. *)
 end
 
 val ar_dot : float array -> float array -> top:int -> k:int -> float

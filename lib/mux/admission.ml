@@ -117,6 +117,50 @@ let evict t ~name =
     t.load <- rest;
     true
 
+module W = Ss_checkpoint.W
+module R = Ss_checkpoint.R
+
+let save_descr w d =
+  W.string w d.name;
+  W.float w d.mean;
+  W.float w d.sigma2;
+  W.float w d.hurst
+
+let read_descr r =
+  let name = R.string r in
+  let mean = R.float r in
+  let sigma2 = R.float r in
+  let hurst = R.float r in
+  { name; mean; sigma2; hurst }
+
+(* The mutable state is the admitted-load list (reverse admission
+   order); service/buffer/epsilon are construction parameters,
+   serialized only to verify the resuming process rebuilt the
+   controller identically. *)
+let save t w =
+  W.tag w "admission";
+  W.float w t.service;
+  W.float w t.buffer;
+  W.float w t.epsilon;
+  W.int w (List.length t.load);
+  List.iter (save_descr w) t.load
+
+let restore t r =
+  R.tag r "admission";
+  let check name saved live =
+    if Int64.bits_of_float saved <> Int64.bits_of_float live then
+      raise
+        (Ss_checkpoint.Corrupt
+           (Printf.sprintf "admission: checkpoint %s %.17g, controller has %.17g" name saved
+              live))
+  in
+  check "service" (R.float r) t.service;
+  check "buffer" (R.float r) t.buffer;
+  check "epsilon" (R.float r) t.epsilon;
+  let n = R.int r in
+  if n < 0 then raise (Ss_checkpoint.Corrupt "admission: negative load count");
+  t.load <- List.init n (fun _ -> read_descr r)
+
 let renegotiate t ~name d =
   match remove_name t.load name with
   | None -> try_admit t d

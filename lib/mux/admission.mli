@@ -90,3 +90,14 @@ val renegotiate : t -> name:string -> descr -> decision
 val evict : t -> name:string -> bool
 (** Remove the (most recently admitted) descriptor named [name] from
     the load; [false] if absent. *)
+
+val save_descr : Ss_checkpoint.W.t -> descr -> unit
+val read_descr : Ss_checkpoint.R.t -> descr
+(** Descriptor codec, shared with the policing layer's checkpoint. *)
+
+val save : t -> Ss_checkpoint.W.t -> unit
+val restore : t -> Ss_checkpoint.R.t -> unit
+(** Checkpoint codec for the admitted-load list. {!restore} requires a
+    controller created with the bitwise-same service/buffer/epsilon
+    and overwrites its load in place.
+    @raise Ss_checkpoint.Corrupt on parameter mismatch. *)

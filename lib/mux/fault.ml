@@ -1,4 +1,6 @@
 module Rng = Ss_stats.Rng
+module W = Ss_checkpoint.W
+module R = Ss_checkpoint.R
 
 type event =
   | Drift of { start : int; ramp : int; factor : float }
@@ -13,49 +15,58 @@ let check_prob name p =
     invalid_arg (Printf.sprintf "Fault: %s rate %g outside [0,1]" name p)
 
 let check_pos name x =
-  if Float.is_nan x || x <= 0.0 then invalid_arg (Printf.sprintf "Fault: %s %g <= 0" name x)
+  if Float.is_nan x || x <= 0.0 then
+    invalid_arg (Printf.sprintf "Fault: %s %g must be positive" name x)
 
 let check_scale name x =
   if Float.is_nan x || x < 0.0 || x = infinity then
     invalid_arg (Printf.sprintf "Fault: %s %g not a finite nonnegative scale" name x)
 
+let check_slots name v =
+  if v < 0 then
+    invalid_arg (Printf.sprintf "Fault: %s %d is negative (must be a slot count >= 0)" name v)
+
 let validate = function
   | Drift { start; ramp; factor } ->
-    if start < 0 then invalid_arg "Fault: drift start < 0";
-    if ramp < 0 then invalid_arg "Fault: drift ramp < 0";
+    check_slots "drift start" start;
+    check_slots "drift ramp" ramp;
     check_scale "drift factor" factor
   | Burst { rate; mean_len; amplitude } ->
     check_prob "burst" rate;
     check_pos "burst mean length" mean_len;
     check_scale "burst amplitude" amplitude
   | Stall { start; len } ->
-    if start < 0 then invalid_arg "Fault: stall start < 0";
-    if len < 0 then invalid_arg "Fault: stall len < 0"
+    check_slots "stall start" start;
+    check_slots "stall len" len
   | Dropout { rate; mean_len } ->
     check_prob "dropout" rate;
     check_pos "dropout mean length" mean_len
   | Corrupt { rate } -> check_prob "corrupt" rate
   | Misdeclare { mean; sigma2; hurst } -> (
     (match mean with
-    | Some m when Float.is_nan m || m < 0.0 -> invalid_arg "Fault: misdeclared mean < 0"
+    | Some m when Float.is_nan m || m < 0.0 ->
+      invalid_arg (Printf.sprintf "Fault: misdeclared mean %g must be >= 0" m)
     | _ -> ());
     (match sigma2 with
-    | Some s when Float.is_nan s || s < 0.0 -> invalid_arg "Fault: misdeclared sigma2 < 0"
+    | Some s when Float.is_nan s || s < 0.0 ->
+      invalid_arg (Printf.sprintf "Fault: misdeclared sigma2 %g must be >= 0" s)
     | _ -> ());
     match hurst with
     | Some h when Float.is_nan h || h <= 0.0 || h >= 1.0 ->
-      invalid_arg "Fault: misdeclared hurst outside (0,1)"
+      invalid_arg (Printf.sprintf "Fault: misdeclared hurst %g outside (0,1)" h)
     | _ -> ())
 
 (* Geometric-ish episode process: each quiet slot starts an episode
    with probability [rate]; episode lengths are rounded exponentials
    of mean [mean_len] (min 1). Returns a per-slot "inside an episode"
-   predicate. Draws exactly one uniform on quiet slots and one more
-   on episode starts, so the schedule is a pure function of the
+   predicate plus the residual-length cell, which together with the
+   substream state is the whole episode state a checkpoint must
+   carry. Draws exactly one uniform on quiet slots and one more on
+   episode starts, so the schedule is a pure function of the
    substream. *)
 let episodes rng ~rate ~mean_len =
   let remaining = ref 0 in
-  fun () ->
+  let inside () =
     if !remaining > 0 then begin
       decr remaining;
       true
@@ -68,30 +79,72 @@ let episodes rng ~rate ~mean_len =
       true
     end
     else false
+  in
+  (inside, remaining)
+
+(* A compiled event: the per-slot transform plus its checkpoint codec.
+   Scripted events (drift, stall) and misdeclaration are pure
+   functions of the slot index — nothing to save; the stochastic ones
+   carry their substream (and episode residual). *)
+type compiled = {
+  apply : int -> float -> float;
+  ev_save : W.t -> unit;
+  ev_restore : R.t -> unit;
+}
+
+let stateless apply =
+  { apply; ev_save = (fun w -> W.tag w "ev-pure"); ev_restore = (fun r -> R.tag r "ev-pure") }
+
+let episodic rng ~rate ~mean_len mk =
+  let inside, remaining = episodes rng ~rate ~mean_len in
+  {
+    apply = mk inside;
+    ev_save =
+      (fun w ->
+        W.tag w "ev-episodic";
+        Rng.save rng w;
+        W.int w !remaining);
+    ev_restore =
+      (fun r ->
+        R.tag r "ev-episodic";
+        Rng.restore rng r;
+        remaining := R.int r);
+  }
 
 let compile rng event =
   validate event;
   match event with
   | Drift { start; ramp; factor } ->
-    fun t w ->
-      if t < start then w
-      else
-        let progress =
-          if ramp <= 0 then 1.0
-          else Stdlib.min 1.0 (float_of_int (t - start + 1) /. float_of_int ramp)
-        in
-        w *. (1.0 +. ((factor -. 1.0) *. progress))
+    stateless (fun t w ->
+        if t < start then w
+        else
+          let progress =
+            if ramp <= 0 then 1.0
+            else Stdlib.min 1.0 (float_of_int (t - start + 1) /. float_of_int ramp)
+          in
+          w *. (1.0 +. ((factor -. 1.0) *. progress)))
   | Burst { rate; mean_len; amplitude } ->
-    let inside = episodes rng ~rate ~mean_len in
-    fun _t w -> if inside () then w *. amplitude else w
-  | Stall { start; len } -> fun t w -> if t >= start && t < start + len then 0.0 else w
+    episodic rng ~rate ~mean_len (fun inside _t w -> if inside () then w *. amplitude else w)
+  | Stall { start; len } ->
+    stateless (fun t w -> if t >= start && t < start + len then 0.0 else w)
   | Dropout { rate; mean_len } ->
-    let inside = episodes rng ~rate ~mean_len in
-    fun _t w -> if inside () then 0.0 else w
+    episodic rng ~rate ~mean_len (fun inside _t w -> if inside () then 0.0 else w)
   | Corrupt { rate } ->
-    fun _t w ->
-      if Rng.float rng < rate then (if Rng.bool rng then Float.nan else -1.0 -. w) else w
-  | Misdeclare _ -> fun _t w -> w
+    {
+      apply =
+        (fun _t w ->
+          if Rng.float rng < rate then (if Rng.bool rng then Float.nan else -1.0 -. w)
+          else w);
+      ev_save =
+        (fun w ->
+          W.tag w "ev-corrupt";
+          Rng.save rng w);
+      ev_restore =
+        (fun r ->
+          R.tag r "ev-corrupt";
+          Rng.restore rng r);
+    }
+  | Misdeclare _ -> stateless (fun _t w -> w)
 
 let misdeclared spec (src : Source.t) =
   List.fold_left
@@ -118,7 +171,7 @@ let wrap ?name ~rng spec (src : Source.t) =
       let w, c = src.Source.pull () in
       let slot = !t in
       incr t;
-      (List.fold_left (fun w f -> f slot w) w transforms, c)
+      (List.fold_left (fun w ev -> ev.apply slot w) w transforms, c)
     in
     (* Native block path: pull a block from the wrapped source, then
        apply the event transforms slot by slot in slot order — the
@@ -130,13 +183,36 @@ let wrap ?name ~rng spec (src : Source.t) =
       for j = off to off + f - 1 do
         let slot = !t in
         incr t;
-        wbuf.(j) <- List.fold_left (fun w g -> g slot w) wbuf.(j) transforms
+        wbuf.(j) <- List.fold_left (fun w ev -> ev.apply slot w) wbuf.(j) transforms
       done;
       f
     in
     let mean, sigma2, hurst = misdeclared spec src in
     let name = match name with Some n -> n | None -> src.Source.name ^ "!" in
-    Source.make ~pull_block ~name ~mean ~sigma2 ~hurst pull
+    (* The wrapper checkpoints as: inner source state, then the slot
+       counter, then each event's state in spec order — available only
+       when the wrapped source itself supports checkpointing. *)
+    let ckpt =
+      match src.Source.ckpt with
+      | None -> None
+      | Some _ ->
+        Some
+          {
+            Source.ck_save =
+              (fun w ->
+                Source.save src w;
+                W.tag w "fault-wrap";
+                W.int w !t;
+                List.iter (fun ev -> ev.ev_save w) transforms);
+            ck_restore =
+              (fun r ->
+                Source.restore src r;
+                R.tag r "fault-wrap";
+                t := R.int r;
+                List.iter (fun ev -> ev.ev_restore r) transforms);
+          }
+    in
+    Source.make ~pull_block ?ckpt ~name ~mean ~sigma2 ~hurst pull
 
 let wrap_all ~rng specs sources =
   let n = Array.length sources in
@@ -161,41 +237,69 @@ let wrap_all ~rng specs sources =
 
 (* --- spec parsing ------------------------------------------------- *)
 
+let known_kinds =
+  "drift@START+RAMPxFACTOR, burst@RATE+LENxAMP, stall@START+LEN, dropout@RATE+LEN, \
+   corrupt@RATE, mean=V, sigma2=V, hurst=V"
+
+(* The event kind is identified by its prefix (before '@' or '=')
+   first, then its arguments are parsed against that kind's one
+   syntax — so a typo'd argument reports the kind's expected shape,
+   and an unknown kind lists every known one, instead of the generic
+   "unrecognized event" a try-them-all chain produces. *)
 let parse_event s =
   let s = String.trim s in
-  let attempts =
-    [
-      (fun () ->
-        Scanf.sscanf s "drift@%d+%dx%f%!" (fun start ramp factor ->
-            Drift { start; ramp; factor }));
-      (fun () ->
-        Scanf.sscanf s "burst@%f+%fx%f%!" (fun rate mean_len amplitude ->
-            Burst { rate; mean_len; amplitude }));
-      (fun () -> Scanf.sscanf s "stall@%d+%d%!" (fun start len -> Stall { start; len }));
-      (fun () ->
-        Scanf.sscanf s "dropout@%f+%f%!" (fun rate mean_len -> Dropout { rate; mean_len }));
-      (fun () -> Scanf.sscanf s "corrupt@%f%!" (fun rate -> Corrupt { rate }));
-      (fun () ->
-        Scanf.sscanf s "mean=%f%!" (fun m ->
-            Misdeclare { mean = Some m; sigma2 = None; hurst = None }));
-      (fun () ->
-        Scanf.sscanf s "sigma2=%f%!" (fun v ->
-            Misdeclare { mean = None; sigma2 = Some v; hurst = None }));
-      (fun () ->
-        Scanf.sscanf s "hurst=%f%!" (fun h ->
-            Misdeclare { mean = None; sigma2 = None; hurst = Some h }));
-    ]
+  let scan kind expected scanner =
+    try scanner () with
+    | Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      invalid_arg
+        (Printf.sprintf "Fault.parse: malformed %s event %S — expected %s" kind s expected)
   in
-  let rec first = function
-    | [] -> invalid_arg (Printf.sprintf "Fault.parse: unrecognized event %S" s)
-    | f :: rest -> (
-      match f () with
-      | ev ->
-        validate ev;
-        ev
-      | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> first rest)
+  let ev =
+    match (String.index_opt s '@', String.index_opt s '=') with
+    | Some i, _ -> (
+      match String.sub s 0 i with
+      | "drift" ->
+        scan "drift" "drift@START+RAMPxFACTOR (slots, slots, scale)" (fun () ->
+            Scanf.sscanf s "drift@%d+%dx%f%!" (fun start ramp factor ->
+                Drift { start; ramp; factor }))
+      | "burst" ->
+        scan "burst" "burst@RATE+LENxAMP (rate in [0,1], mean length, amplitude)" (fun () ->
+            Scanf.sscanf s "burst@%f+%fx%f%!" (fun rate mean_len amplitude ->
+                Burst { rate; mean_len; amplitude }))
+      | "stall" ->
+        scan "stall" "stall@START+LEN (slots, slots)" (fun () ->
+            Scanf.sscanf s "stall@%d+%d%!" (fun start len -> Stall { start; len }))
+      | "dropout" ->
+        scan "dropout" "dropout@RATE+LEN (rate in [0,1], mean length)" (fun () ->
+            Scanf.sscanf s "dropout@%f+%f%!" (fun rate mean_len -> Dropout { rate; mean_len }))
+      | "corrupt" ->
+        scan "corrupt" "corrupt@RATE (rate in [0,1])" (fun () ->
+            Scanf.sscanf s "corrupt@%f%!" (fun rate -> Corrupt { rate }))
+      | kind ->
+        invalid_arg
+          (Printf.sprintf "Fault.parse: unknown fault kind %S in event %S; known kinds: %s"
+             kind s known_kinds))
+    | None, Some i -> (
+      let field = String.sub s 0 i in
+      let value () =
+        scan field (field ^ "=VALUE (a float)") (fun () ->
+            Scanf.sscanf s "%_s@=%f%!" (fun v -> v))
+      in
+      match field with
+      | "mean" -> Misdeclare { mean = Some (value ()); sigma2 = None; hurst = None }
+      | "sigma2" -> Misdeclare { mean = None; sigma2 = Some (value ()); hurst = None }
+      | "hurst" -> Misdeclare { mean = None; sigma2 = None; hurst = Some (value ()) }
+      | field ->
+        invalid_arg
+          (Printf.sprintf
+             "Fault.parse: unknown misdeclare field %S in event %S; known kinds: %s" field s
+             known_kinds))
+    | None, None ->
+      invalid_arg
+        (Printf.sprintf "Fault.parse: unrecognized event %S; known kinds: %s" s known_kinds)
   in
-  first attempts
+  validate ev;
+  ev
 
 let parse_group s =
   match String.index_opt s ':' with

@@ -72,6 +72,200 @@ let fmin (a : float) b = if a <= b then a else b
 let fmax (a : float) b = if a >= b then a else b
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint/resume                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Ck = Ss_checkpoint
+
+type checkpoint = {
+  every : int;  (* minimum slots between snapshots *)
+  save : slot:int -> (Ck.W.t -> unit) -> unit;
+}
+
+(* Both engines keep the identical set of persistent accumulators;
+   gathering them in one record lets a single codec serve the
+   reference and the sharded engine (and makes "what survives a
+   resume" an explicit, auditable list). Everything NOT in here —
+   staging buffers, per-slot scratch ([works]/[classes]/[class_sums]/
+   [class_scale]/[class_adm], the adm/room/rem/prefix slot fields,
+   shard transpose state) — is recomputed from scratch every slot or
+   block, so a resumed run rebuilds it identically by construction.
+   [es_traj_cls] is the one trajectory array that carries state across
+   slots (residual per-(class, source) backlog cells); the other
+   trajectory arrays are per-slot. *)
+type engine_state = {
+  es_sources : Source.t array;
+  es_police : Police.t option;
+  es_slots : int;
+  es_service : float;
+  es_buffer : float;
+  es_quantiles : float list;
+  es_departed : bool array;
+  es_departed_at : int array;
+  es_offered : float array;
+  es_admitted : float array;
+  es_lost : float array;
+  es_peak : float array;
+  es_corrupt : int array;
+  es_throttled : float array;
+  es_discarded : float array;
+  es_st : slot_state;
+  es_queue_stats : Online.t;
+  es_q_quant : (float * Online.P2.t) array;
+  es_d_quant : (float * Online.P2.t) array;
+  es_class_backlog : float array;
+  es_class_quant : (float * Online.P2.t) array option array;
+  es_top_class : int ref;
+  es_thr_hits : int array;
+  es_traj_cls : float array;  (* [||] when no trajectory sink *)
+}
+
+(* Snapshots are taken only at block-boundary staging points, where
+   every source sits exactly at slot [t] (it has produced slots
+   0..t-1 and nothing further) and all accumulators reflect exactly
+   those slots. Block size never enters the arithmetic, so a resumed
+   run whose block boundaries land elsewhere still replays the same
+   per-slot statement sequence — the basis of the resume ≡
+   uninterrupted bitwise contract. *)
+let save_engine es ~t w =
+  let n = Array.length es.es_sources in
+  Ck.W.tag w "mux-engine";
+  Ck.W.int w t;
+  Ck.W.int w n;
+  Ck.W.int w es.es_slots;
+  Ck.W.float w es.es_service;
+  Ck.W.float w es.es_buffer;
+  Ck.W.int w (Array.length es.es_q_quant);
+  Ck.W.int w (Array.length es.es_thr_hits);
+  Ck.W.bool w (es.es_traj_cls <> [||]);
+  Ck.W.bool w (es.es_police <> None);
+  for i = 0 to n - 1 do
+    Ck.W.bool w es.es_departed.(i)
+  done;
+  Ck.W.int_array w es.es_departed_at;
+  Ck.W.float_array w es.es_offered;
+  Ck.W.float_array w es.es_admitted;
+  Ck.W.float_array w es.es_lost;
+  Ck.W.float_array w es.es_peak;
+  Ck.W.int_array w es.es_corrupt;
+  Ck.W.float_array w es.es_throttled;
+  Ck.W.float_array w es.es_discarded;
+  Ck.W.float w es.es_st.q;
+  Ck.W.float w es.es_st.served;
+  Online.save es.es_queue_stats w;
+  Array.iter (fun (_, p2) -> Online.P2.save p2 w) es.es_q_quant;
+  Array.iter (fun (_, p2) -> Online.P2.save p2 w) es.es_d_quant;
+  Ck.W.int w !(es.es_top_class);
+  Ck.W.float_array w es.es_class_backlog;
+  (* Classes 0..top_class all hold estimators (created the first slot
+     the class appeared); higher classes were never seen. *)
+  for c = 0 to !(es.es_top_class) do
+    match es.es_class_quant.(c) with
+    | Some qs -> Array.iter (fun (_, p2) -> Online.P2.save p2 w) qs
+    | None -> assert false
+  done;
+  Ck.W.int_array w es.es_thr_hits;
+  if es.es_traj_cls <> [||] then
+    (* Only rows 0..top_class can hold nonzero cells. *)
+    for c = 0 to !(es.es_top_class) do
+      for i = 0 to n - 1 do
+        Ck.W.float w es.es_traj_cls.((c * n) + i)
+      done
+    done;
+  Ck.W.tag w "mux-sources";
+  Array.iter (fun s -> Source.save s w) es.es_sources;
+  match es.es_police with Some p -> Police.save p w | None -> ()
+
+(* Restores in place over a freshly constructed engine and returns the
+   resume slot. The construction parameters (source count, slots,
+   service, buffer, quantile/threshold counts, trajectory and policer
+   presence) are verified against the snapshot first: the caller must
+   rebuild the run identically before resuming, and a mismatch is a
+   refusal, never a silent divergence. *)
+let restore_engine es r =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Ck.Corrupt ("mux: " ^ s))) fmt in
+  let n = Array.length es.es_sources in
+  Ck.R.tag r "mux-engine";
+  let t0 = Ck.R.int r in
+  let check_int name saved live =
+    if saved <> live then fail "checkpoint has %s %d, this run has %d" name saved live
+  in
+  let check_float name saved live =
+    if Int64.bits_of_float saved <> Int64.bits_of_float live then
+      fail "checkpoint has %s %.17g, this run has %.17g" name saved live
+  in
+  let check_bool name saved live =
+    if saved <> live then
+      fail "checkpoint %s %s, this run %s" name
+        (if saved then "present" else "absent")
+        (if live then "is" else "is not")
+  in
+  check_int "source count" (Ck.R.int r) n;
+  check_int "slots" (Ck.R.int r) es.es_slots;
+  check_float "service" (Ck.R.float r) es.es_service;
+  check_float "buffer" (Ck.R.float r) es.es_buffer;
+  check_int "quantile count" (Ck.R.int r) (Array.length es.es_q_quant);
+  check_int "threshold count" (Ck.R.int r) (Array.length es.es_thr_hits);
+  check_bool "trajectory" (Ck.R.bool r) (es.es_traj_cls <> [||]);
+  check_bool "policer" (Ck.R.bool r) (es.es_police <> None);
+  if t0 < 0 || t0 > es.es_slots then
+    fail "resume slot %d outside [0, %d]" t0 es.es_slots;
+  for i = 0 to n - 1 do
+    es.es_departed.(i) <- Ck.R.bool r
+  done;
+  Ck.R.int_array_into r es.es_departed_at;
+  Ck.R.float_array_into r es.es_offered;
+  Ck.R.float_array_into r es.es_admitted;
+  Ck.R.float_array_into r es.es_lost;
+  Ck.R.float_array_into r es.es_peak;
+  Ck.R.int_array_into r es.es_corrupt;
+  Ck.R.float_array_into r es.es_throttled;
+  Ck.R.float_array_into r es.es_discarded;
+  es.es_st.q <- Ck.R.float r;
+  es.es_st.served <- Ck.R.float r;
+  Online.restore es.es_queue_stats r;
+  Array.iter (fun (_, p2) -> Online.P2.restore p2 r) es.es_q_quant;
+  Array.iter (fun (_, p2) -> Online.P2.restore p2 r) es.es_d_quant;
+  let tc = Ck.R.int r in
+  if tc < -1 || tc >= max_classes then fail "top class %d outside [-1, %d]" tc (max_classes - 1);
+  es.es_top_class := tc;
+  Ck.R.float_array_into r es.es_class_backlog;
+  for c = 0 to tc do
+    let qs =
+      Array.of_list (List.map (fun p -> (p, Online.P2.create ~p)) es.es_quantiles)
+    in
+    Array.iter (fun (_, p2) -> Online.P2.restore p2 r) qs;
+    es.es_class_quant.(c) <- Some qs
+  done;
+  Ck.R.int_array_into r es.es_thr_hits;
+  if es.es_traj_cls <> [||] then
+    for c = 0 to tc do
+      for i = 0 to n - 1 do
+        es.es_traj_cls.((c * n) + i) <- Ck.R.float r
+      done
+    done;
+  Ck.R.tag r "mux-sources";
+  Array.iter (fun s -> Source.restore s r) es.es_sources;
+  (match es.es_police with Some p -> Police.restore p r | None -> ());
+  t0
+
+let validate_checkpoint ?checkpoint ?resume sources =
+  if checkpoint <> None || resume <> None then begin
+    (match checkpoint with
+    | Some ck when ck.every < 1 -> invalid_arg "Mux.run: checkpoint interval < 1"
+    | _ -> ());
+    Array.iter
+      (fun s ->
+        if not (Source.supports_checkpoint s) then
+          invalid_arg
+            (Printf.sprintf
+               "Mux.run: source %s does not support checkpointing (importance-sampled \
+                sources carry likelihood state outside the snapshot)"
+               s.Source.name))
+      sources
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Reference engine (pre-shard pooled prefetch)                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -85,8 +279,11 @@ let fmax (a : float) b = if a >= b then a else b
    makes the two engines (and any shard/domain count) bitwise
    interchangeable. *)
 let run_reference ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ])
-    ?probe ?police ?trajectory ~service ~slots sources =
+    ?probe ?police ?trajectory ?checkpoint ?resume ~service ~slots sources =
   if slots <= 0 then invalid_arg "Mux.run: slots <= 0";
+  if probe <> None && (checkpoint <> None || resume <> None) then
+    invalid_arg "Mux.run: ~probe is incompatible with checkpoint/resume (strict lock-step)";
+  validate_checkpoint ?checkpoint ?resume sources;
   if service <= 0.0 then invalid_arg "Mux.run: service <= 0";
   if buffer < 0.0 then invalid_arg "Mux.run: buffer < 0";
   let n = Array.length sources in
@@ -115,6 +312,15 @@ let run_reference ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 
      existed. *)
   let block =
     match (probe, pool) with Some _, None -> 1 | _ -> Stdlib.min prefetch_slots slots
+  in
+  (* Snapshots only land on staging points, so a block longer than the
+     requested cadence would silently skip them (a whole small run can
+     be one block). Capping the block at [every] is bitwise-free:
+     block size never enters the arithmetic. *)
+  let block =
+    match checkpoint with
+    | Some ck -> Stdlib.max 1 (Stdlib.min block ck.every)
+    | None -> block
   in
   let wbuf = Array.make (block * n) 0.0 in
   let cbuf = Array.make (block * n) 0 in
@@ -195,8 +401,46 @@ let run_reference ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 
   let traj_cls = if has_traj then Array.make (max_classes * n) 0.0 else [||] in
   let traj_prefix = if has_traj then Array.make max_classes 0.0 else [||] in
   let st = { q = 0.0; served = 0.0; adm = 0.0; room = 0.0; rem = 0.0; prefix = 0.0 } in
-  for t = 0 to slots - 1 do
+  let es =
+    {
+      es_sources = sources;
+      es_police = police;
+      es_slots = slots;
+      es_service = service;
+      es_buffer = buffer;
+      es_quantiles = quantiles;
+      es_departed = departed;
+      es_departed_at = departed_at;
+      es_offered = offered;
+      es_admitted = admitted;
+      es_lost = lost;
+      es_peak = peak;
+      es_corrupt = corrupt;
+      es_throttled = throttled;
+      es_discarded = discarded;
+      es_st = st;
+      es_queue_stats = queue_stats;
+      es_q_quant = q_quant;
+      es_d_quant = d_quant;
+      es_class_backlog = class_backlog;
+      es_class_quant = class_quant;
+      es_top_class = top_class;
+      es_thr_hits = thr_hits;
+      es_traj_cls = traj_cls;
+    }
+  in
+  let t0 = match resume with None -> 0 | Some r -> restore_engine es r in
+  base := t0;
+  let last_ck = ref t0 in
+  for t = t0 to slots - 1 do
     if t >= !base + !filled then begin
+      (* Every source sits exactly at slot [t] here — the only points
+         where a snapshot captures a consistent whole-run state. *)
+      (match checkpoint with
+      | Some ck when t - !last_ck >= ck.every ->
+        last_ck := t;
+        ck.save ~slot:t (save_engine es ~t)
+      | _ -> ());
       base := t;
       let bs = Stdlib.min block (slots - t) in
       filled := bs;
@@ -450,9 +694,10 @@ let run_reference ?pool ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 
    pinned source order, identical to the reference engine. Integer
    per-source state merged at the barrier (departure flags and slots)
    is written only by the owning shard. *)
-let run_sharded ?pool ~shards ~buffer ~thresholds ~quantiles ?police ?trajectory ~service
-    ~slots sources =
+let run_sharded ?pool ~shards ~buffer ~thresholds ~quantiles ?police ?trajectory ?checkpoint
+    ?resume ~service ~slots sources =
   if slots <= 0 then invalid_arg "Mux.run: slots <= 0";
+  validate_checkpoint ?checkpoint ?resume sources;
   if service <= 0.0 then invalid_arg "Mux.run: service <= 0";
   if buffer < 0.0 then invalid_arg "Mux.run: buffer < 0";
   let n = Array.length sources in
@@ -464,6 +709,13 @@ let run_sharded ?pool ~shards ~buffer ~thresholds ~quantiles ?police ?trajectory
   let nshards = Stdlib.min shards n in
   let block =
     Stdlib.min slots (Stdlib.max 8 (Stdlib.min max_sharded_block (staging_budget / n)))
+  in
+  (* See the reference engine: a block longer than the checkpoint
+     cadence would skip every snapshot point. Bitwise-free cap. *)
+  let block =
+    match checkpoint with
+    | Some ck -> Stdlib.max 1 (Stdlib.min block ck.every)
+    | None -> block
   in
   let departed = Array.make n false in
   let departed_at = Array.make n (-1) in
@@ -625,8 +877,48 @@ let run_sharded ?pool ~shards ~buffer ~thresholds ~quantiles ?police ?trajectory
      pass, so the lane is bitwise invisible. *)
   let fast_ok = Option.is_none police && unbounded && not has_traj in
   let blk_all0 = ref false in
-  for t = 0 to slots - 1 do
+  let es =
+    {
+      es_sources = sources;
+      es_police = police;
+      es_slots = slots;
+      es_service = service;
+      es_buffer = buffer;
+      es_quantiles = quantiles;
+      es_departed = departed;
+      es_departed_at = departed_at;
+      es_offered = offered;
+      es_admitted = admitted;
+      es_lost = lost;
+      es_peak = peak;
+      es_corrupt = corrupt;
+      es_throttled = throttled;
+      es_discarded = discarded;
+      es_st = st;
+      es_queue_stats = queue_stats;
+      es_q_quant = q_quant;
+      es_d_quant = d_quant;
+      es_class_backlog = class_backlog;
+      es_class_quant = class_quant;
+      es_top_class = top_class;
+      es_thr_hits = thr_hits;
+      es_traj_cls = traj_cls;
+    }
+  in
+  let t0 = match resume with None -> 0 | Some r -> restore_engine es r in
+  base := t0;
+  let last_ck = ref t0 in
+  for t = t0 to slots - 1 do
     if t >= !base + !filled then begin
+      (* Same consistent point as the reference engine: all shards
+         idle, every source exactly at slot [t]. The snapshot is
+         engine- and shard-count-independent — a run checkpointed at
+         4 shards resumes bitwise at 1, and vice versa. *)
+      (match checkpoint with
+      | Some ck when t - !last_ck >= ck.every ->
+        last_ck := t;
+        ck.save ~slot:t (save_engine es ~t)
+      | _ -> ());
       base := t;
       let bs = Stdlib.min block (slots - t) in
       filled := bs;
@@ -857,7 +1149,7 @@ let run_sharded ?pool ~shards ~buffer ~thresholds ~quantiles ?police ?trajectory
   }
 
 let run ?pool ?shards ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.5; 0.9; 0.99 ])
-    ?probe ?police ?trajectory ~service ~slots sources =
+    ?probe ?police ?trajectory ?checkpoint ?resume ~service ~slots sources =
   (match shards with
   | Some s when s < 1 -> invalid_arg "Mux.run: shards < 1"
   | _ -> ());
@@ -871,16 +1163,16 @@ let run ?pool ?shards ?(buffer = infinity) ?(thresholds = []) ?(quantiles = [ 0.
     (match shards with
     | Some s when s > 1 -> invalid_arg "Mux.run: ~probe requires shards = 1 (strict lock-step)"
     | _ -> ());
-    run_reference ?pool ~buffer ~thresholds ~quantiles ?probe ?police ?trajectory ~service
-      ~slots sources
+    run_reference ?pool ~buffer ~thresholds ~quantiles ?probe ?police ?trajectory ?checkpoint
+      ?resume ~service ~slots sources
   | None ->
     let shards =
       match shards with
       | Some s -> s
       | None -> (match pool with Some p -> Ss_parallel.Pool.size p | None -> 1)
     in
-    run_sharded ?pool ~shards ~buffer ~thresholds ~quantiles ?police ?trajectory ~service
-      ~slots sources
+    run_sharded ?pool ~shards ~buffer ~thresholds ~quantiles ?police ?trajectory ?checkpoint
+      ?resume ~service ~slots sources
 
 (* ------------------------------------------------------------------ *)
 (* Report equality                                                     *)

@@ -65,6 +65,26 @@ type report = {
   per_source : source_report array;
 }
 
+type checkpoint = {
+  every : int;
+      (** minimum slots between snapshots; the engine snapshots at the
+          first block-boundary staging point at least [every] slots
+          after the previous one, so the effective interval rounds up
+          to the staging block *)
+  save : slot:int -> (Ss_checkpoint.W.t -> unit) -> unit;
+      (** called with the slot being snapshotted and a serializer that
+          writes the full engine state (accumulators, estimators,
+          per-source generator state, policer state) into the supplied
+          writer; the callback owns framing and file I/O — typically
+          {!Ss_checkpoint.to_file} with run metadata in [meta] *)
+}
+(** Periodic crash-safe snapshot hook for {!run}. Snapshots are taken
+    only at staging points where every source sits exactly at slot
+    [t], so the captured state is consistent and independent of the
+    engine, block size, shard count and domain count: a run
+    checkpointed under one configuration resumes bitwise under any
+    other (enforced by test). *)
+
 val run :
   ?pool:Ss_parallel.Pool.t ->
   ?shards:int ->
@@ -74,6 +94,8 @@ val run :
   ?probe:(int -> float -> unit) ->
   ?police:Police.t ->
   ?trajectory:(slot:int -> served:float array -> delays:float array -> unit) ->
+  ?checkpoint:checkpoint ->
+  ?resume:Ss_checkpoint.R.t ->
   service:float ->
   slots:int ->
   Source.t array ->
@@ -128,10 +150,26 @@ val run :
     conforming sources never alters traffic, so such a run is
     bit-identical to an unpoliced one. Policer calls happen on the
     sequential admission loop in slot order, composing with [pool].
+
+    With [checkpoint], the engine periodically hands a full-state
+    serializer to the callback (see {!type-checkpoint}); with
+    [resume], the engine restores that state — over sources, policer
+    and trajectory sink rebuilt identically by the caller — and
+    continues from the snapshot slot, producing a report bitwise
+    equal to the uninterrupted run's. Construction parameters are
+    verified against the snapshot ({!Ss_checkpoint.Corrupt} on
+    mismatch, with the offending field named). Checkpointing is
+    observational: a run with [checkpoint] is bit-identical to one
+    without.
     @raise Invalid_argument if [slots <= 0], [service <= 0],
     [buffer < 0], [shards < 1], no sources, a quantile outside (0,1),
-    a negative threshold, a source yields a class outside [0, 63], or
-    [police] was created for a different number of sources. *)
+    a negative threshold, a source yields a class outside [0, 63],
+    [police] was created for a different number of sources, a
+    checkpoint interval is < 1, checkpoint/resume is combined with
+    [probe], or a source does not support checkpointing
+    ({!Source.supports_checkpoint}).
+    @raise Ss_checkpoint.Corrupt when [resume] does not match the
+    reconstructed run or is structurally invalid. *)
 
 val run_reference :
   ?pool:Ss_parallel.Pool.t ->
@@ -141,6 +179,8 @@ val run_reference :
   ?probe:(int -> float -> unit) ->
   ?police:Police.t ->
   ?trajectory:(slot:int -> served:float array -> delays:float array -> unit) ->
+  ?checkpoint:checkpoint ->
+  ?resume:Ss_checkpoint.R.t ->
   service:float ->
   slots:int ->
   Source.t array ->

@@ -306,6 +306,116 @@ let corrupt_slots t i =
 let incidents t = List.rev t.incidents
 let incident_count t = List.length t.incidents
 
+(* --- checkpoint codec --------------------------------------------- *)
+
+module W = Ss_checkpoint.W
+module R = Ss_checkpoint.R
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Ss_checkpoint.Corrupt s)) fmt
+
+let save_verdict w = function
+  | Conforming -> W.u8 w 0
+  | Drifting d ->
+    W.u8 w 1;
+    Admission.save_descr w d
+  | Violating reason ->
+    W.u8 w 2;
+    W.string w reason
+
+let read_verdict r =
+  match R.u8 r with
+  | 0 -> Conforming
+  | 1 -> Drifting (Admission.read_descr r)
+  | 2 -> Violating (R.string r)
+  | v -> corrupt "police: unknown verdict tag %d" v
+
+let save_event w = function
+  | Flagged v ->
+    W.u8 w 0;
+    save_verdict w v
+  | Renegotiated d ->
+    W.u8 w 1;
+    Admission.save_descr w d
+  | Demoted k ->
+    W.u8 w 2;
+    W.int w k
+  | Throttle_set cap ->
+    W.u8 w 3;
+    W.float w cap
+  | Evicted -> W.u8 w 4
+
+let read_event r =
+  match R.u8 r with
+  | 0 -> Flagged (read_verdict r)
+  | 1 -> Renegotiated (Admission.read_descr r)
+  | 2 -> Demoted (R.int r)
+  | 3 -> Throttle_set (R.float r)
+  | 4 -> Evicted
+  | v -> corrupt "police: unknown event tag %d" v
+
+let save_state w s =
+  Admission.save_descr w s.declared;
+  Online.save s.win w;
+  Online.Vt.save s.vt w;
+  W.int w s.filled;
+  W.int w s.windows;
+  W.int w s.consec_bad;
+  W.int w s.strikes;
+  W.int w s.demote;
+  W.float w s.cap;
+  W.bool w s.evicted;
+  W.int w s.detected_at;
+  W.int w s.corrupt;
+  W.option w Admission.save_descr s.measured
+
+let restore_state r s =
+  s.declared <- Admission.read_descr r;
+  Online.restore s.win r;
+  Online.Vt.restore s.vt r;
+  s.filled <- R.int r;
+  s.windows <- R.int r;
+  s.consec_bad <- R.int r;
+  s.strikes <- R.int r;
+  s.demote <- R.int r;
+  s.cap <- R.float r;
+  s.evicted <- R.bool r;
+  s.detected_at <- R.int r;
+  s.corrupt <- R.int r;
+  s.measured <- R.option r Admission.read_descr
+
+let save t w =
+  W.tag w "police";
+  W.int w (Array.length t.states);
+  Array.iter (save_state w) t.states;
+  W.int w (List.length t.incidents);
+  List.iter
+    (fun { slot; source; event } ->
+      W.int w slot;
+      W.string w source;
+      save_event w event)
+    t.incidents;
+  W.option w (fun w cac -> Admission.save cac w) t.cac
+
+let restore t r =
+  R.tag r "police";
+  let n = R.int r in
+  if n <> Array.length t.states then
+    corrupt "police: checkpoint has %d sources, policer has %d" n (Array.length t.states);
+  Array.iter (restore_state r) t.states;
+  let k = R.int r in
+  if k < 0 then corrupt "police: negative incident count";
+  t.incidents <-
+    List.init k (fun _ ->
+        let slot = R.int r in
+        let source = R.string r in
+        let event = read_event r in
+        { slot; source; event });
+  match (R.bool r, t.cac) with
+  | true, Some cac -> Admission.restore cac r
+  | false, None -> ()
+  | true, None -> corrupt "police: checkpoint carries CAC state but the policer has no CAC"
+  | false, Some _ -> corrupt "police: checkpoint has no CAC state but the policer has a CAC"
+
 let pp_descr ppf (d : Admission.descr) =
   Fmt.pf ppf "mean %.4g sigma2 %.4g H %.3f" d.Admission.mean d.Admission.sigma2
     d.Admission.hurst

@@ -121,6 +121,18 @@ val incidents : t -> incident list
 (** All incidents, in chronological order. *)
 
 val incident_count : t -> int
+
+val save : t -> Ss_checkpoint.W.t -> unit
+val restore : t -> Ss_checkpoint.R.t -> unit
+(** Checkpoint codec: full per-source policing state (windowed
+    Welford, variance–time levels, escalation-ladder position, caps,
+    eviction flags), the incident log, and — when the policer holds a
+    CAC — the admitted-load list, so the post-run Norros overlay of a
+    resumed run matches the uninterrupted one. {!restore} requires a
+    policer created over the same source count (and CAC presence) and
+    overwrites it in place, mid-window states included.
+    @raise Ss_checkpoint.Corrupt on structure mismatch. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_event : Format.formatter -> event -> unit
 val pp_incident : Format.formatter -> incident -> unit

@@ -10,7 +10,12 @@ module Frame = Ss_video.Frame
 module Model = Ss_core.Model
 module Mpeg = Ss_core.Mpeg
 
+module W = Ss_checkpoint.W
+module R = Ss_checkpoint.R
+
 exception End_of_stream
+
+type ckpt = { ck_save : W.t -> unit; ck_restore : R.t -> unit }
 
 type t = {
   name : string;
@@ -19,6 +24,7 @@ type t = {
   hurst : float;
   pull : unit -> float * int;
   pull_block : float array -> int array -> int -> int -> int;
+  ckpt : ckpt option;
 }
 
 type backend = [ `Hosking | `Davies_harte | `Paxson ]
@@ -45,12 +51,42 @@ let block_of_pull pull =
      with End_of_stream -> ());
     !i
 
-let make ?pull_block ~name ~mean ~sigma2 ~hurst pull =
+let make ?pull_block ?ckpt ~name ~mean ~sigma2 ~hurst pull =
   if mean < 0.0 then invalid_arg "Source.make: mean < 0";
   if sigma2 < 0.0 then invalid_arg "Source.make: sigma2 < 0";
   if hurst <= 0.0 || hurst >= 1.0 then invalid_arg "Source.make: hurst outside (0,1)";
   let pull_block = match pull_block with Some f -> f | None -> block_of_pull pull in
-  { name; mean; sigma2; hurst; pull; pull_block }
+  { name; mean; sigma2; hurst; pull; pull_block; ckpt }
+
+let supports_checkpoint t = Option.is_some t.ckpt
+
+let save t w =
+  match t.ckpt with
+  | Some c ->
+    W.tag w "source";
+    W.string w t.name;
+    c.ck_save w
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Source.save: source %S does not support checkpointing (hand-rolled pull \
+          without ~ckpt)"
+         t.name)
+
+let restore t r =
+  match t.ckpt with
+  | Some c ->
+    R.tag r "source";
+    let name = R.string r in
+    if not (String.equal name t.name) then
+      raise
+        (Ss_checkpoint.Corrupt
+           (Printf.sprintf "source: checkpoint holds state for %S, restoring into %S" name
+              t.name));
+    c.ck_restore r
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Source.restore: source %S does not support checkpointing" t.name)
 
 let next t = t.pull ()
 let next_block t wbuf cbuf ~off ~len = t.pull_block wbuf cbuf off len
@@ -85,7 +121,24 @@ let of_array ?(name = "array") ?(hurst = 0.5) ?(cycle = false) xs =
     Array.fill cbuf off !filled 0;
     !filled
   in
-  make ~pull_block ~name ~mean:(Ss_stats.Descriptive.mean xs)
+  let ckpt =
+    {
+      ck_save =
+        (fun w ->
+          W.tag w "array-src";
+          W.int w !i);
+      ck_restore =
+        (fun r ->
+          R.tag r "array-src";
+          let i' = R.int r in
+          if i' < 0 || i' > n then
+            raise
+              (Ss_checkpoint.Corrupt
+                 (Printf.sprintf "array-src: replay index %d outside [0, %d]" i' n));
+          i := i');
+    }
+  in
+  make ~pull_block ~ckpt ~name ~mean:(Ss_stats.Descriptive.mean xs)
     ~sigma2:(Ss_stats.Descriptive.variance xs) ~hurst pull
 
 (* One Hosking table (or Davies–Harte plan) per (background ACF,
@@ -311,16 +364,53 @@ let check_horizon who horizon =
 let bg_filler ~who ~acf ~order ~backend ~horizon ~relaxed rng =
   let materialized n generate =
     if order < 1 || order > 19_999 then invalid_arg (who ^ ": order outside [1, 19999]");
-    (* Lazy so construction consumes no randomness — like the Hosking
-       streams, the generator state only advances on pulls. *)
-    let path = lazy (generate rng) in
+    (* Deferred so construction consumes no randomness — like the
+       Hosking streams, the generator state only advances on pulls.
+       An explicit option (not [lazy]) so restore can reset it: the
+       checkpoint stores the generator's *initial* state ([rng0],
+       captured here) plus the replay position — O(1), never the
+       O(horizon) path, which is regenerated bit-identically from
+       [rng0] on the first post-restore pull. *)
+    let rng0 = Rng.copy rng in
+    let path = ref None in
+    let ensure () =
+      match !path with
+      | Some xs -> xs
+      | None ->
+        let xs = generate rng in
+        path := Some xs;
+        xs
+    in
     let pos = ref 0 in
-    fun buf off len ->
-      let xs = Lazy.force path in
+    let fill buf off len =
+      let xs = ensure () in
       let take = Stdlib.min len (n - !pos) in
       Array.blit xs !pos buf off take;
       pos := !pos + take;
       take
+    in
+    let ckpt =
+      {
+        ck_save =
+          (fun w ->
+            W.tag w "bg-materialized";
+            Rng.save rng0 w;
+            W.int w !pos);
+        ck_restore =
+          (fun r ->
+            R.tag r "bg-materialized";
+            Rng.restore rng0 r;
+            Rng.copy_into ~src:rng0 ~dst:rng;
+            let pos' = R.int r in
+            if pos' < 0 || pos' > n then
+              raise
+                (Ss_checkpoint.Corrupt
+                   (Printf.sprintf "bg-materialized: position %d outside [0, %d]" pos' n));
+            pos := pos';
+            path := None);
+      }
+    in
+    (fill, ckpt)
   in
   let require_horizon backend_name =
     match horizon with
@@ -337,11 +427,29 @@ let bg_filler ~who ~acf ~order ~backend ~horizon ~relaxed rng =
     let table = table_for ~acf ~order in
     let blk = Hosking.Block.create ~relaxed ~table ~order () in
     let remaining = ref (match horizon with None -> max_int | Some h -> h) in
-    fun buf off len ->
+    let fill buf off len =
       let take = if len < !remaining then len else !remaining in
       Hosking.Block.fill blk rng buf ~off ~len:take;
       remaining := !remaining - take;
       take
+    in
+    let ckpt =
+      {
+        ck_save =
+          (fun w ->
+            W.tag w "bg-hosking";
+            Rng.save rng w;
+            Hosking.Block.save blk w;
+            W.int w !remaining);
+        ck_restore =
+          (fun r ->
+            R.tag r "bg-hosking";
+            Rng.restore rng r;
+            Hosking.Block.restore blk r;
+            remaining := R.int r);
+      }
+    in
+    (fill, ckpt)
   | `Davies_harte ->
     let n = require_horizon "`Davies_harte" in
     let plan = plan_for ~acf ~n in
@@ -350,6 +458,24 @@ let bg_filler ~who ~acf ~order ~backend ~horizon ~relaxed rng =
     let n = require_horizon "`Paxson" in
     let plan = paxson_plan_for ~acf ~n in
     materialized n (Paxson.generate plan)
+
+(* Clipping gate for the approximate Paxson backend: the plan never
+   refuses (clipping negative circulant eigenvalues is its design
+   trade), but silently distorting more than 1% of the spectral mass
+   is a correctness hazard at the CLI boundary. Returns the ratio so
+   callers can report it. *)
+let paxson_clipping_check ~acf ~n ~allow =
+  let plan = paxson_plan_for ~acf ~n in
+  let ratio = Paxson.clipped_ratio plan in
+  if ratio > 0.01 && not allow then
+    invalid_arg
+      (Printf.sprintf
+         "Source.paxson_clipping_check: the Paxson backend clipped %.2f%% of the circulant \
+          spectral mass for ACF %s at n=%d (limit 1%%) — the synthesized correlation \
+          structure would be distorted; pass --allow-clipping to proceed anyway, or use \
+          --backend davies-harte (exact, refuses non-embeddable ACFs) or --backend hosking"
+         (100.0 *. ratio) acf.Acf.name n);
+  ratio
 
 (* Per-slot marginal moments of a transform, by Gauss-Hermite
    quadrature on the standard-normal background. *)
@@ -374,7 +500,9 @@ let of_model ?(name = "model") ?(order = 512) ?(backend = `Hosking) ?(precision 
   check_horizon "Source.of_model" horizon;
   let relaxed = precision = `Relaxed in
   let acf = Model.background_acf model in
-  let fill_bg = bg_filler ~who:"Source.of_model" ~acf ~order ~backend ~horizon ~relaxed rng in
+  let fill_bg, bg_ckpt =
+    bg_filler ~who:"Source.of_model" ~acf ~order ~backend ~horizon ~relaxed rng
+  in
   let h =
     if relaxed then Transform.relax model.Model.transform else model.Model.transform
   in
@@ -399,7 +527,10 @@ let of_model ?(name = "model") ?(order = 512) ?(backend = `Hosking) ?(precision 
      and block consumption interleave coherently on one source. *)
   let wtmp = [| 0.0 |] and ctmp = [| 0 |] in
   let pull () = if pull_block wtmp ctmp 0 1 = 1 then (wtmp.(0), 0) else raise End_of_stream in
-  make ~pull_block ~name ~mean:model.Model.mean ~sigma2 ~hurst:model.Model.hurst pull
+  (* The marginal transform is stateless: the background filler is the
+     whole checkpointable state. *)
+  make ~pull_block ~ckpt:bg_ckpt ~name ~mean:model.Model.mean ~sigma2
+    ~hurst:model.Model.hurst pull
 
 let of_model_twisted ?(name = "model-is") ?(order = 512) ~shift ?probe model rng =
   of_model_gen ~name ~order ~shift:(Some shift) ~probe model rng
@@ -410,7 +541,7 @@ let of_mpeg ?(name = "mpeg") ?(order = 512) ?(backend = `Hosking) ?(precision = 
   check_horizon "Source.of_mpeg" horizon;
   let relaxed = precision = `Relaxed in
   let gop = m.Mpeg.gop in
-  let fill_bg =
+  let fill_bg, bg_ckpt =
     bg_filler ~who:"Source.of_mpeg" ~acf:m.Mpeg.background ~order ~backend ~horizon ~relaxed
       rng
   in
@@ -463,4 +594,18 @@ let of_mpeg ?(name = "mpeg") ?(order = 512) ?(backend = `Hosking) ?(precision = 
   let pull () =
     if pull_block wtmp ctmp 0 1 = 1 then (wtmp.(0), ctmp.(0)) else raise End_of_stream
   in
-  make ~pull_block ~name ~mean ~sigma2 ~hurst:m.Mpeg.i_model.Model.hurst pull
+  let ckpt =
+    {
+      ck_save =
+        (fun w ->
+          bg_ckpt.ck_save w;
+          W.tag w "mpeg-gop";
+          W.int w !t);
+      ck_restore =
+        (fun r ->
+          bg_ckpt.ck_restore r;
+          R.tag r "mpeg-gop";
+          t := R.int r);
+    }
+  in
+  make ~pull_block ~ckpt ~name ~mean ~sigma2 ~hurst:m.Mpeg.i_model.Model.hurst pull

@@ -30,6 +30,11 @@ exception End_of_stream
     ({!of_array} with [cycle:false], model sources with a [horizon])
     raise it on exhaustion. *)
 
+type ckpt = { ck_save : Ss_checkpoint.W.t -> unit; ck_restore : Ss_checkpoint.R.t -> unit }
+(** Checkpoint capability of a source: [ck_save] serializes the pull
+    state, [ck_restore] overwrites it in place such that the stream
+    continues bit-for-bit from the saved slot. *)
+
 type t = {
   name : string;
   mean : float;  (** nominal per-slot mean arrival (model bookkeeping) *)
@@ -45,6 +50,11 @@ type t = {
           analogue of {!End_of_stream}; subsequent calls return 0).
           Must raise [Invalid_argument] when the range falls outside
           either buffer. *)
+  ckpt : ckpt option;
+      (** Checkpoint support; [None] for hand-rolled pulls that did
+          not supply one (such sources refuse {!save}). All built-in
+          constructors except the importance-sampling variants
+          provide it. *)
 }
 
 type backend = [ `Hosking | `Davies_harte | `Paxson ]
@@ -77,6 +87,7 @@ type precision = [ `Exact | `Relaxed ]
 
 val make :
   ?pull_block:(float array -> int array -> int -> int -> int) ->
+  ?ckpt:ckpt ->
   name:string ->
   mean:float ->
   sigma2:float ->
@@ -86,9 +97,27 @@ val make :
 (** Wrap an arbitrary pull function. When [pull_block] is omitted, a
     default block implementation loops the scalar pull (bit-identical
     by construction); when supplied, the caller must guarantee the
-    two pulls drain one shared stream.
+    two pulls drain one shared stream. [ckpt] (default [None])
+    declares checkpoint support for the wrapped state.
     @raise Invalid_argument if [mean < 0], [sigma2 < 0] or [hurst]
     outside (0,1). *)
+
+val supports_checkpoint : t -> bool
+(** Whether {!save}/{!restore} are available on this source. *)
+
+val save : t -> Ss_checkpoint.W.t -> unit
+(** Serialize the source's pull state (name-stamped). O(order) for
+    streaming model sources; O(1) for materializing backends, whose
+    path is regenerated from the recorded initial generator state on
+    the first post-restore pull.
+    @raise Invalid_argument if the source has no {!ckpt}. *)
+
+val restore : t -> Ss_checkpoint.R.t -> unit
+(** Overwrite the pull state in place from a {!save}d snapshot taken
+    on an identically-constructed source; the stream continues
+    bit-for-bit.
+    @raise Ss_checkpoint.Corrupt on name or structure mismatch.
+    @raise Invalid_argument if the source has no {!ckpt}. *)
 
 val next : t -> float * int
 (** Pull the next slot's arrival. *)
@@ -229,6 +258,15 @@ val paxson_plan_for : acf:Ss_fractal.Acf.t -> n:int -> Ss_fractal.Paxson.plan
     (ACF, horizon) pair — same cache discipline as {!plan_for}.
     @raise Invalid_argument if [n < 1] (Paxson plans never refuse on
     eigenvalue clipping; see {!Ss_fractal.Paxson.clipped_ratio}). *)
+
+val paxson_clipping_check : acf:Ss_fractal.Acf.t -> n:int -> allow:bool -> float
+(** Gate on the Paxson backend's silent eigenvalue clipping: plans
+    the (cached) Paxson synthesis and returns
+    {!Ss_fractal.Paxson.clipped_ratio}. When the ratio exceeds 0.01
+    and [allow] is false, refuses with a message naming the ACF, the
+    ratio, and the [--allow-clipping] escape hatch — the CLI calls
+    this before building [`Paxson] sources.
+    @raise Invalid_argument on refusal or if [n < 1]. *)
 
 val set_table_cache_capacity : int -> unit
 (** Bound on the number of Hosking tables retained by the process

@@ -4,26 +4,78 @@
    [run] returns only when every task of the block has completed, so
    the caller can merge shard aggregates knowing no shard is still
    writing. One task per shard keeps the fan-out coarse: the pool is
-   touched once per block, never once per slot or per source. *)
+   touched once per block, never once per slot or per source.
 
-type t = { tasks : int; dispatch : unit -> unit }
+   Supervision: a task body that raises must not wedge the block. The
+   barrier wraps every task so the exception is captured instead of
+   escaping into the pool machinery — peers finish their tasks and the
+   pool join completes normally — and [run] then re-raises it on the
+   caller as [Task_error] with the failing shard index. The barrier is
+   poisoned from that point: the shard state is torn mid-block, so any
+   further [run] refuses with the original error rather than silently
+   producing garbage. *)
+
+exception Task_error of { task : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Task_error { task; exn } ->
+      Some
+        (Printf.sprintf "Ss_parallel.Barrier.Task_error(task %d: %s)" task
+           (Printexc.to_string exn))
+    | _ -> None)
+
+type failure = int * exn * Printexc.raw_backtrace
+
+type t = {
+  tasks : int;
+  dispatch : unit -> unit;
+  error : failure option Atomic.t;  (* first failure by task index *)
+  mutable poisoned : (int * exn) option;
+}
 
 let make ?pool ~tasks f =
   if tasks < 1 then invalid_arg "Barrier.make: tasks < 1";
+  let error = Atomic.make None in
+  (* Lowest task index wins, so the surfaced failure is reproducible
+     under any scheduling — the same discipline as [Pool.run]. *)
+  let record s e bt =
+    let rec retry () =
+      match Atomic.get error with
+      | Some (j, _, _) when j <= s -> ()
+      | cur -> if not (Atomic.compare_and_set error cur (Some (s, e, bt))) then retry ()
+    in
+    retry ()
+  in
+  let g s = try f s with e -> record s e (Printexc.get_raw_backtrace ()) in
   let dispatch =
     match pool with
-    | Some p when Pool.size p > 1 && tasks > 1 -> Pool.static_for p ~n:tasks f
+    | Some p when Pool.size p > 1 && tasks > 1 -> Pool.static_for p ~n:tasks g
     | _ ->
       (* Sequential path: the caller executes every task in shard
          order. Tasks must be insensitive to execution order (they
          write disjoint state), so this is the same arithmetic the
-         pooled dispatch produces. *)
+         pooled dispatch produces — including on failure, where the
+         remaining tasks still run, as the pooled peers would. *)
       fun () ->
         for s = 0 to tasks - 1 do
-          f s
+          g s
         done
   in
-  { tasks; dispatch }
+  { tasks; dispatch; error; poisoned = None }
 
 let tasks t = t.tasks
-let run t = t.dispatch ()
+
+let run t =
+  (match t.poisoned with
+  | Some (task, exn) -> raise (Task_error { task; exn })
+  | None -> ());
+  t.dispatch ();
+  match Atomic.get t.error with
+  | None -> ()
+  | Some (task, exn, bt) ->
+    Atomic.set t.error None;
+    t.poisoned <- Some (task, exn);
+    Printexc.raise_with_backtrace (Task_error { task; exn }) bt
+
+let poisoned t = Option.is_some t.poisoned

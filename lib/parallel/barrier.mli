@@ -19,6 +19,11 @@
 
 type t
 
+exception Task_error of { task : int; exn : exn }
+(** A task body raised [exn] while running as task [task]. Raised by
+    {!run} on the calling domain after the block completes — worker
+    failures never wedge the barrier. *)
+
 val make : ?pool:Pool.t -> tasks:int -> (int -> unit) -> t
 (** [make ?pool ~tasks f] prebuilds the fan-out. The closures capture
     [f] once; state [f] reads may change between [run]s (the
@@ -33,4 +38,16 @@ val tasks : t -> int
 val run : t -> unit
 (** Execute every task once; returns when all have completed. Must
     not be invoked concurrently with itself or other batches on the
-    same pool (the library never does). *)
+    same pool (the library never does).
+
+    If a task raises, its exception is captured (peers still run and
+    the pool join completes — no deadlock), and [run] re-raises it on
+    the caller as {!Task_error} carrying the lowest failing task
+    index, with the original backtrace. The barrier is then poisoned:
+    the disjoint per-task state may be torn mid-block, so every
+    subsequent [run] re-raises the same {!Task_error} instead of
+    computing on corrupt state. Sequential (pool-less) dispatch
+    behaves identically. *)
+
+val poisoned : t -> bool
+(** True once a [run] has failed; the barrier refuses further use. *)

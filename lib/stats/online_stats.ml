@@ -57,6 +57,25 @@ let merge a b =
     }
   end
 
+module W = Ss_checkpoint.W
+module R = Ss_checkpoint.R
+
+let save t w =
+  W.tag w "welford";
+  W.int w t.n;
+  W.float w t.mean;
+  W.float w t.m2;
+  W.float w t.min;
+  W.float w t.max
+
+let restore t r =
+  R.tag r "welford";
+  t.n <- R.int r;
+  t.mean <- R.float r;
+  t.m2 <- R.float r;
+  t.min <- R.float r;
+  t.max <- R.float r
+
 module Vt = struct
   (* Streaming variance-time analysis: level j aggregates the input
      into blocks of m = 2^j samples and feeds each completed block
@@ -107,6 +126,40 @@ module Vt = struct
       let fit = Regression.ols pts in
       Some (1.0 +. (fit.Regression.slope /. 2.0))
     | _ -> None
+
+  (* [save]/[restore] in the bodies below are the outer Welford pair:
+     these lets are not recursive, so the module-level bindings are
+     still in scope on the right-hand side. *)
+  let save t w =
+    W.tag w "vt";
+    W.int w (Array.length t.levels);
+    Array.iter
+      (fun l ->
+        W.int w l.m;
+        W.float w l.sum;
+        W.int w l.filled;
+        save l.stats w)
+      t.levels
+
+  let restore t r =
+    R.tag r "vt";
+    let n = R.int r in
+    if n <> Array.length t.levels then
+      raise
+        (Ss_checkpoint.Corrupt
+           (Printf.sprintf "vt: checkpoint has %d levels, estimator has %d" n
+              (Array.length t.levels)));
+    Array.iter
+      (fun l ->
+        let m = R.int r in
+        if m <> l.m then
+          raise
+            (Ss_checkpoint.Corrupt
+               (Printf.sprintf "vt: level block size %d in checkpoint, expected %d" m l.m));
+        l.sum <- R.float r;
+        l.filled <- R.int r;
+        restore l.stats r)
+      t.levels
 end
 
 module P2 = struct
@@ -218,4 +271,24 @@ module P2 = struct
       else if w >= 1.0 then t.q.(hi)
       else ((1.0 -. w) *. t.q.(lo)) +. (w *. t.q.(hi))
     end
+
+  let save t w =
+    W.tag w "p2";
+    W.float w t.p;
+    W.float_array w t.q;
+    W.float_array w t.pos;
+    W.float_array w t.desired;
+    W.int w t.n
+
+  let restore t r =
+    R.tag r "p2";
+    let p = R.float r in
+    if Int64.bits_of_float p <> Int64.bits_of_float t.p then
+      raise
+        (Ss_checkpoint.Corrupt
+           (Printf.sprintf "p2: checkpoint tracks p=%.17g, estimator tracks p=%.17g" p t.p));
+    R.float_array_into r t.q;
+    R.float_array_into r t.pos;
+    R.float_array_into r t.desired;
+    t.n <- R.int r
 end

@@ -46,6 +46,12 @@ val merge : t -> t -> t
     input is mutated. Exact for count/min/max, numerically stable for
     mean/variance. *)
 
+val save : t -> Ss_checkpoint.W.t -> unit
+val restore : t -> Ss_checkpoint.R.t -> unit
+(** Checkpoint codec: {!restore} overwrites the accumulator in place
+    with a {!save}d state, bit-exactly.
+    @raise Ss_checkpoint.Corrupt on malformed data. *)
+
 (** Streaming variance–time Hurst estimation.
 
     The online form of {!Ss_fractal.Hurst.variance_time}: level [j]
@@ -77,6 +83,12 @@ module Vt : sig
       [32 * 4] observations for the default levels). The estimate is
       unclamped: values outside (0,1) can occur on pathological input
       and are the caller's signal of a non-FGN stream. *)
+
+  val save : t -> Ss_checkpoint.W.t -> unit
+  val restore : t -> Ss_checkpoint.R.t -> unit
+  (** Checkpoint codec; {!restore} requires an estimator created with
+      the same [levels] and overwrites it in place.
+      @raise Ss_checkpoint.Corrupt on level-structure mismatch. *)
 end
 
 (** P² dynamic quantile estimation without stored samples.
@@ -109,4 +121,10 @@ module P2 : sig
       non-NaN input, even when the sample prefix contains
       infinities.
       @raise Invalid_argument on an empty estimator. *)
+
+  val save : t -> Ss_checkpoint.W.t -> unit
+  val restore : t -> Ss_checkpoint.R.t -> unit
+  (** Checkpoint codec; {!restore} requires an estimator created with
+      the bitwise-same [p] and overwrites it in place.
+      @raise Ss_checkpoint.Corrupt on mismatch. *)
 end

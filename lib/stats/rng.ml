@@ -40,6 +40,14 @@ let of_state a =
   if all_zero a.(0) a.(1) a.(2) a.(3) then invalid_arg "Rng.of_state: all-zero state";
   { s0 = a.(0); s1 = a.(1); s2 = a.(2); s3 = a.(3); gauss_cache = 0.0; gauss_full = false }
 
+let copy_into ~src ~dst =
+  dst.s0 <- src.s0;
+  dst.s1 <- src.s1;
+  dst.s2 <- src.s2;
+  dst.s3 <- src.s3;
+  dst.gauss_cache <- src.gauss_cache;
+  dst.gauss_full <- src.gauss_full
+
 let copy t =
   {
     s0 = t.s0;
@@ -162,6 +170,37 @@ let fill_gaussian t buf ~off ~len =
       end
     end
   done
+
+module W = Ss_checkpoint.W
+module R = Ss_checkpoint.R
+
+let save t w =
+  W.tag w "rng";
+  W.i64 w t.s0;
+  W.i64 w t.s1;
+  W.i64 w t.s2;
+  W.i64 w t.s3;
+  W.float w t.gauss_cache;
+  W.bool w t.gauss_full
+
+let restore t r =
+  R.tag r "rng";
+  let s0 = R.i64 r in
+  let s1 = R.i64 r in
+  let s2 = R.i64 r in
+  let s3 = R.i64 r in
+  let gauss_cache = R.float r in
+  let gauss_full = R.bool r in
+  if all_zero s0 s1 s2 s3 then
+    raise (Ss_checkpoint.Corrupt "rng: all-zero xoshiro state in checkpoint");
+  (* In place: sources and kernels capture the generator by closure,
+     so restore must mutate the live object, not return a fresh one. *)
+  t.s0 <- s0;
+  t.s1 <- s1;
+  t.s2 <- s2;
+  t.s3 <- s3;
+  t.gauss_cache <- gauss_cache;
+  t.gauss_full <- gauss_full
 
 let gaussian_mv t ~mean ~std =
   if std < 0.0 then invalid_arg "Rng.gaussian_mv: negative std";

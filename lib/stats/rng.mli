@@ -24,6 +24,10 @@ val of_state : int64 array -> t
 val copy : t -> t
 (** Independent copy: advancing one does not affect the other. *)
 
+val copy_into : src:t -> dst:t -> unit
+(** Overwrite [dst]'s state with [src]'s. The checkpoint layer uses
+    this to rewind a generator that is captured by closure. *)
+
 val split : t -> t
 (** [split t] deterministically derives a fresh generator whose
     stream is (statistically) independent of the continuation of
@@ -66,6 +70,15 @@ val fill_gaussian : t -> float array -> off:int -> len:int -> unit
     per deviate. The block generation kernels batch their innovations
     through this.
     @raise Invalid_argument if the range falls outside [buf]. *)
+
+val save : t -> Ss_checkpoint.W.t -> unit
+(** Serialize the full state, including the cached polar deviate, so
+    a restored stream continues bit-for-bit. *)
+
+val restore : t -> Ss_checkpoint.R.t -> unit
+(** Overwrite [t]'s state in place from a {!save}d snapshot. In-place
+    because generators are captured by closure throughout the library.
+    @raise Ss_checkpoint.Corrupt on malformed or all-zero state. *)
 
 val gaussian_mv : t -> mean:float -> std:float -> float
 (** Normal deviate with given mean and standard deviation.

@@ -217,13 +217,101 @@ let test_barrier_is_a_barrier () =
 
 let test_barrier_invalid_and_shutdown () =
   raises_invalid "tasks < 1" (fun () -> Barrier.make ~tasks:0 (fun _ -> ()));
-  let b = Barrier.make ~tasks:3 (fun s -> if s = 1 then invalid_arg "boom" else ()) in
-  raises_invalid "task exception propagates" (fun () -> Barrier.run b);
   let p = Pool.create ~domains:2 in
   let b = Barrier.make ~pool:p ~tasks:4 (fun _ -> ()) in
   Barrier.run b;
   Pool.shutdown p;
   raises_invalid "run after pool shutdown" (fun () -> Barrier.run b)
+
+(* Supervision: a task body that raises must not wedge the block —
+   peers still run, the pool join completes, and the caller gets
+   Task_error with the lowest failing shard index and the original
+   exception. The barrier is then poisoned (mid-block state is torn),
+   refusing further runs with the same error. Exercised sequentially
+   and on a real pool, at 2 and 4 shards. *)
+let test_barrier_task_error_propagates () =
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun pool_domains ->
+          let with_pool k =
+            match pool_domains with
+            | None -> k None
+            | Some d ->
+              let p = Pool.create ~domains:d in
+              Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> k (Some p))
+          in
+          with_pool (fun pool ->
+              let label fmt =
+                Printf.ksprintf
+                  (fun s ->
+                    Printf.sprintf "shards=%d domains=%s: %s" shards
+                      (match pool_domains with None -> "seq" | Some d -> string_of_int d)
+                      s)
+                  fmt
+              in
+              let ran = Array.init shards (fun _ -> Atomic.make 0) in
+              let b =
+                Barrier.make ?pool ~tasks:shards (fun s ->
+                    Atomic.incr ran.(s);
+                    if s >= 1 then failwith (Printf.sprintf "shard %d died" s))
+              in
+              (match Barrier.run b with
+              | exception Barrier.Task_error { task; exn = Failure m } ->
+                Alcotest.(check int) (label "lowest failing shard wins") 1 task;
+                Alcotest.(check string) (label "original exception") "shard 1 died" m
+              | exception e ->
+                Alcotest.failf "%s" (label "unexpected %s" (Printexc.to_string e))
+              | () -> Alcotest.fail (label "expected Task_error"))
+              ;
+              Array.iteri
+                (fun s c ->
+                  Alcotest.(check int) (label "shard %d still ran its block" s) 1
+                    (Atomic.get c))
+                ran;
+              if not (Barrier.poisoned b) then
+                Alcotest.fail (label "barrier not poisoned after failure");
+              match Barrier.run b with
+              | exception Barrier.Task_error { task = 1; _ } -> ()
+              | exception e ->
+                Alcotest.failf "%s" (label "poisoned rerun: %s" (Printexc.to_string e))
+              | () -> Alcotest.fail (label "poisoned barrier must refuse")))
+        [ None; Some shards ])
+    [ 2; 4 ]
+
+(* End-to-end supervision: a source whose pull raises mid-run inside
+   the sharded mux must surface on the caller within one staged block
+   as Task_error carrying the shard that owns the source — not hang
+   the barrier, not kill a worker domain silently. *)
+let test_mux_worker_exception_surfaces () =
+  List.iter
+    (fun shards ->
+      let p = Pool.create ~domains:shards in
+      Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+      let n = 4 in
+      let src i =
+        if i = n - 1 then
+          let pulls = ref 0 in
+          Source.make ~name:"dying" ~mean:1.0 ~sigma2:0.1 ~hurst:0.5 (fun () ->
+              incr pulls;
+              if !pulls > 10 then failwith "sensor failure" else (1.0, 0))
+        else
+          Source.of_array ~name:(Printf.sprintf "s%d" i) ~cycle:true
+            (Array.init 97 (fun t -> abs_float (sin (float_of_int (t + (13 * i))))))
+      in
+      match Mux.run ~pool:p ~shards ~service:4.0 ~slots:4096 (Array.init n src) with
+      | exception Barrier.Task_error { task; exn = Failure m } ->
+        Alcotest.(check string)
+          (Printf.sprintf "shards=%d: original error" shards)
+          "sensor failure" m;
+        (* Contiguous partition of 4 sources: the dying source (index
+           3) lives in the last shard. *)
+        Alcotest.(check int) (Printf.sprintf "shards=%d: failing shard" shards) (shards - 1)
+          task
+      | exception e ->
+        Alcotest.failf "shards=%d: unexpected %s" shards (Printexc.to_string e)
+      | _ -> Alcotest.fail (Printf.sprintf "shards=%d: expected Task_error" shards))
+    [ 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Fanout determinism                                                   *)
@@ -466,6 +554,8 @@ let () =
           tc "every task once per dispatch" test_barrier_runs_every_task;
           tc "returns after all tasks" test_barrier_is_a_barrier;
           tc "invalid / shutdown" test_barrier_invalid_and_shutdown;
+          tc "task error propagates + poisons" test_barrier_task_error_propagates;
+          tc "mux worker exception surfaces" test_mux_worker_exception_surfaces;
         ] );
       ( "fanout",
         [
