@@ -105,6 +105,39 @@ let parse_precision = function
   | "relaxed" -> `Relaxed
   | s -> invalid_arg (Printf.sprintf "bad precision %S (expected exact or relaxed)" s)
 
+let kernel_arg =
+  let doc =
+    "Streaming-synthesis kernel for model sources — supersedes $(b,--precision) with a \
+     third tier: $(b,exact) and $(b,relaxed) are the two precision tiers; $(b,fft) runs \
+     the overlap-save FFT block kernel, computing the frozen AR filter's long-lag \
+     contribution spectrally per 128-slot block — amortized sublinear in $(b,--order) per \
+     slot, largest win at high orders. Like relaxed, fft is statistically gated but \
+     seed-incompatible with the exact tier. Refused with $(b,--is). When both flags are \
+     given they must agree."
+  in
+  Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"exact|relaxed|fft" ~doc)
+
+let parse_kernel = function
+  | "exact" -> `Exact
+  | "relaxed" -> `Relaxed
+  | "fft" -> `Fft
+  | s -> invalid_arg (Printf.sprintf "bad kernel %S (expected exact, relaxed or fft)" s)
+
+(* CLI face of [Source.resolve_kernel]: --kernel supersedes
+   --precision, and a --precision that names a different tier is a
+   contradiction, not a preference. *)
+let resolve_kernel ~precision_s ~kernel_s : Ss_mux.Source.kernel =
+  match kernel_s with
+  | None -> (parse_precision precision_s :> Ss_mux.Source.kernel)
+  | Some ks ->
+    let k = parse_kernel ks in
+    (match parse_precision precision_s with
+    | `Relaxed when k <> `Relaxed ->
+      invalid_arg "--precision and --kernel disagree; pass just --kernel"
+    | _ -> k)
+
+let kernel_name = function `Exact -> "exact" | `Relaxed -> "relaxed" | `Fft -> "fft"
+
 let csv_arg =
   let doc =
     "Also write the overflow curve as CSV rows '(buffer, overflow)' to $(docv) (normalized \
@@ -587,16 +620,17 @@ let mux_cmd =
       in
       print_estimate twist (Ss_mux.Mux_is.estimate ?pool (config ~twist) ~replications rng)
   in
-  let run path utilization sources slots order backend precision buffer_norm epsilon composite
-      priority buffers csv seed max_lag domains shards is_mode twist horizon replications
-      faults police police_window checkpoint_every checkpoint_file resume allow_clipping =
+  let run path utilization sources slots order backend precision kernel buffer_norm epsilon
+      composite priority buffers csv seed max_lag domains shards is_mode twist horizon
+      replications faults police police_window checkpoint_every checkpoint_file resume
+      allow_clipping =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
         Pool.with_pool ~domains @@ fun pool ->
         if priority && not composite then invalid_arg "--priority requires --composite";
-        let backend_s = backend and precision_s = precision in
+        let backend_s = backend in
         let backend = parse_backend backend in
-        let precision = parse_precision precision in
+        let kernel = resolve_kernel ~precision_s:precision ~kernel_s:kernel in
         let trace = Trace.load path in
         if is_mode then begin
           if composite then
@@ -609,10 +643,17 @@ let mux_cmd =
             invalid_arg
               "--checkpoint-every/--checkpoint-file/--resume are incompatible with --is \
                (importance-sampled replications carry likelihood state outside the snapshot)";
-          if precision = `Relaxed then
+          (match kernel with
+          | `Exact -> ()
+          | `Relaxed ->
             invalid_arg
               "--precision relaxed is incompatible with --is (the likelihood accumulator \
-               replays exact-tier arithmetic)";
+               replays exact-tier arithmetic)"
+          | `Fft ->
+            invalid_arg
+              "--kernel fft is incompatible with --is (the likelihood accumulator replays \
+               the exact per-innovation recursion, which the blocked FFT kernel \
+               reassociates)");
           run_is ~pool ~trace ~utilization ~sources ~order ~backend ~buffer_norm ~buffers
             ~twist ~horizon ~replications ~seed ~max_lag
         end
@@ -621,11 +662,11 @@ let mux_cmd =
           invalid_arg "--twist/--horizon require --is";
         let meta =
           Printf.sprintf
-            "mux trace=%s u=%g sources=%d slots=%d order=%d backend=%s precision=%s \
+            "mux trace=%s u=%g sources=%d slots=%d order=%d backend=%s kernel=%s \
              buffer=%s epsilon=%g composite=%b priority=%b buffers=%s csv=%b faults=%s \
              police=%b police-window=%d seed=%d max-lag=%d"
             (Digest.to_hex (Digest.file path))
-            utilization sources slots order backend_s precision_s
+            utilization sources slots order backend_s (kernel_name kernel)
             (match buffer_norm with None -> "unbounded" | Some b -> Printf.sprintf "%g" b)
             epsilon composite priority buffers (csv <> None)
             (match faults with None -> "-" | Some s -> s)
@@ -643,7 +684,7 @@ let mux_cmd =
             ( (fun i ->
                 Ss_mux.Source.of_mpeg
                   ~name:(Printf.sprintf "src%02d" i)
-                  ~order ~backend ~precision ?horizon
+                  ~order ~backend ~kernel ?horizon
                   ~phase:(i mod Gop.length m.Mpeg.gop)
                   ~priority m (Rng.split rng)),
               m.Mpeg.background )
@@ -652,7 +693,7 @@ let mux_cmd =
             let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
             ( (fun i ->
                 Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order ~backend
-                  ~precision ?horizon model (Rng.split rng)),
+                  ~kernel ?horizon model (Rng.split rng)),
               Model.background_acf model )
           end
         in
@@ -776,7 +817,8 @@ let mux_cmd =
   Cmd.v (Cmd.info "mux" ~doc)
     Term.(
       const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
-      $ backend_arg $ precision_arg $ buffer_arg $ epsilon_arg $ composite_arg $ priority_arg
+      $ backend_arg $ precision_arg $ kernel_arg $ buffer_arg $ epsilon_arg $ composite_arg
+      $ priority_arg
       $ buffers_arg $ csv_arg $ seed_arg $ max_lag_arg $ domains_arg $ shards_arg $ is_arg
       $ twist_arg $ horizon_arg $ replications_arg $ faults_arg $ police_arg
       $ police_window_arg $ checkpoint_every_arg $ checkpoint_file_arg $ resume_arg
@@ -847,18 +889,18 @@ let abr_cmd =
            | Some l -> l
            | None -> invalid_arg (Printf.sprintf "bad ladder level %S" x))
   in
-  let run path utilization sources slots order backend precision seed max_lag domains clients
-      chunks chunk_frames max_buffer policies levels faults checkpoint_every checkpoint_file
-      resume allow_clipping =
+  let run path utilization sources slots order backend precision kernel seed max_lag domains
+      clients chunks chunk_frames max_buffer policies levels faults checkpoint_every
+      checkpoint_file resume allow_clipping =
     wrap (fun () ->
         if sources <= 0 then invalid_arg "sources must be positive";
         let policies_s = policies in
         let policies = parse_policies policies in
         if policies = [] then invalid_arg "no policies given";
         Pool.with_pool ~domains @@ fun pool ->
-        let backend_s = backend and precision_s = precision in
+        let backend_s = backend in
         let backend = parse_backend backend in
-        let precision = parse_precision precision in
+        let kernel = resolve_kernel ~precision_s:precision ~kernel_s:kernel in
         let trace = Trace.load path in
         let model, _ = Fit.fit ~max_lag trace.Trace.sizes in
         (* The fingerprint covers the mux phase only: the fleet phase
@@ -867,11 +909,12 @@ let abr_cmd =
            trajectory. *)
         let meta =
           Printf.sprintf
-            "abr trace=%s u=%g sources=%d slots=%d order=%d backend=%s precision=%s \
+            "abr trace=%s u=%g sources=%d slots=%d order=%d backend=%s kernel=%s \
              clients=%d chunks=%d chunk-frames=%d max-buffer=%g policies=%s levels=%s \
              faults=%s seed=%d max-lag=%d"
             (Digest.to_hex (Digest.file path))
-            utilization sources slots order backend_s precision_s clients chunks chunk_frames
+            utilization sources slots order backend_s (kernel_name kernel) clients chunks
+            chunk_frames
             max_buffer policies_s levels
             (match faults with None -> "-" | Some s -> s)
             seed max_lag
@@ -889,7 +932,7 @@ let abr_cmd =
         let srcs =
           Array.init sources (fun i ->
               Ss_mux.Source.of_model ~name:(Printf.sprintf "src%02d" i) ~order ~backend
-                ~precision ?horizon model (Rng.split rng))
+                ~kernel ?horizon model (Rng.split rng))
         in
         let srcs =
           match faults with
@@ -963,7 +1006,8 @@ let abr_cmd =
   Cmd.v (Cmd.info "abr" ~doc)
     Term.(
       const run $ trace_arg $ utilization_arg $ sources_arg $ slots_arg $ order_arg
-      $ backend_arg $ precision_arg $ seed_arg $ max_lag_arg $ domains_arg $ clients_arg
+      $ backend_arg $ precision_arg $ kernel_arg $ seed_arg $ max_lag_arg $ domains_arg
+      $ clients_arg
       $ chunks_arg $ chunk_frames_arg $ max_buffer_arg $ policies_arg $ levels_arg
       $ faults_arg $ checkpoint_every_arg $ checkpoint_file_arg $ resume_arg
       $ allow_clipping_arg)

@@ -7,9 +7,17 @@ let next_pow2 n =
 
 let two_pi = 8.0 *. atan 1.0
 
-(* In-place bit-reversal permutation. *)
-let bit_reverse re im =
+let check_lengths who re im =
   let n = Array.length re in
+  if Array.length im <> n then
+    invalid_arg
+      (Printf.sprintf "Fft.%s: re/im length mismatch (%d vs %d)" who n (Array.length im));
+  if not (is_pow2 n) then
+    invalid_arg (Printf.sprintf "Fft.%s: length %d is not a power of two" who n);
+  n
+
+(* In-place bit-reversal permutation of the first [n] entries. *)
+let bit_reverse ~n re im =
   let j = ref 0 in
   for i = 0 to n - 2 do
     if i < !j then begin
@@ -28,48 +36,117 @@ let bit_reverse re im =
     j := !j lor !m
   done
 
-let transform ~sign re im =
+let butterflies ~sign re im =
   let n = Array.length re in
-  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
-  if not (is_pow2 n) then invalid_arg "Fft: length not a power of two";
-  if n > 1 then begin
-    bit_reverse re im;
-    let len = ref 2 in
-    while !len <= n do
-      let ang = sign *. two_pi /. float_of_int !len in
-      let wr = cos ang and wi = sin ang in
-      let i = ref 0 in
-      while !i < n do
-        let cr = ref 1.0 and ci = ref 0.0 in
-        let half = !len / 2 in
-        for j = 0 to half - 1 do
-          let a = !i + j and b = !i + j + half in
-          let ur = Array.unsafe_get re a and ui = Array.unsafe_get im a in
-          let vr0 = Array.unsafe_get re b and vi0 = Array.unsafe_get im b in
-          let vr = (vr0 *. !cr) -. (vi0 *. !ci) in
-          let vi = (vr0 *. !ci) +. (vi0 *. !cr) in
-          Array.unsafe_set re a (ur +. vr);
-          Array.unsafe_set im a (ui +. vi);
-          Array.unsafe_set re b (ur -. vr);
-          Array.unsafe_set im b (ui -. vi);
-          let ncr = (!cr *. wr) -. (!ci *. wi) in
-          ci := (!cr *. wi) +. (!ci *. wr);
-          cr := ncr
-        done;
-        i := !i + !len
+  bit_reverse ~n re im;
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. two_pi /. float_of_int !len in
+    let wr = cos ang and wi = sin ang in
+    let i = ref 0 in
+    while !i < n do
+      let cr = ref 1.0 and ci = ref 0.0 in
+      let half = !len / 2 in
+      for j = 0 to half - 1 do
+        let a = !i + j and b = !i + j + half in
+        let ur = Array.unsafe_get re a and ui = Array.unsafe_get im a in
+        let vr0 = Array.unsafe_get re b and vi0 = Array.unsafe_get im b in
+        let vr = (vr0 *. !cr) -. (vi0 *. !ci) in
+        let vi = (vr0 *. !ci) +. (vi0 *. !cr) in
+        Array.unsafe_set re a (ur +. vr);
+        Array.unsafe_set im a (ui +. vi);
+        Array.unsafe_set re b (ur -. vr);
+        Array.unsafe_set im b (ui -. vi);
+        let ncr = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := ncr
       done;
-      len := !len * 2
-    done
-  end
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
 
-let forward re im = transform ~sign:(-1.0) re im
+let forward re im =
+  let n = check_lengths "forward" re im in
+  if n > 1 then butterflies ~sign:(-1.0) re im
 
 let inverse re im =
-  transform ~sign:1.0 re im;
-  let n = float_of_int (Array.length re) in
-  for i = 0 to Array.length re - 1 do
-    re.(i) <- re.(i) /. n;
-    im.(i) <- im.(i) /. n
+  let n = check_lengths "inverse" re im in
+  if n > 1 then butterflies ~sign:1.0 re im;
+  let fn = float_of_int n in
+  for i = 0 to n - 1 do
+    re.(i) <- re.(i) /. fn;
+    im.(i) <- im.(i) /. fn
+  done
+
+(* Butterfly passes over input already in bit-reversed order, driven
+   by a precomputed twiddle table instead of the per-stage complex
+   rotation recurrence: [twr]/[twi] hold [e^(-2 pi i j / len)] for
+   every stage, flattened as entry [half - 1 + j] for
+   [half = len/2 = 1, 2, 4, ...] — [n - 1] entries total for an
+   [n]-point transform. [conj] flips the table's sign convention
+   (inverse transform). The first two stages carry only the trivial
+   twiddles 1 and -i, so they run multiplication-free (the len = 4
+   odd butterfly is a swap-and-negate). *)
+let stages_tables ~conj ~twr ~twi ~n re im =
+  let si = if conj then -1.0 else 1.0 in
+  if n >= 2 then begin
+    let i = ref 0 in
+    while !i < n do
+      let a = !i and b = !i + 1 in
+      let ur = Array.unsafe_get re a and ui = Array.unsafe_get im a in
+      let vr = Array.unsafe_get re b and vi = Array.unsafe_get im b in
+      Array.unsafe_set re a (ur +. vr);
+      Array.unsafe_set im a (ui +. vi);
+      Array.unsafe_set re b (ur -. vr);
+      Array.unsafe_set im b (ui -. vi);
+      i := !i + 2
+    done
+  end;
+  if n >= 4 then begin
+    let i = ref 0 in
+    while !i < n do
+      let a = !i and b = !i + 2 in
+      let ur = Array.unsafe_get re a and ui = Array.unsafe_get im a in
+      let vr = Array.unsafe_get re b and vi = Array.unsafe_get im b in
+      Array.unsafe_set re a (ur +. vr);
+      Array.unsafe_set im a (ui +. vi);
+      Array.unsafe_set re b (ur -. vr);
+      Array.unsafe_set im b (ui -. vi);
+      let a = !i + 1 and b = !i + 3 in
+      let ur = Array.unsafe_get re a and ui = Array.unsafe_get im a in
+      let vr0 = Array.unsafe_get re b and vi0 = Array.unsafe_get im b in
+      (* w = -i forward, +i inverse: v * w = (si*vi0, -si*vr0). *)
+      let vr = si *. vi0 and vi = -.si *. vr0 in
+      Array.unsafe_set re a (ur +. vr);
+      Array.unsafe_set im a (ui +. vi);
+      Array.unsafe_set re b (ur -. vr);
+      Array.unsafe_set im b (ui -. vi);
+      i := !i + 4
+    done
+  end;
+  let len = ref 8 in
+  while !len <= n do
+    let half = !len / 2 in
+    let base = half - 1 in
+    let i = ref 0 in
+    while !i < n do
+      for j = 0 to half - 1 do
+        let a = !i + j and b = !i + j + half in
+        let cr = Array.unsafe_get twr (base + j) in
+        let ci = si *. Array.unsafe_get twi (base + j) in
+        let ur = Array.unsafe_get re a and ui = Array.unsafe_get im a in
+        let vr0 = Array.unsafe_get re b and vi0 = Array.unsafe_get im b in
+        let vr = (vr0 *. cr) -. (vi0 *. ci) in
+        let vi = (vr0 *. ci) +. (vi0 *. cr) in
+        Array.unsafe_set re a (ur +. vr);
+        Array.unsafe_set im a (ui +. vi);
+        Array.unsafe_set re b (ur -. vr);
+        Array.unsafe_set im b (ui -. vi)
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
   done
 
 let dft_naive re im =
@@ -94,3 +171,140 @@ let real_forward_magnitude2 x =
   let im = Array.make (Array.length x) 0.0 in
   forward re im;
   Array.init (Array.length x) (fun k -> (re.(k) *. re.(k)) +. (im.(k) *. im.(k)))
+
+module Real = struct
+  (* Real-input FFT of length [n] via one complex transform of size
+     [m = n/2]: pack [z_j = x_(2j) + i x_(2j+1)], transform, then
+     split the spectrum into the even/odd-subsequence DFTs
+     [E_k = (Z_k + conj Z_(m-k)) / 2] and
+     [O_k = -i (Z_k - conj Z_(m-k)) / 2] and recombine as
+     [X_k = E_k + w^k O_k] with [w = e^(-2 pi i / n)].  The plan is
+     immutable (twiddle tables only) and safe to share across
+     domains. *)
+  type plan = {
+    n : int;  (** real length (power of two, >= 2) *)
+    m : int;  (** complex transform size, [n/2] *)
+    twr : float array;  (** stage twiddles for the size-[m] FFT *)
+    twi : float array;
+    wr : float array;  (** [w^k = e^(-2 pi i k / n)], k = 0..m/2 *)
+    wi : float array;
+    rev : int array;  (** bit-reversal permutation of [0, m) *)
+  }
+
+  let length p = p.n
+  let bins p = p.m + 1
+
+  let plan ~n =
+    if n < 2 || not (is_pow2 n) then
+      invalid_arg
+        (Printf.sprintf "Fft.Real.plan: length %d is not a power of two >= 2" n);
+    let m = n / 2 in
+    let twr = Array.make (Stdlib.max 1 (m - 1)) 1.0
+    and twi = Array.make (Stdlib.max 1 (m - 1)) 0.0 in
+    let half = ref 1 in
+    while !half < m do
+      let base = !half - 1 in
+      for j = 0 to !half - 1 do
+        let ang = -.two_pi *. float_of_int j /. float_of_int (2 * !half) in
+        twr.(base + j) <- cos ang;
+        twi.(base + j) <- sin ang
+      done;
+      half := !half * 2
+    done;
+    let wr = Array.make ((m / 2) + 1) 1.0 and wi = Array.make ((m / 2) + 1) 0.0 in
+    for k = 0 to m / 2 do
+      let ang = -.two_pi *. float_of_int k /. float_of_int n in
+      wr.(k) <- cos ang;
+      wi.(k) <- sin ang
+    done;
+    let rev = Array.make m 0 in
+    for i = 1 to m - 1 do
+      rev.(i) <- (rev.(i lsr 1) lsr 1) lor (if i land 1 = 1 then m lsr 1 else 0)
+    done;
+    { n; m; twr; twi; wr; wi; rev }
+
+  let check_spectrum who p re im =
+    if Array.length re < p.m + 1 || Array.length im < p.m + 1 then
+      invalid_arg
+        (Printf.sprintf "Fft.Real.%s: spectrum buffers need %d bins" who (p.m + 1))
+
+  let forward p x ~off ~re ~im =
+    check_spectrum "forward" p re im;
+    if off < 0 || off + p.n > Array.length x then
+      invalid_arg "Fft.Real.forward: window out of bounds";
+    let m = p.m in
+    (* Pack z_j = x_(2j) + i x_(2j+1), straight into bit-reversed
+       order so the butterfly passes start immediately. *)
+    let rev = p.rev in
+    for j = 0 to m - 1 do
+      let d = Array.unsafe_get rev j in
+      Array.unsafe_set re d (Array.unsafe_get x (off + (2 * j)));
+      Array.unsafe_set im d (Array.unsafe_get x (off + (2 * j) + 1))
+    done;
+    if m > 1 then stages_tables ~conj:false ~twr:p.twr ~twi:p.twi ~n:m re im;
+    (* Unpack the Hermitian spectrum in place: bins k and m-k are
+       rewritten pairwise from Z_k, Z_(m-k) (both read first). *)
+    let z0r = re.(0) and z0i = im.(0) in
+    re.(0) <- z0r +. z0i;
+    im.(0) <- 0.0;
+    re.(m) <- z0r -. z0i;
+    im.(m) <- 0.0;
+    if m >= 2 then begin
+      (* k = m/2: w^(m/2) = -i, E and O real => X_(m/2) = conj Z_(m/2). *)
+      im.(m / 2) <- -.im.(m / 2);
+      for k = 1 to (m / 2) - 1 do
+        let j = m - k in
+        let akr = re.(k) and aki = im.(k) in
+        let bjr = re.(j) and bji = im.(j) in
+        let er = 0.5 *. (akr +. bjr) and ei = 0.5 *. (aki -. bji) in
+        let or_ = 0.5 *. (aki +. bji) and oi = -0.5 *. (akr -. bjr) in
+        let wkr = p.wr.(k) and wki = p.wi.(k) in
+        let tr = (or_ *. wkr) -. (oi *. wki) in
+        let ti = (or_ *. wki) +. (oi *. wkr) in
+        re.(k) <- er +. tr;
+        im.(k) <- ei +. ti;
+        re.(j) <- er -. tr;
+        im.(j) <- -.(ei -. ti)
+      done
+    end
+
+  let inverse p ~re ~im out ~off =
+    check_spectrum "inverse" p re im;
+    if off < 0 || off + p.n > Array.length out then
+      invalid_arg "Fft.Real.inverse: window out of bounds";
+    let m = p.m in
+    (* Repack bins 0..m into the m-point complex spectrum
+       Z_k = E_k + i O_k (inverse of the unpack above); destroys
+       re/im, which double as the transform workspace. *)
+    let x0 = re.(0) and xm = re.(m) in
+    re.(0) <- 0.5 *. (x0 +. xm);
+    im.(0) <- 0.5 *. (x0 -. xm);
+    if m >= 2 then begin
+      im.(m / 2) <- -.im.(m / 2);
+      for k = 1 to (m / 2) - 1 do
+        let j = m - k in
+        let xkr = re.(k) and xki = im.(k) in
+        let xjr = re.(j) and xji = im.(j) in
+        let er = 0.5 *. (xkr +. xjr) and ei = 0.5 *. (xki -. xji) in
+        let tr = 0.5 *. (xkr -. xjr) and ti = 0.5 *. (xki +. xji) in
+        (* O_k = conj(w^k) * T, with T = w^k O_k recovered above. *)
+        let wkr = p.wr.(k) and wki = p.wi.(k) in
+        let or_ = (tr *. wkr) +. (ti *. wki) in
+        let oi = (ti *. wkr) -. (tr *. wki) in
+        (* Z_k = E + iO; Z_(m-k) = conj E + i conj O. *)
+        re.(k) <- er -. oi;
+        im.(k) <- ei +. or_;
+        re.(j) <- er +. oi;
+        im.(j) <- -.ei +. or_
+      done
+    end;
+    if m > 1 then begin
+      bit_reverse ~n:m re im;
+      stages_tables ~conj:true ~twr:p.twr ~twi:p.twi ~n:m re im
+    end;
+    let inv_m = 1.0 /. float_of_int m in
+    for j = 0 to m - 1 do
+      Array.unsafe_set out (off + (2 * j)) (re.(j) *. inv_m);
+      Array.unsafe_set out (off + (2 * j) + 1) (im.(j) *. inv_m)
+    done
+end

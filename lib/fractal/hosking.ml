@@ -1,5 +1,6 @@
 module Rng = Ss_stats.Rng
 module Pool = Ss_parallel.Pool
+module Fft = Ss_fft.Fft
 
 (* Durbin–Levinson step: given phi_{k-1,.} (in [prev], length k-1),
    v_{k-1} and r(.), produce phi_{k,.} into [next] (length k) and
@@ -167,26 +168,170 @@ module Table = struct
     if k = 0 then 0.0 else ar_dot t.rows.(k - 1) xs ~top:k ~k
 end
 
-(* Streaming generator state over a double-buffered ring: value k is
-   written at both [k mod order] and [k mod order + order], so the
-   last [order] values are always contiguous, ending at
-   [((k-1) mod order) + order] — the per-slot [Array.blit] shift of
-   the closure-based stream is gone, and the window feeds [ar_dot]
-   directly. *)
+(* Uniformly-partitioned overlap-save plan for the frozen AR(order)
+   filter: the coefficient vector h.(t) = phi_(t+1) is cut into
+   [ktot = ceil(order/s)] partitions of [s] lags. Partition 0
+   (lags 1..min(s,order)) reaches into the block being generated, so
+   it stays sequential; partitions q >= 1 only read pre-block history
+   and are applied in the frequency domain — their spectra H_q
+   (real FFT of the zero-padded partition, length 2s) are precomputed
+   here, once per (table, order), and shared by every generator and
+   domain. The partition size is a fixed constant so the stream for a
+   given seed never depends on tuning. *)
+module Fft_plan = struct
+  let partition = 128
+
+  type t = {
+    order : int;
+    s : int;  (* partition size (lags per partition) *)
+    ktot : int;  (* ceil (order / s) *)
+    seq_k : int;  (* sequential lags per slot, min (s, order) *)
+    rplan : Fft.Real.plan;  (* real transforms of length 2s *)
+    hre : float array;  (* Re H_q at (q-1)*(s+1) + bin, q = 1..ktot-1 *)
+    him : float array;
+  }
+
+  let order t = t.order
+  let partition_size t = t.s
+
+  let make ~table ~order =
+    if order < 1 || order >= Table.length table then
+      invalid_arg "Hosking.Fft_plan.make: order outside [1, table length)";
+    let s = partition in
+    let ktot = (order + s - 1) / s in
+    let rplan = Fft.Real.plan ~n:(2 * s) in
+    let row = table.Table.rows.(order - 1) in
+    let pad = Array.make (2 * s) 0.0 in
+    let np = Stdlib.max 0 (ktot - 1) in
+    let stride = s + 1 in
+    let hre = Array.make (Stdlib.max 1 (np * stride)) 0.0 in
+    let him = Array.make (Stdlib.max 1 (np * stride)) 0.0 in
+    let re = Array.make stride 0.0 and im = Array.make stride 0.0 in
+    for qi = 0 to np - 1 do
+      let q = qi + 1 in
+      Array.fill pad 0 (2 * s) 0.0;
+      for tt = 0 to s - 1 do
+        let lag = (q * s) + tt in
+        (* h_q.(tt) = phi_(q*s + tt + 1) = row.(q*s + tt) *)
+        if lag < order then pad.(tt) <- row.(lag)
+      done;
+      Fft.Real.forward rplan pad ~off:0 ~re ~im;
+      Array.blit re 0 hre (qi * stride) stride;
+      Array.blit im 0 him (qi * stride) stride
+    done;
+    { order; s; ktot; seq_k = Stdlib.min s order; rplan; hre; him }
+end
+
+(* Streaming generator state. Two kernels share the module:
+
+   - [Seq]: double-buffered ring — value k is written at both
+     [k mod order] and [k mod order + order], so the last [order]
+     values are always contiguous, ending at
+     [((k-1) mod order) + order], and the window feeds [ar_dot]
+     directly. Bit-identical to the historical per-slot path (or its
+     relaxed-dot variant).
+
+   - [Fft]: overlap-save over an {!Fft_plan} — the stream advances in
+     blocks of [s] slots; the contribution of all lags > s to every
+     in-block position comes from one inverse real FFT over the
+     accumulated partition spectra, and only lags <= s stay
+     sequential, cutting the per-slot cost from O(order) to
+     O(order/s + log s) + s amortized. Seed-incompatible with the
+     other kernels by design (the FFT reassociates the sums);
+     statistically gated. *)
 module Block = struct
+  type fft_state = {
+    plan : Fft_plan.t;
+    hl : int;  (* history samples kept in [win]: ktot * s *)
+    win : float array;  (* length hl + s: history ++ block in progress *)
+    dlre : float array;  (* pair-block spectrum delay line, flat: *)
+    dlim : float array;  (* slot * (s+1) + bin, ktot-1 slots *)
+    mutable kp : int;  (* samples produced (always a multiple of s) *)
+  }
+
+  (* Per-domain scratch shared by every FFT-kernel generator: each of
+     these arrays is fully rewritten on every use and nothing read
+     from them survives one [produce]/[rebuild_delay] call, so no
+     stream state lives here. Sharing them across the generators one
+     domain services keeps ~7 kB of otherwise-cold arrays out of each
+     source's per-visit working set — at fleet sizes where N per-source
+     states outgrow the cache, reloading that scratch was pure memory
+     traffic. Keyed by partition size; [qbase] is regrown if a larger
+     partition count appears. *)
+  type fft_scratch = {
+    gbuf : float array;  (* s innovations per block *)
+    accre : float array;  (* accumulated partition spectra, s+1 bins *)
+    accim : float array;
+    sre : float array;  (* pair-FFT scratch spectrum, s+1 bins *)
+    sim : float array;
+    hbuf : float array;  (* inverse-FFT output, 2s samples *)
+    qbase : int array;  (* per-partition delay-line offsets *)
+  }
+
+  let fft_scratch_key : (int, fft_scratch) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+  let fft_scratch_for ~s ~np =
+    let tbl = Domain.DLS.get fft_scratch_key in
+    match Hashtbl.find_opt tbl s with
+    | Some sc when Array.length sc.qbase >= np -> sc
+    | _ ->
+      let sc =
+        {
+          gbuf = Array.make s 0.0;
+          accre = Array.make (s + 1) 0.0;
+          accim = Array.make (s + 1) 0.0;
+          sre = Array.make (s + 1) 0.0;
+          sim = Array.make (s + 1) 0.0;
+          hbuf = Array.make (2 * s) 0.0;
+          qbase = Array.make (Stdlib.max 1 np) 0;
+        }
+      in
+      Hashtbl.replace tbl s sc;
+      sc
+
+  type impl =
+    | Seq of { ring : float array; relaxed : bool }
+    | Fft_os of fft_state
+
   type t = {
     table : Table.t;
     order : int;
-    relaxed : bool;  (* steady-state dot kernel: reassociated 4-acc sum *)
-    ring : float array;  (* length 2 * order *)
-    mutable k : int;  (* values generated so far *)
+    impl : impl;
+    mutable k : int;  (* values served to the caller so far *)
     mutable scratch : float array;  (* batched innovations, grown on demand *)
   }
 
-  let create ?(relaxed = false) ~table ~order () =
+  let check_order ~who ~table ~order =
     if order < 1 || order >= Table.length table then
-      invalid_arg "Hosking.Block.create: order outside [1, table length)";
-    { table; order; relaxed; ring = Array.make (2 * order) 0.0; k = 0; scratch = [||] }
+      invalid_arg (Printf.sprintf "Hosking.Block.%s: order outside [1, table length)" who)
+
+  let create ?(relaxed = false) ?fft_plan ~table ~order () =
+    check_order ~who:"create" ~table ~order;
+    let impl =
+      match fft_plan with
+      | None -> Seq { ring = Array.make (2 * order) 0.0; relaxed }
+      | Some _ when relaxed ->
+          invalid_arg "Hosking.Block.create: relaxed and fft_plan are mutually exclusive"
+      | Some plan ->
+          if Fft_plan.order plan <> order then
+            invalid_arg
+              (Printf.sprintf "Hosking.Block.create: plan order %d, requested order %d"
+                 (Fft_plan.order plan) order);
+          let s = plan.Fft_plan.s in
+          let hl = plan.Fft_plan.ktot * s in
+          let dl = Stdlib.max 0 (plan.Fft_plan.ktot - 1) in
+          Fft_os
+            {
+              plan;
+              hl;
+              win = Array.make (hl + s) 0.0;
+              dlre = Array.make (Stdlib.max 1 (dl * (s + 1))) 0.0;
+              dlim = Array.make (Stdlib.max 1 (dl * (s + 1))) 0.0;
+              kp = 0;
+            }
+    in
+    { table; order; impl; k = 0; scratch = [||] }
 
   let generated t = t.k
 
@@ -196,19 +341,15 @@ module Block = struct
      write position [p = k mod order] is carried incrementally and
      the frozen AR row/std are hoisted, so the steady-state slot cost
      is the [ar_dot] chain plus three stores. *)
-  let fill t rng buf ~off ~len =
-    if len < 0 || off < 0 || off + len > Array.length buf then
-      invalid_arg "Hosking.Block.fill: range outside the buffer";
+  let fill_seq t ~ring ~relaxed rng buf ~off ~len =
     if Array.length t.scratch < len then t.scratch <- Array.make len 0.0;
     let g = t.scratch in
     Rng.fill_gaussian rng g ~off:0 ~len;
     let order = t.order in
-    let ring = t.ring in
     let rows = t.table.Table.rows in
     let stds = t.table.Table.stds in
     let frozen_row = if Array.length rows >= order then Array.unsafe_get rows (order - 1) else [||] in
     let frozen_std = Array.unsafe_get stds order in
-    let relaxed = t.relaxed in
     let k = ref t.k in
     let p = ref (t.k mod order) in
     for i = 0 to len - 1 do
@@ -237,27 +378,188 @@ module Block = struct
     done;
     t.k <- t.k + len
 
-  (* Checkpoint state is the ring window plus the position counter —
-     O(order), never O(horizon). The coefficient table is re-derived
-     from the descriptor on resume; [scratch] is pure scratch. *)
+  (* --- FFT kernel ------------------------------------------------- *)
+
+  (* [win] maps sample k to index [hl + k - kp] for the block in
+     progress; completed history sits below [hl], the oldest retained
+     sample being [kp - hl] (earlier entries are zero during warmup,
+     which is exact: those lags do not exist yet). A pair block [a]
+     is the 2s samples [a*s .. (a+2)*s); partition q of block
+     r = kp/s consumes pair [r - q - 1], whose spectrum was computed
+     when that pair completed, at the start of block [a + 2]. *)
+
+  (* Produce the next [s] samples into [win.(hl .. hl+s-1)],
+     consuming exactly [s] innovations — the RNG consumption pattern
+     is therefore independent of how callers batch their pulls. *)
+  let produce t st rng =
+    let plan = st.plan in
+    let s = plan.Fft_plan.s in
+    let ktot = plan.Fft_plan.ktot in
+    let sc = fft_scratch_for ~s ~np:(Stdlib.max 1 (ktot - 1)) in
+    let hl = st.hl in
+    let win = st.win in
+    let r = st.kp / s in
+    (* Retire the previous block into history. *)
+    if r > 0 then Array.blit win s win 0 hl;
+    (* Pair r-2 just completed: push its spectrum onto the delay
+       line (overwriting the expired pair r-2-(ktot-1)). *)
+    if ktot > 1 && r >= 2 then begin
+      let stride = s + 1 in
+      let slot = (r - 2) mod (ktot - 1) in
+      Fft.Real.forward plan.Fft_plan.rplan win ~off:(hl - (2 * s)) ~re:sc.sre ~im:sc.sim;
+      Array.blit sc.sre 0 st.dlre (slot * stride) stride;
+      Array.blit sc.sim 0 st.dlim (slot * stride) stride
+    end;
+    let fft_ready = ktot > 1 && r >= ktot in
+    if fft_ready then begin
+      (* Accumulate sum_q H_q * Z_(r-q-1) bin-major with register
+         accumulators and invert once: hbuf entries s-1 .. 2s-2 are
+         the pre-block contributions to the s in-block positions (the
+         aliased prefix is discarded). *)
+      let stride = s + 1 in
+      let np = ktot - 1 in
+      let qb = sc.qbase in
+      for q = 1 to np do
+        qb.(q - 1) <- (r - q - 1) mod np * stride
+      done;
+      let hr = plan.Fft_plan.hre and hi = plan.Fft_plan.him in
+      let dlr = st.dlre and dli = st.dlim in
+      for b = 0 to s do
+        let ar = ref 0.0 and ai = ref 0.0 in
+        for qi = 0 to np - 1 do
+          let hb = (qi * stride) + b in
+          let zb = Array.unsafe_get qb qi + b in
+          let hrb = Array.unsafe_get hr hb and hib = Array.unsafe_get hi hb in
+          let zrb = Array.unsafe_get dlr zb and zib = Array.unsafe_get dli zb in
+          ar := !ar +. ((hrb *. zrb) -. (hib *. zib));
+          ai := !ai +. ((hrb *. zib) +. (hib *. zrb))
+        done;
+        Array.unsafe_set sc.accre b !ar;
+        Array.unsafe_set sc.accim b !ai
+      done;
+      Fft.Real.inverse plan.Fft_plan.rplan ~re:sc.accre ~im:sc.accim sc.hbuf ~off:0
+    end;
+    let order = t.order in
+    let rows = t.table.Table.rows in
+    let stds = t.table.Table.stds in
+    let frozen_row = Array.unsafe_get rows (order - 1) in
+    let frozen_std = Array.unsafe_get stds order in
+    let seq_k = plan.Fft_plan.seq_k in
+    let g = sc.gbuf in
+    Rng.fill_gaussian rng g ~off:0 ~len:s;
+    let kp = st.kp in
+    let hbuf = sc.hbuf in
+    for i = 0 to s - 1 do
+      let kc = kp + i in
+      let top = hl + i in
+      let m =
+        if fft_ready then
+          hbuf.(s - 1 + i) +. ar_dot_relaxed frozen_row win ~top ~k:seq_k
+        else if kc >= order then ar_dot_relaxed frozen_row win ~top ~k:order
+        else if kc = 0 then 0.0
+        else ar_dot_relaxed (Array.unsafe_get rows (kc - 1)) win ~top ~k:kc
+      in
+      let std = if kc >= order then frozen_std else Array.unsafe_get stds kc in
+      win.(top) <- m +. (std *. Array.unsafe_get g i)
+    done;
+    st.kp <- kp + s
+
+  let fill_fft t st rng buf ~off ~len =
+    let s = st.plan.Fft_plan.s in
+    let off = ref off and left = ref len in
+    while !left > 0 do
+      if t.k = st.kp then produce t st rng;
+      (* Unserved tail of the current block: win.(hl + k - (kp - s)). *)
+      let lo = st.hl + s - (st.kp - t.k) in
+      let chunk = Stdlib.min !left (st.kp - t.k) in
+      Array.blit st.win lo buf !off chunk;
+      t.k <- t.k + chunk;
+      off := !off + chunk;
+      left := !left - chunk
+    done
+
+  let fill t rng buf ~off ~len =
+    if len < 0 || off < 0 || off + len > Array.length buf then
+      invalid_arg "Hosking.Block.fill: range outside the buffer";
+    match t.impl with
+    | Seq { ring; relaxed } -> fill_seq t ~ring ~relaxed rng buf ~off ~len
+    | Fft_os st -> fill_fft t st rng buf ~off ~len
+
+  (* Checkpoint state is the window plus the position counters —
+     O(order), never O(horizon). The coefficient table, the partition
+     spectra, and the pair-spectrum delay line are all re-derived on
+     resume (the delay line is a pure function of [win]), so
+     snapshots stay layout-independent; [scratch] is pure scratch. *)
   let save t w =
     let module W = Ss_checkpoint.W in
-    W.tag w "hosking-block";
-    W.int w t.order;
-    W.int w t.k;
-    W.float_array w t.ring
+    match t.impl with
+    | Seq { ring; _ } ->
+        W.tag w "hosking-block";
+        W.int w t.order;
+        W.int w t.k;
+        W.float_array w ring
+    | Fft_os st ->
+        W.tag w "hosking-block-fft";
+        W.int w t.order;
+        W.int w st.plan.Fft_plan.s;
+        W.int w st.kp;
+        W.int w t.k;
+        W.float_array w st.win
+
+  (* Recompute the delay-line spectra from the time-domain window:
+     at block r = kp/s the live pairs are r-2 .. r-ktot; pair r-2 is
+     pushed by the next [produce], the rest are recoverable from
+     [win] (pair a starts at win index a*s + hl + s - kp, in-range
+     for every live pair). *)
+  let rebuild_delay st =
+    let plan = st.plan in
+    let s = plan.Fft_plan.s in
+    let ktot = plan.Fft_plan.ktot in
+    if ktot > 1 then begin
+      let sc = fft_scratch_for ~s ~np:(ktot - 1) in
+      let stride = s + 1 in
+      let r = st.kp / s in
+      for a = Stdlib.max 0 (r - ktot) to r - 3 do
+        let slot = a mod (ktot - 1) in
+        Fft.Real.forward plan.Fft_plan.rplan st.win
+          ~off:((a * s) + st.hl + s - st.kp)
+          ~re:sc.sre ~im:sc.sim;
+        Array.blit sc.sre 0 st.dlre (slot * stride) stride;
+        Array.blit sc.sim 0 st.dlim (slot * stride) stride
+      done
+    end
 
   let restore t r =
     let module R = Ss_checkpoint.R in
-    R.tag r "hosking-block";
-    let order = R.int r in
-    if order <> t.order then
-      raise
-        (Ss_checkpoint.Corrupt
-           (Printf.sprintf "hosking-block: checkpoint order %d, generator order %d" order
-              t.order));
-    t.k <- R.int r;
-    R.float_array_into r t.ring
+    match t.impl with
+    | Seq { ring; _ } ->
+        R.tag r "hosking-block";
+        let order = R.int r in
+        if order <> t.order then
+          raise
+            (Ss_checkpoint.Corrupt
+               (Printf.sprintf "hosking-block: checkpoint order %d, generator order %d" order
+                  t.order));
+        t.k <- R.int r;
+        R.float_array_into r ring
+    | Fft_os st ->
+        R.tag r "hosking-block-fft";
+        let order = R.int r in
+        if order <> t.order then
+          raise
+            (Ss_checkpoint.Corrupt
+               (Printf.sprintf "hosking-block-fft: checkpoint order %d, generator order %d"
+                  order t.order));
+        let s = R.int r in
+        if s <> st.plan.Fft_plan.s then
+          raise
+            (Ss_checkpoint.Corrupt
+               (Printf.sprintf "hosking-block-fft: checkpoint partition %d, plan partition %d"
+                  s st.plan.Fft_plan.s));
+        st.kp <- R.int r;
+        t.k <- R.int r;
+        R.float_array_into r st.win;
+        rebuild_delay st
 end
 
 let generate_into table rng buf =

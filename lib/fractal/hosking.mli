@@ -62,6 +62,30 @@ module Table : sig
       @raise Invalid_argument if [k] outside [0, n-1]. *)
 end
 
+(** Precomputed, immutable overlap-save convolution plan for the
+    frozen AR([order]) filter: the coefficient vector is uniformly
+    partitioned into chunks of {!val-partition} lags and each
+    partition beyond the first is stored as its length-[2*partition]
+    real-FFT spectrum. One plan is a pure function of
+    [(table, order)], holds no scratch state, and is shared freely
+    across generators and domains (the Source layer caches it the way
+    it caches tables). *)
+module Fft_plan : sig
+  type t
+
+  val partition : int
+  (** Fixed partition size (lags per partition, also the production
+      block length of the FFT kernel). A constant so a stream's value
+      sequence for a given seed never depends on tuning knobs. *)
+
+  val make : table:Table.t -> order:int -> t
+  (** @raise Invalid_argument if [order] outside
+      [1, Table.length table - 1]. *)
+
+  val order : t -> int
+  val partition_size : t -> int
+end
+
 module Block : sig
   type t
   (** Streaming truncated-Hosking generator state: exact
@@ -73,16 +97,34 @@ module Block : sig
       {!generate_truncated} / [Source.background_stream] on the same
       generator state, bit for bit, at any block-size split. *)
 
-  val create : ?relaxed:bool -> table:Table.t -> order:int -> unit -> t
+  val create :
+    ?relaxed:bool -> ?fft_plan:Fft_plan.t -> table:Table.t -> order:int -> unit -> t
   (** Fresh state over a shared coefficient table. O(order) resident
       memory. With [relaxed:true] (default false) the conditional-mean
       dot products run through {!ar_dot_relaxed} instead of {!ar_dot}:
       roughly 2x faster on long rows but REASSOCIATED floating-point
       summation, so the stream is only statistically — not bitwise —
       equivalent to the exact tier (and seed-incompatible with its
-      fixtures). @raise Invalid_argument if [order] outside
+      fixtures).
+
+      With [fft_plan] (mutually exclusive with [relaxed]) the
+      generator runs the overlap-save FFT kernel instead: the stream
+      advances in blocks of [Fft_plan.partition] slots, the
+      contribution of every lag beyond the partition size to all
+      in-block positions is computed by one inverse real FFT over the
+      accumulated partition spectra, and only the first
+      [min(partition, order)] lags stay sequential — amortized
+      O(order/partition + log partition + partition) per slot instead
+      of O(order). Statistically equivalent to the exact stream
+      (same innovation sequence per produced sample; the FFT merely
+      reassociates the conditional-mean sums), but seed-incompatible
+      with both other kernels, like the relaxed tier. The RNG
+      consumption pattern is blocked, so the stream for a given seed
+      is still independent of how callers batch their pulls.
+      @raise Invalid_argument if [order] outside
       [1, Table.length table - 1] (the table must also hold the
-      frozen row/std at index [order]). *)
+      frozen row/std at index [order]), if the plan's order differs,
+      or if both [relaxed] and [fft_plan] are given. *)
 
   val generated : t -> int
   (** Number of values produced so far. *)
@@ -96,12 +138,15 @@ module Block : sig
 
   val save : t -> Ss_checkpoint.W.t -> unit
   val restore : t -> Ss_checkpoint.R.t -> unit
-  (** Checkpoint codec: O(order) state (ring window + position), never
-      the coefficient table — that is re-derived from the descriptor
-      on resume. {!restore} requires a generator created with the same
-      [order] and overwrites it in place.
-      @raise Ss_checkpoint.Corrupt on order mismatch or malformed
-      data. *)
+  (** Checkpoint codec: O(order) state (ring or overlap-save window +
+      position counters), never the coefficient table or the
+      partition spectra — those are re-derived from the descriptor on
+      resume (the FFT kernel's pair-spectrum delay line is a pure
+      function of the saved window, so snapshots stay
+      layout-independent). {!restore} requires a generator created
+      with the same [order] and kernel and overwrites it in place.
+      @raise Ss_checkpoint.Corrupt on order/kernel mismatch or
+      malformed data. *)
 end
 
 val ar_dot : float array -> float array -> top:int -> k:int -> float

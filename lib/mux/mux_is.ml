@@ -25,8 +25,22 @@ let scaled_profile profile scale =
     | Some m -> Twist.constant (scale *. m)
     | None -> Twist.of_fun (fun k -> scale *. Twist.shift profile k)
 
-let make_config ~model ~sources ?(order = 256) ?(backend = `Hosking) ~service ~buffer ~slots
-    ~twist ?profile ?scales () =
+let make_config ~model ~sources ?(order = 256) ?(backend = `Hosking) ?(kernel = `Exact)
+    ~service ~buffer ~slots ~twist ?profile ?scales () =
+  (match (kernel : Source.kernel) with
+  | `Exact -> ()
+  | (`Relaxed | `Fft) as k ->
+    (* The twisted generator runs the scalar exact recursion so the
+       probe sees every innovation; the fast-math tiers reassociate
+       (or block) that arithmetic, which would silently decouple the
+       sampled path from the accumulated likelihood. *)
+    let name = match k with `Relaxed -> "`Relaxed" | `Fft -> "`Fft" in
+    invalid_arg
+      (Printf.sprintf
+         "Mux_is.make_config: kernel %s cannot drive importance sampling (likelihood \
+          accumulation certifies the exact per-innovation recursion); use the default \
+          `Exact kernel"
+         name));
   (match (backend : Source.backend) with
   | `Hosking -> ()
   | (`Davies_harte | `Paxson) as b ->

@@ -29,6 +29,22 @@ type t = {
 
 type backend = [ `Hosking | `Davies_harte | `Paxson ]
 type precision = [ `Exact | `Relaxed ]
+type kernel = [ `Exact | `Relaxed | `Fft ]
+
+(* [?precision] predates [?kernel] (which supersedes it with the FFT
+   tier); both are accepted, but a call giving both must not silently
+   prefer one. *)
+let resolve_kernel ~who ~precision ~kernel =
+  match (precision, kernel) with
+  | None, None -> `Exact
+  | Some p, None -> (p :> kernel)
+  | None, Some k -> k
+  | Some p, Some k ->
+    if (p :> kernel) = k then k
+    else
+      invalid_arg
+        (who
+       ^ ": ~precision and ~kernel disagree; pass just ~kernel (it supersedes ~precision)")
 
 (* Default block implementation over a scalar pull: one call per slot
    in slot order, so adapted sources consume their state (and their
@@ -178,6 +194,8 @@ let fingerprint ~acf ~order =
 module Cache = struct
   type 'a entry = { value : 'a; mutable last_use : int }
 
+  type stats = { hits : int; misses : int; evictions : int }
+
   type 'a t = {
     tbl : (string * int, 'a entry) Hashtbl.t;
     pending : (string * int, unit) Hashtbl.t;  (* keys being built *)
@@ -185,6 +203,9 @@ module Cache = struct
     mutex : Mutex.t;
     mutable cap : int;
     mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
   }
 
   let create cap =
@@ -195,6 +216,9 @@ module Cache = struct
       mutex = Mutex.create ();
       cap;
       tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
     }
 
   let evict_lru_locked t =
@@ -206,7 +230,17 @@ module Cache = struct
           | _ -> Some (k, e.last_use))
         t.tbl None
     in
-    match victim with None -> () | Some (k, _) -> Hashtbl.remove t.tbl k
+    match victim with
+    | None -> ()
+    | Some (k, _) ->
+      Hashtbl.remove t.tbl k;
+      t.evictions <- t.evictions + 1
+
+  let stats t =
+    Mutex.lock t.mutex;
+    let s = { hits = t.hits; misses = t.misses; evictions = t.evictions } in
+    Mutex.unlock t.mutex;
+    s
 
   let set_capacity t cap =
     if cap < 1 then invalid_arg "Source.set_table_cache_capacity: capacity < 1";
@@ -231,6 +265,7 @@ module Cache = struct
         | Some e ->
           t.tick <- t.tick + 1;
           e.last_use <- t.tick;
+          t.hits <- t.hits + 1;
           `Hit e.value
         | None ->
           if Hashtbl.mem t.pending key then begin
@@ -244,6 +279,7 @@ module Cache = struct
           end
           else begin
             Hashtbl.add t.pending key ();
+            t.misses <- t.misses + 1;
             `Build
           end
       in
@@ -291,8 +327,19 @@ let default_cache_capacity = 16
 let table_cache : Hosking.Table.t Cache.t = Cache.create default_cache_capacity
 let plan_cache : Davies_harte.plan Cache.t = Cache.create default_cache_capacity
 let paxson_plan_cache : Paxson.plan Cache.t = Cache.create default_cache_capacity
+let fft_plan_cache : Hosking.Fft_plan.t Cache.t = Cache.create default_cache_capacity
 let set_table_cache_capacity cap = Cache.set_capacity table_cache cap
 let table_cache_length () = Cache.length table_cache
+
+type cache_stats = Cache.stats = { hits : int; misses : int; evictions : int }
+
+let cache_stats () =
+  [
+    ("hosking-table", Cache.stats table_cache);
+    ("davies-harte-plan", Cache.stats plan_cache);
+    ("paxson-plan", Cache.stats paxson_plan_cache);
+    ("hosking-fft-plan", Cache.stats fft_plan_cache);
+  ]
 
 let table_for ~acf ~order =
   if order < 1 || order > 19_999 then
@@ -312,6 +359,17 @@ let paxson_plan_for ~acf ~n =
   Cache.find_or_build paxson_plan_cache
     (fingerprint ~acf ~order:n, n)
     (fun () -> Paxson.plan ~acf ~n)
+
+let fft_plan_for ~acf ~order =
+  if order < 1 || order > 19_999 then
+    invalid_arg "Source.fft_plan_for: order outside [1, 19999]";
+  Cache.find_or_build fft_plan_cache
+    (fingerprint ~acf ~order, order)
+    (* The plan is a pure function of (ACF, order): the table lookup
+       below hits (or populates) the table cache, and the partition
+       spectra derived from any bit-identical re-fit are themselves
+       bit-identical. *)
+    (fun () -> Hosking.Fft_plan.make ~table:(table_for ~acf ~order) ~order)
 
 (* Shared truncated-Hosking core. [shift]/[probe] hook in the
    importance sampler: the *untwisted* value is kept in [hist] (so
@@ -358,10 +416,12 @@ let check_horizon who horizon =
    fresh background values, returning the count (short only once a
    finite horizon is exhausted). The Hosking backend streams through
    the cache-blocked ring kernel (relaxed dot kernel when the source
-   runs the fast-math tier); the Davies–Harte and Paxson backends
-   materialize the whole fixed-horizon path (exactly resp.
-   approximately, both O(n log n)) on first use and replay it. *)
-let bg_filler ~who ~acf ~order ~backend ~horizon ~relaxed rng =
+   runs the fast-math tier, overlap-save FFT kernel under [`Fft]); the
+   Davies–Harte and Paxson backends materialize the whole
+   fixed-horizon path (exactly resp. approximately, both O(n log n))
+   on first use and replay it — the kernel choice only governs the
+   streaming Hosking recursion, so it is ignored there. *)
+let bg_filler ~who ~acf ~order ~backend ~horizon ~kernel rng =
   let materialized n generate =
     if order < 1 || order > 19_999 then invalid_arg (who ^ ": order outside [1, 19999]");
     (* Deferred so construction consumes no randomness — like the
@@ -425,7 +485,12 @@ let bg_filler ~who ~acf ~order ~backend ~horizon ~relaxed rng =
   match backend with
   | `Hosking ->
     let table = table_for ~acf ~order in
-    let blk = Hosking.Block.create ~relaxed ~table ~order () in
+    let blk =
+      match kernel with
+      | `Exact -> Hosking.Block.create ~table ~order ()
+      | `Relaxed -> Hosking.Block.create ~relaxed:true ~table ~order ()
+      | `Fft -> Hosking.Block.create ~fft_plan:(fft_plan_for ~acf ~order) ~table ~order ()
+    in
     let remaining = ref (match horizon with None -> max_int | Some h -> h) in
     let fill buf off len =
       let take = if len < !remaining then len else !remaining in
@@ -495,16 +560,19 @@ let of_model_gen ~name ~order ~shift ~probe model rng =
   let pull () = (Stdlib.max 0.0 (Transform.apply1 h (bg ())), 0) in
   make ~name ~mean:model.Model.mean ~sigma2 ~hurst:model.Model.hurst pull
 
-let of_model ?(name = "model") ?(order = 512) ?(backend = `Hosking) ?(precision = `Exact)
+let of_model ?(name = "model") ?(order = 512) ?(backend = `Hosking) ?precision ?kernel
     ?horizon model rng =
   check_horizon "Source.of_model" horizon;
-  let relaxed = precision = `Relaxed in
+  let kernel = resolve_kernel ~who:"Source.of_model" ~precision ~kernel in
   let acf = Model.background_acf model in
   let fill_bg, bg_ckpt =
-    bg_filler ~who:"Source.of_model" ~acf ~order ~backend ~horizon ~relaxed rng
+    bg_filler ~who:"Source.of_model" ~acf ~order ~backend ~horizon ~kernel rng
   in
+  (* The FFT kernel is already seed-incompatible with the exact tier,
+     so it rides the relaxed marginal transform for the same per-slot
+     speed; only [`Exact] keeps the erf-backed CDF. *)
   let h =
-    if relaxed then Transform.relax model.Model.transform else model.Model.transform
+    if kernel = `Exact then model.Model.transform else Transform.relax model.Model.transform
   in
   let _, sigma2 = transform_moments h in
   (* Same per-slot arithmetic as the scalar path: transform, then the
@@ -535,14 +603,15 @@ let of_model ?(name = "model") ?(order = 512) ?(backend = `Hosking) ?(precision 
 let of_model_twisted ?(name = "model-is") ?(order = 512) ~shift ?probe model rng =
   of_model_gen ~name ~order ~shift:(Some shift) ~probe model rng
 
-let of_mpeg ?(name = "mpeg") ?(order = 512) ?(backend = `Hosking) ?(precision = `Exact)
+let of_mpeg ?(name = "mpeg") ?(order = 512) ?(backend = `Hosking) ?precision ?kernel
     ?horizon ?(phase = 0) ?(priority = false) m rng =
   if phase < 0 then invalid_arg "Source.of_mpeg: phase < 0";
   check_horizon "Source.of_mpeg" horizon;
-  let relaxed = precision = `Relaxed in
+  let kernel = resolve_kernel ~who:"Source.of_mpeg" ~precision ~kernel in
+  let relaxed = kernel <> `Exact in
   let gop = m.Mpeg.gop in
   let fill_bg, bg_ckpt =
-    bg_filler ~who:"Source.of_mpeg" ~acf:m.Mpeg.background ~order ~backend ~horizon ~relaxed
+    bg_filler ~who:"Source.of_mpeg" ~acf:m.Mpeg.background ~order ~backend ~horizon ~kernel
       rng
   in
   let klass kind =

@@ -85,6 +85,23 @@ type precision = [ `Exact | `Relaxed ]
     fixture set and the same seed produces different (equally valid)
     sample paths than the exact tier. *)
 
+type kernel = [ `Exact | `Relaxed | `Fft ]
+(** Streaming-synthesis kernel for model sources — supersedes
+    {!precision} with a third tier. [`Exact] and [`Relaxed] are the
+    two {!precision} tiers. [`Fft] runs the overlap-save FFT block
+    kernel ({!Ss_fractal.Hosking.Fft_plan}): the frozen AR filter's
+    contribution beyond the first partition of lags is computed
+    spectrally per block of {!Ss_fractal.Hosking.Fft_plan.partition}
+    slots, breaking the O(order)-per-slot ceiling — amortized
+    O(order/partition + log partition + partition) per slot. Like
+    [`Relaxed] it is statistically equivalent to (and gated against)
+    the exact tier but seed-incompatible with it, and it uses the
+    relaxed marginal transform. Only the streaming [`Hosking] backend
+    is affected; materializing backends ignore the kernel for the
+    background (the relaxed transform choice still applies). Refused
+    by {!Mux_is.make_config} for non-[`Exact] values: importance
+    sampling certifies likelihoods against the exact fixture tier. *)
+
 val make :
   ?pull_block:(float array -> int array -> int -> int -> int) ->
   ?ckpt:ckpt ->
@@ -141,6 +158,7 @@ val of_model :
   ?order:int ->
   ?backend:backend ->
   ?precision:precision ->
+  ?kernel:kernel ->
   ?horizon:int ->
   Ss_core.Model.t ->
   Ss_stats.Rng.t ->
@@ -163,10 +181,13 @@ val of_model :
     departs after that many slots. [precision:`Relaxed] swaps in the
     fast-math tier — see {!precision}; it only affects the Hosking
     kernel and the marginal transform, so it composes with every
-    backend.
+    backend. [kernel] (see {!kernel}) supersedes [precision] with the
+    additional [`Fft] overlap-save tier; when both are given they must
+    agree. Default (neither given): [`Exact].
     @raise Invalid_argument if [order < 1] or [order > 19_999], if
-    [horizon < 1], or if a materializing backend ([`Davies_harte],
-    [`Paxson]) is requested without [horizon]. *)
+    [horizon < 1], if a materializing backend ([`Davies_harte],
+    [`Paxson]) is requested without [horizon], or if [precision] and
+    [kernel] disagree. *)
 
 val of_model_twisted :
   ?name:string ->
@@ -196,6 +217,7 @@ val of_mpeg :
   ?order:int ->
   ?backend:backend ->
   ?precision:precision ->
+  ?kernel:kernel ->
   ?horizon:int ->
   ?phase:int ->
   ?priority:bool ->
@@ -209,9 +231,9 @@ val of_mpeg :
     [priority:true], I frames are class 0, P class 1, B class 2;
     otherwise every slot is class 0. [mean]/[sigma2] are the
     GOP-pattern-averaged per-slot moments. [backend]/[precision]/
-    [horizon] govern the background synthesis exactly as in
-    {!of_model} (under [`Relaxed] the three per-kind transforms are
-    relaxed once up front, not per slot).
+    [kernel]/[horizon] govern the background synthesis exactly as in
+    {!of_model} (under [`Relaxed] and [`Fft] the three per-kind
+    transforms are relaxed once up front, not per slot).
     @raise Invalid_argument if [phase < 0], [order] out of range,
     [horizon < 1], or a materializing backend without [horizon]. *)
 
@@ -259,6 +281,14 @@ val paxson_plan_for : acf:Ss_fractal.Acf.t -> n:int -> Ss_fractal.Paxson.plan
     @raise Invalid_argument if [n < 1] (Paxson plans never refuse on
     eigenvalue clipping; see {!Ss_fractal.Paxson.clipped_ratio}). *)
 
+val fft_plan_for : acf:Ss_fractal.Acf.t -> order:int -> Ss_fractal.Hosking.Fft_plan.t
+(** The cached overlap-save convolution plan backing [`Fft]-kernel
+    model sources at this (ACF, order) pair — same cache discipline
+    as {!table_for} (the build itself goes through {!table_for}, so a
+    cold plan lookup may also populate the table cache). Plans are
+    immutable and shared freely across sources and domains.
+    @raise Invalid_argument if [order < 1] or [order > 19_999]. *)
+
 val paxson_clipping_check : acf:Ss_fractal.Acf.t -> n:int -> allow:bool -> float
 (** Gate on the Paxson backend's silent eigenvalue clipping: plans
     the (cached) Paxson synthesis and returns
@@ -279,3 +309,16 @@ val set_table_cache_capacity : int -> unit
 val table_cache_length : unit -> int
 (** Number of Hosking tables currently cached (for tests and
     memory-budget diagnostics). *)
+
+type cache_stats = { hits : int; misses : int; evictions : int }
+(** Cumulative per-cache counters: [hits] lookups served from the
+    cache (including waiters who picked up a concurrent builder's
+    entry), [misses] lookups that had to build, [evictions] entries
+    dropped by LRU pressure (capacity shrinks included). *)
+
+val cache_stats : unit -> (string * cache_stats) list
+(** Counters for every process-wide plan/table cache, keyed
+    ["hosking-table"], ["davies-harte-plan"], ["paxson-plan"],
+    ["hosking-fft-plan"]. Counters are monotone for the process
+    lifetime — diff two snapshots to measure a phase (the throughput
+    bench prints exactly that). *)

@@ -283,6 +283,51 @@ let test_hosking_block_roundtrip () =
       let other = Hosking.Block.create ~table:(Source.table_for ~acf ~order:16) ~order:16 () in
       Hosking.Block.restore other (reader sb))
 
+let test_hosking_block_fft_roundtrip () =
+  let acf = Acf.fgn ~h:0.82 in
+  (* order > partition (128) so the overlap-save path carries a real
+     delay line; burn past [order] so the snapshot lands after the
+     FFT mode has engaged, at a count that is not a block multiple. *)
+  let order = 160 in
+  let table = Source.table_for ~acf ~order in
+  let mk () = Hosking.Block.create ~fft_plan:(Hosking.Fft_plan.make ~table ~order) ~table ~order () in
+  let b1 = mk () in
+  let rng1 = Rng.create ~seed:6 in
+  let scratch = Array.make 300 0.0 in
+  Hosking.Block.fill b1 rng1 scratch ~off:0 ~len:300;
+  let sb = snap (Hosking.Block.save b1) and sr = snap (Rng.save rng1) in
+  let b2 = mk () in
+  let rng2 = Rng.create ~seed:77 in
+  Hosking.Block.restore b2 (reader sb);
+  Rng.restore rng2 (reader sr);
+  Alcotest.(check int) "generated carried" (Hosking.Block.generated b1)
+    (Hosking.Block.generated b2);
+  (* The restored plan is re-derived, not deserialized: the delay-line
+     spectra are rebuilt from the saved window, so the continuation
+     must still be bitwise regardless of pull batching. *)
+  let out1 = Array.make 300 0.0 and out2 = Array.make 300 0.0 in
+  Hosking.Block.fill b1 rng1 out1 ~off:0 ~len:300;
+  Hosking.Block.fill b2 rng2 out2 ~off:0 ~len:41;
+  Hosking.Block.fill b2 rng2 out2 ~off:41 ~len:259;
+  Array.iteri (fun i x -> check_bits (Printf.sprintf "fft slot %d" i) x out2.(i)) out1;
+  (* Kernel mismatch both ways: an FFT snapshot must not restore into
+     a sequential block, nor a sequential snapshot into an FFT one. *)
+  raises_corrupt "fft snapshot into seq block" (fun () ->
+      Hosking.Block.restore (Hosking.Block.create ~table ~order ()) (reader sb));
+  let seq = Hosking.Block.create ~table ~order () in
+  Hosking.Block.fill seq rng2 scratch ~off:0 ~len:50;
+  let sseq = snap (Hosking.Block.save seq) in
+  raises_corrupt "seq snapshot into fft block" (fun () ->
+      Hosking.Block.restore (mk ()) (reader sseq));
+  raises_corrupt "fft order mismatch" (fun () ->
+      let table' = Source.table_for ~acf ~order:192 in
+      let other =
+        Hosking.Block.create
+          ~fft_plan:(Hosking.Fft_plan.make ~table:table' ~order:192)
+          ~table:table' ~order:192 ()
+      in
+      Hosking.Block.restore other (reader sb))
+
 (* ------------------------------------------------------------------ *)
 (* Source codecs: every backend resumes bit-for-bit                     *)
 (* ------------------------------------------------------------------ *)
@@ -353,7 +398,14 @@ let test_source_roundtrips () =
         (Rng.create ~seed:23));
   source_roundtrip "of_mpeg priority" (fun () ->
       Source.of_mpeg ~name:"mp" ~order:48 ~priority:true (Lazy.force small_mpeg)
-        (Rng.create ~seed:24))
+        (Rng.create ~seed:24));
+  (* FFT kernel, snapshotted after the overlap-save path engages
+     (burn > order > partition). *)
+  source_roundtrip ~burn:400 "of_model fft" (fun () ->
+      Source.of_model ~name:"fk" ~order:160 ~kernel:`Fft m (Rng.create ~seed:25));
+  source_roundtrip ~burn:400 "of_mpeg fft" (fun () ->
+      Source.of_mpeg ~name:"mf" ~order:160 ~kernel:`Fft (Lazy.force small_mpeg)
+        (Rng.create ~seed:26))
 
 let test_fault_wrapped_roundtrip () =
   let m = Lazy.force small_model in
@@ -549,6 +601,50 @@ let test_mux_resume_shard_and_domain_invariant () =
   let resumed = run_mux ~resume:(reader (Option.get !first4)) () in
   if not (Mux.equal_report base resumed) then
     Alcotest.fail "resume at shards=1 of a shards=4 snapshot differs"
+
+(* Kill-and-resume identity for FFT-kernel model sources: the blocked
+   kernel's snapshot (window + cursor, plan re-derived on restore)
+   must resume bitwise through the mux at any shard/domain layout. *)
+let run_mux_fft ?pool ?shards ?checkpoint ?resume () =
+  let m = Lazy.force small_model in
+  let srcs =
+    Array.init 3 (fun i ->
+        Source.of_model ~name:(Printf.sprintf "f%d" i) ~order:160 ~kernel:`Fft m
+          (Rng.create ~seed:(400 + i)))
+  in
+  Mux.run ?pool ?shards ?checkpoint ?resume ~buffer:6.0 ~service:2.5 ~slots:1024 srcs
+
+let test_mux_fft_resume_identity () =
+  let base = run_mux_fft () in
+  (* every=200: the snapshot lands mid-partition (200 is not a
+     multiple of the 128-slot FFT block). *)
+  let ck1, first1, last1 = capture_hook 200 in
+  let armed = run_mux_fft ~checkpoint:ck1 () in
+  if not (Mux.equal_report base armed) then
+    Alcotest.fail "checkpoint hook perturbed the fft-kernel run";
+  let resumed = run_mux_fft ~resume:(reader (Option.get !first1)) () in
+  if not (Mux.equal_report base resumed) then
+    Alcotest.fail "fft resume from early snapshot differs from uninterrupted run";
+  let resumed = run_mux_fft ~resume:(reader (Option.get !last1)) () in
+  if not (Mux.equal_report base resumed) then
+    Alcotest.fail "fft resume from late snapshot differs from uninterrupted run";
+  let p = Pool.create ~domains:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let ck4, first4, _ = capture_hook 200 in
+  let armed4 = run_mux_fft ~pool:p ~shards:4 ~checkpoint:ck4 () in
+  if not (Mux.equal_report base armed4) then
+    Alcotest.fail "sharded fft-kernel armed run differs";
+  Alcotest.(check bool) "fft snapshot bytes shard-invariant" true
+    (String.equal (Option.get !first1) (Option.get !first4));
+  (* Cross-layout: shards=1 snapshot resumed at shards=4 and vice
+     versa — the FFT delay line is rebuilt from the saved window, so
+     no layout leaks into the stream. *)
+  let resumed = run_mux_fft ~pool:p ~shards:4 ~resume:(reader (Option.get !first1)) () in
+  if not (Mux.equal_report base resumed) then
+    Alcotest.fail "fft resume at shards=4 of a shards=1 snapshot differs";
+  let resumed = run_mux_fft ~resume:(reader (Option.get !first4)) () in
+  if not (Mux.equal_report base resumed) then
+    Alcotest.fail "fft resume at shards=1 of a shards=4 snapshot differs"
 
 let test_mux_checkpoint_refusals () =
   raises_invalid "interval < 1" (fun () ->
@@ -784,6 +880,7 @@ let () =
           tc "rng (mid polar cache)" test_rng_roundtrip;
           tc "welford / vt / p2" test_online_roundtrips;
           tc "hosking block" test_hosking_block_roundtrip;
+          tc "hosking block (fft kernel)" test_hosking_block_fft_roundtrip;
         ] );
       ( "sources",
         [
@@ -800,6 +897,7 @@ let () =
         [
           tc "resume == uninterrupted" test_mux_resume_identity;
           tc "shard/domain invariance" test_mux_resume_shard_and_domain_invariant;
+          tc "fft kernel resume == uninterrupted" test_mux_fft_resume_identity;
           tc "refusals" test_mux_checkpoint_refusals;
         ] );
       ( "abr",

@@ -138,9 +138,52 @@ let test_fft_linearity () =
     close ~eps:1e-9 "linearity im" (a_im.(k) +. (2.0 *. b_im.(k))) sum_im.(k)
   done
 
+let raises_invalid_mentioning msg needle f =
+  match f () with
+  | exception Invalid_argument m ->
+      let contains s sub =
+        let ls = String.length s and lb = String.length sub in
+        let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+        go 0
+      in
+      if not (contains m needle) then
+        Alcotest.failf "%s: error %S does not mention %S" msg m needle
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
 let test_fft_invalid () =
   raises_invalid "length mismatch" (fun () -> Fft.forward (Array.make 4 0.0) (Array.make 8 0.0));
-  raises_invalid "non power of two" (fun () -> Fft.forward (Array.make 6 0.0) (Array.make 6 0.0))
+  raises_invalid "non power of two" (fun () -> Fft.forward (Array.make 6 0.0) (Array.make 6 0.0));
+  (* Boundary lengths must raise a named error quoting the length,
+     for both directions. *)
+  List.iter
+    (fun n ->
+      let mk () = Array.make n 0.0 in
+      raises_invalid_mentioning
+        (Printf.sprintf "forward n=%d names the length" n)
+        (string_of_int n)
+        (fun () -> Fft.forward (mk ()) (mk ()));
+      raises_invalid_mentioning
+        (Printf.sprintf "forward n=%d names the function" n)
+        "Fft.forward"
+        (fun () -> Fft.forward (mk ()) (mk ()));
+      raises_invalid_mentioning
+        (Printf.sprintf "inverse n=%d names the length" n)
+        (string_of_int n)
+        (fun () -> Fft.inverse (mk ()) (mk ()));
+      raises_invalid_mentioning
+        (Printf.sprintf "inverse n=%d names the function" n)
+        "Fft.inverse"
+        (fun () -> Fft.inverse (mk ()) (mk ())))
+    [ 0; 3 ];
+  (* n = 1 is a (trivial) power of two: both directions must accept
+     it and leave the single sample unchanged. *)
+  let re = [| 2.5 |] and im = [| -1.0 |] in
+  Fft.forward re im;
+  close "n=1 forward re" 2.5 re.(0);
+  close "n=1 forward im" (-1.0) im.(0);
+  Fft.inverse re im;
+  close "n=1 inverse re" 2.5 re.(0);
+  close "n=1 inverse im" (-1.0) im.(0)
 
 let test_real_forward_magnitude2 () =
   let rng = Rng.create ~seed:5 in
@@ -154,6 +197,90 @@ let test_real_forward_magnitude2 () =
     close ~eps:1e-9 "magnitude^2" ((re.(k) *. re.(k)) +. (im.(k) *. im.(k))) mag2.(k)
   done;
   Array.iteri (fun i v -> close "input untouched" snapshot.(i) v) x
+
+(* ------------------------------------------------------------------ *)
+(* Real-input transforms (half-complex plan)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_real_plan_matches_naive_dft () =
+  let rng = Rng.create ~seed:15 in
+  List.iter
+    (fun n ->
+      let p = Fft.Real.plan ~n in
+      Alcotest.(check int) "length" n (Fft.Real.length p);
+      Alcotest.(check int) "bins" ((n / 2) + 1) (Fft.Real.bins p);
+      (* Exercise a nonzero window offset too. *)
+      let off = 3 in
+      let x = Array.init (n + off + 2) (fun _ -> Rng.gaussian rng) in
+      let re = Array.make ((n / 2) + 1) nan and im = Array.make ((n / 2) + 1) nan in
+      Fft.Real.forward p x ~off ~re ~im;
+      let want_re, want_im =
+        Fft.dft_naive (Array.sub x off n) (Array.make n 0.0)
+      in
+      for k = 0 to n / 2 do
+        close ~eps:1e-8 (Printf.sprintf "n=%d re[%d]" n k) want_re.(k) re.(k);
+        close ~eps:1e-8 (Printf.sprintf "n=%d im[%d]" n k) want_im.(k) im.(k)
+      done)
+    [ 2; 4; 8; 16; 128; 256 ]
+
+let test_real_plan_roundtrip () =
+  let rng = Rng.create ~seed:16 in
+  List.iter
+    (fun n ->
+      let p = Fft.Real.plan ~n in
+      let x = Array.init n (fun _ -> Rng.gaussian rng) in
+      let re = Array.make ((n / 2) + 1) 0.0 and im = Array.make ((n / 2) + 1) 0.0 in
+      Fft.Real.forward p x ~off:0 ~re ~im;
+      let back = Array.make n nan in
+      Fft.Real.inverse p ~re ~im back ~off:0;
+      Array.iteri
+        (fun i v -> close ~eps:1e-10 (Printf.sprintf "n=%d x[%d]" n i) x.(i) v)
+        back)
+    [ 2; 4; 8; 64; 256 ]
+
+let test_real_plan_circular_convolution () =
+  (* The overlap-save kernel multiplies two real spectra bin-wise and
+     inverts; that must equal the circular convolution. *)
+  let rng = Rng.create ~seed:17 in
+  let n = 64 in
+  let p = Fft.Real.plan ~n in
+  let a = Array.init n (fun _ -> Rng.gaussian rng) in
+  let b = Array.init n (fun _ -> Rng.gaussian rng) in
+  let m = n / 2 in
+  let ar = Array.make (m + 1) 0.0 and ai = Array.make (m + 1) 0.0 in
+  let br = Array.make (m + 1) 0.0 and bi = Array.make (m + 1) 0.0 in
+  Fft.Real.forward p a ~off:0 ~re:ar ~im:ai;
+  Fft.Real.forward p b ~off:0 ~re:br ~im:bi;
+  let cr = Array.make (m + 1) 0.0 and ci = Array.make (m + 1) 0.0 in
+  for k = 0 to m do
+    cr.(k) <- (ar.(k) *. br.(k)) -. (ai.(k) *. bi.(k));
+    ci.(k) <- (ar.(k) *. bi.(k)) +. (ai.(k) *. br.(k))
+  done;
+  let got = Array.make n nan in
+  Fft.Real.inverse p ~re:cr ~im:ci got ~off:0;
+  for t = 0 to n - 1 do
+    let want = ref 0.0 in
+    for j = 0 to n - 1 do
+      want := !want +. (a.(j) *. b.((t - j + n) mod n))
+    done;
+    close ~eps:1e-8 (Printf.sprintf "conv[%d]" t) !want got.(t)
+  done
+
+let test_real_plan_invalid () =
+  List.iter
+    (fun n ->
+      raises_invalid_mentioning
+        (Printf.sprintf "plan n=%d" n)
+        (string_of_int n)
+        (fun () -> Fft.Real.plan ~n))
+    [ 0; 1; 3; 6 ];
+  let p = Fft.Real.plan ~n:8 in
+  raises_invalid "undersized spectrum" (fun () ->
+      Fft.Real.forward p (Array.make 8 0.0) ~off:0 ~re:(Array.make 4 0.0)
+        ~im:(Array.make 4 0.0));
+  raises_invalid "window out of bounds" (fun () ->
+      Fft.Real.forward p (Array.make 8 0.0) ~off:1 ~re:(Array.make 5 0.0)
+        ~im:(Array.make 5 0.0))
 
 (* ------------------------------------------------------------------ *)
 (* DCT                                                                  *)
@@ -237,6 +364,13 @@ let () =
           tc "linearity" test_fft_linearity;
           tc "invalid" test_fft_invalid;
           tc "real magnitude^2" test_real_forward_magnitude2;
+        ] );
+      ( "real-plan",
+        [
+          tc "matches naive DFT" test_real_plan_matches_naive_dft;
+          tc "roundtrip" test_real_plan_roundtrip;
+          tc "circular convolution" test_real_plan_circular_convolution;
+          tc "invalid" test_real_plan_invalid;
         ] );
       ( "dct",
         [

@@ -388,6 +388,130 @@ let test_block_relaxed_fixture () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* FFT overlap-save tier                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fft_block ~table ~order =
+  Hosking.Block.create ~fft_plan:(Hosking.Fft_plan.make ~table ~order) ~table ~order ()
+
+let test_block_fft_close_to_exact () =
+  (* The FFT kernel consumes the same innovation per sample as the
+     exact kernel and computes the same conditional means, merely
+     reassociated (partition sums via the frequency domain), so the
+     paths track the exact tier to float rounding. Orders straddle
+     the partition size: 64 never leaves the sequential path, 192 and
+     300 pad their last partition. *)
+  let acf = Acf.fgn ~h:0.85 in
+  let n = 1024 in
+  List.iter
+    (fun order ->
+      let table = Hosking.Table.make ~acf ~n:(order + 1) in
+      let exact = Array.make n 0.0 and fft = Array.make n 0.0 in
+      Hosking.Block.fill (Hosking.Block.create ~table ~order ()) (Rng.create ~seed:41) exact
+        ~off:0 ~len:n;
+      Hosking.Block.fill (fft_block ~table ~order) (Rng.create ~seed:41) fft ~off:0 ~len:n;
+      for i = 0 to n - 1 do
+        close ~eps:1e-6 (Printf.sprintf "order %d slot %d" order i) exact.(i) fft.(i)
+      done)
+    [ 64; 192; 300 ]
+
+let test_block_fft_pull_pattern () =
+  (* The kernel produces in fixed blocks internally, so the stream
+     for a given seed must be bitwise independent of how callers
+     batch their pulls — including pulls smaller and larger than the
+     partition size. *)
+  let acf = Acf.fgn ~h:0.85 in
+  let order = 192 and n = 700 in
+  let table = Hosking.Table.make ~acf ~n:(order + 1) in
+  let one = Array.make n 0.0 in
+  Hosking.Block.fill (fft_block ~table ~order) (Rng.create ~seed:42) one ~off:0 ~len:n;
+  let two = Array.make n 0.0 in
+  let b = fft_block ~table ~order in
+  let rng = Rng.create ~seed:42 in
+  let off = ref 0 in
+  List.iter
+    (fun len ->
+      Hosking.Block.fill b rng two ~off:!off ~len;
+      off := !off + len)
+    [ 1; 7; 120; 130; 3; 439 ];
+  Alcotest.(check int) "generated count" n (Hosking.Block.generated b);
+  for i = 0 to n - 1 do
+    if Int64.bits_of_float one.(i) <> Int64.bits_of_float two.(i) then
+      Alcotest.failf "slot %d: chunked fft fill differs" i
+  done;
+  raises_invalid "relaxed + fft_plan" (fun () ->
+      Hosking.Block.create ~relaxed:true
+        ~fft_plan:(Hosking.Fft_plan.make ~table ~order)
+        ~table ~order ());
+  raises_invalid "plan order mismatch" (fun () ->
+      Hosking.Block.create
+        ~fft_plan:(Hosking.Fft_plan.make ~table ~order:100)
+        ~table ~order ())
+
+let test_block_fft_deterministic () =
+  let acf = Acf.fgn ~h:0.85 in
+  let order = 192 and n = 400 in
+  let table = Hosking.Table.make ~acf ~n:(order + 1) in
+  let a = Array.make n 0.0 and b = Array.make n 0.0 in
+  Hosking.Block.fill (fft_block ~table ~order) (Rng.create ~seed:43) a ~off:0 ~len:n;
+  Hosking.Block.fill (fft_block ~table ~order) (Rng.create ~seed:43) b ~off:0 ~len:n;
+  for i = 0 to n - 1 do
+    if Int64.bits_of_float a.(i) <> Int64.bits_of_float b.(i) then
+      Alcotest.failf "slot %d: fft run not reproducible" i
+  done
+
+let test_block_fft_statistics () =
+  (* Statistical gate at the bench's headline order: sample ACF close
+     to the model at small lags, variance-time H within 0.03 of the
+     exact tier (estimator-to-estimator cancels the estimator's own
+     bias on LRD data). *)
+  let h = 0.8 in
+  let acf = Acf.fgn ~h in
+  let order = 512 and n = 16_384 in
+  let table = Hosking.Table.make ~acf ~n:(order + 1) in
+  let x = Array.make n 0.0 in
+  Hosking.Block.fill (fft_block ~table ~order) (Rng.create ~seed:44) x ~off:0 ~len:n;
+  close ~eps:0.05 "variance" 1.0 (D.variance x);
+  let r = D.acf x ~max_lag:5 in
+  close ~eps:0.04 "r(1)" (acf.Acf.r 1) r.(1);
+  let xe = Array.make n 0.0 in
+  Hosking.Block.fill (Hosking.Block.create ~table ~order ()) (Rng.create ~seed:44) xe ~off:0
+    ~len:n;
+  let hv = (Hurst.variance_time x).Hurst.h and he = (Hurst.variance_time xe).Hurst.h in
+  close ~eps:0.03 "variance-time H vs exact tier" he hv
+
+let test_block_fft_fixture () =
+  (* The FFT tier's own bitwise fixture (fixed seed, FGN H=0.85,
+     order 192 so the overlap-save path and last-partition padding
+     are both live): head of the path plus the tail of a 640-slot
+     fill, pinning warmup, the kernel's steady state, and the
+     block/serve cursor plumbing. These values are NOT the exact or
+     relaxed tier's — the kernels are seed-incompatible by design;
+     regenerate the constants whenever the FFT kernel's summation
+     structure is changed on purpose. *)
+  let acf = Acf.fgn ~h:0.85 in
+  let order = 192 and n = 640 in
+  let table = Hosking.Table.make ~acf ~n:(order + 1) in
+  let x = Array.make n 0.0 in
+  Hosking.Block.fill (fft_block ~table ~order) (Rng.create ~seed:45) x ~off:0 ~len:n;
+  let check i want =
+    if Int64.bits_of_float x.(i) <> Int64.bits_of_float want then
+      Alcotest.failf "fft fixture slot %d: got %.17g, want %.17g" i x.(i) want
+  in
+  List.iter
+    (fun (i, v) -> check i v)
+    [
+      (0, -2.5099203528341731);
+      (1, 0.50172666867697902);
+      (2, -1.9362616015051939);
+      (3, -0.16560987821145523);
+      (636, -0.038709940223494943);
+      (637, 0.42349516585264624);
+      (638, -0.46794519559736059);
+      (639, -1.2905582610788886);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Davies-Harte                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -979,6 +1103,40 @@ let prop_transform_monotone =
       let lo = Stdlib.min x1 x2 and hi = Stdlib.max x1 x2 in
       Transform.apply1 t lo <= Transform.apply1 t hi +. 1e-9)
 
+let prop_fft_statistical_gate =
+  (* The FFT tier's gate, across random Hurst exponents and every
+     headline order: the sample ACF at all lags <= 100 within 0.05 of
+     the exact tier's on the same seed, and variance-time H within
+     0.03 of the exact tier's. Estimator-to-estimator bounds — the
+     estimators' own LRD bias cancels, so the thresholds hold over
+     the whole H range (the CI smoke gate additionally pins the
+     averaged ACF to the *model* at its fixed operating point). Any
+     partition misalignment or aliasing bug produces O(1) path
+     divergence, so the margins here are enormous when the kernel is
+     right. *)
+  QCheck.Test.make ~name:"fft kernel within statistical gates of exact tier" ~count:4
+    QCheck.(pair (float_range 0.55 0.9) (oneofl [ 64; 512; 2048 ]))
+    (fun (h, order) ->
+      let acf = Acf.fgn ~h in
+      let n = 16_384 in
+      let table = Hosking.Table.make ~acf ~n:(order + 1) in
+      let seed = 46 + int_of_float (h *. 1000.0) in
+      let xe = Array.make n 0.0 and xf = Array.make n 0.0 in
+      Hosking.Block.fill (Hosking.Block.create ~table ~order ()) (Rng.create ~seed) xe
+        ~off:0 ~len:n;
+      Hosking.Block.fill
+        (Hosking.Block.create ~fft_plan:(Hosking.Fft_plan.make ~table ~order) ~table ~order
+           ())
+        (Rng.create ~seed) xf ~off:0 ~len:n;
+      let re = D.acf xe ~max_lag:100 and rf = D.acf xf ~max_lag:100 in
+      let acf_ok = ref true in
+      for k = 0 to 100 do
+        if abs_float (re.(k) -. rf.(k)) > 0.05 then acf_ok := false
+      done;
+      let he = (Hurst.variance_time xe).Hurst.h
+      and hf = (Hurst.variance_time xf).Hurst.h in
+      !acf_ok && abs_float (he -. hf) <= 0.03)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -987,6 +1145,7 @@ let qcheck_cases =
       prop_composite_eval_bounded;
       prop_compensate_levels_up;
       prop_transform_monotone;
+      prop_fft_statistical_gate;
     ]
 
 let () =
@@ -1029,6 +1188,14 @@ let () =
           tc "block relaxed deterministic" test_block_relaxed_deterministic;
           tc "block relaxed statistics" test_block_relaxed_statistics;
           tc "block relaxed fixture" test_block_relaxed_fixture;
+        ] );
+      ( "fft-tier",
+        [
+          tc "block fft close to exact" test_block_fft_close_to_exact;
+          tc "block fft pull pattern" test_block_fft_pull_pattern;
+          tc "block fft deterministic" test_block_fft_deterministic;
+          tc "block fft statistics" test_block_fft_statistics;
+          tc "block fft fixture" test_block_fft_fixture;
         ] );
       ( "davies-harte",
         [

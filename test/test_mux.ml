@@ -639,6 +639,89 @@ let test_source_relaxed_precision () =
     if not (Float.is_finite w) || w < 0.0 then Alcotest.fail "relaxed paxson arrival invalid"
   done
 
+let test_source_fft_kernel () =
+  (* The FFT tier, like relaxed, is a different arithmetic over the
+     same innovation stream: same seed must track the exact tier up
+     to the rounding drift of the spectral reassociation (plus the
+     relaxed marginal transform it rides), and must itself be
+     deterministic. Order 160 > one partition, n spanning several
+     blocks, so the overlap-save path (not just the sequential
+     warmup) is exercised. *)
+  let m = Lazy.force small_model in
+  let n = 1024 in
+  let take s = Array.init n (fun _ -> fst (Source.next s)) in
+  let mk kernel = Source.of_model ~order:160 ~kernel m (Rng.create ~seed:4321) in
+  let exact = take (mk `Exact) and fft = take (mk `Fft) in
+  let fft' = take (mk `Fft) in
+  for i = 0 to n - 1 do
+    if bits fft.(i) <> bits fft'.(i) then
+      Alcotest.failf "fft tier not deterministic at slot %d" i;
+    let tol = 1e-5 *. (1.0 +. abs_float exact.(i)) in
+    if abs_float (exact.(i) -. fft.(i)) > tol then
+      Alcotest.failf "slot %d: exact %.17g vs fft %.17g" i exact.(i) fft.(i)
+  done;
+  (* ~kernel supersedes ~precision; agreeing spellings coincide
+     bitwise, disagreeing ones refuse. *)
+  let relaxed_via_kernel =
+    take (Source.of_model ~order:160 ~kernel:`Relaxed m (Rng.create ~seed:4321))
+  in
+  let relaxed_via_precision =
+    take
+      (Source.of_model ~order:160 ~precision:`Relaxed ~kernel:`Relaxed m
+         (Rng.create ~seed:4321))
+  in
+  for i = 0 to n - 1 do
+    if bits relaxed_via_kernel.(i) <> bits relaxed_via_precision.(i) then
+      Alcotest.failf "~kernel:`Relaxed differs from agreeing ~precision at slot %d" i
+  done;
+  raises_invalid "precision/kernel disagree" (fun () ->
+      ignore (Source.of_model ~precision:`Relaxed ~kernel:`Fft m (Rng.create ~seed:1)));
+  (* Composes with MPEG sources. *)
+  let mp = Lazy.force small_mpeg in
+  let s = Source.of_mpeg ~order:16 ~kernel:`Fft mp (Rng.create ~seed:4322) in
+  for _ = 1 to 300 do
+    let w, _ = Source.next s in
+    if not (Float.is_finite w) || w < 0.0 then Alcotest.fail "fft mpeg arrival invalid"
+  done
+
+let test_mux_is_kernel_refusal () =
+  let m = Lazy.force small_model in
+  let cfg kernel () =
+    ignore
+      (Mux_is.make_config ~model:m ~sources:2 ~order:24 ~kernel ~service:3.0 ~buffer:8.0
+         ~slots:64 ~twist:0.1 ())
+  in
+  raises_invalid "fft kernel refused by IS" (cfg `Fft);
+  raises_invalid "relaxed kernel refused by IS" (cfg `Relaxed);
+  (* The default tier still configures. *)
+  cfg `Exact ()
+
+let test_source_cache_stats_counters () =
+  (* Counter contract on a capacity-1 cache: a repeated lookup is one
+     hit, a fresh key is one miss, and inserting past the bound is
+     exactly one eviction. Deltas, not absolutes — the caches are
+     process-wide and other tests have already used them. *)
+  let acf = Acf.fgn ~h:0.6634 in
+  Source.set_table_cache_capacity 1;
+  Fun.protect
+    ~finally:(fun () -> Source.set_table_cache_capacity 16)
+    (fun () ->
+      let (_ : Hosking.Table.t) = Source.table_for ~acf ~order:21 in
+      let s0 = List.assoc "hosking-table" (Source.cache_stats ()) in
+      let (_ : Hosking.Table.t) = Source.table_for ~acf ~order:21 in
+      let (_ : Hosking.Table.t) = Source.table_for ~acf ~order:22 in
+      let s1 = List.assoc "hosking-table" (Source.cache_stats ()) in
+      Alcotest.(check int) "one hit" 1 (s1.Source.hits - s0.Source.hits);
+      Alcotest.(check int) "one miss" 1 (s1.Source.misses - s0.Source.misses);
+      Alcotest.(check int) "one eviction" 1 (s1.Source.evictions - s0.Source.evictions));
+  (* The FFT-plan cache reports through the same getter. *)
+  let f0 = List.assoc "hosking-fft-plan" (Source.cache_stats ()) in
+  let (_ : Hosking.Fft_plan.t) = Source.fft_plan_for ~acf ~order:21 in
+  let (_ : Hosking.Fft_plan.t) = Source.fft_plan_for ~acf ~order:21 in
+  let f1 = List.assoc "hosking-fft-plan" (Source.cache_stats ()) in
+  Alcotest.(check int) "fft-plan miss then hit: one miss" 1 (f1.Source.misses - f0.Source.misses);
+  Alcotest.(check int) "fft-plan miss then hit: one hit" 1 (f1.Source.hits - f0.Source.hits)
+
 let test_source_table_cache_lru_eviction () =
   (* Eviction is invisible except for rebuild cost: a re-fit after the
      LRU bound forces a table out is bit-identical. *)
@@ -1966,6 +2049,9 @@ let () =
           tc "Davies-Harte statistics" test_source_dh_backend_statistics;
           tc "Paxson contract" test_source_paxson_backend_contract;
           tc "relaxed precision tier" test_source_relaxed_precision;
+          tc "fft kernel tier" test_source_fft_kernel;
+          tc "IS refuses fast-math kernels" test_mux_is_kernel_refusal;
+          tc "cache stats counters" test_source_cache_stats_counters;
           tc "table cache LRU eviction" test_source_table_cache_lru_eviction;
           tc "table cache concurrent lookups" test_source_table_cache_concurrent_lookups;
         ] );
